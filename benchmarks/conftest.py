@@ -1,0 +1,82 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Results are printed and also written to
+``benchmarks/results/*.txt`` so EXPERIMENTS.md can cite a concrete run.
+
+Scale knobs (environment variables):
+
+* ``SPL_BENCH_FULL=1`` — paper-scale runs (Figure 4/5/6 up to 2^20,
+  keep-3 DP everywhere).  Default is a quick mode that preserves every
+  qualitative shape at a few seconds per figure.
+* ``SPL_FIG4_MAX_LOG2N`` — override the largest FFT size explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perfeval.ccompile import have_c_compiler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("SPL_BENCH_FULL", "0") == "1"
+
+requires_cc = pytest.mark.skipif(
+    not have_c_compiler(), reason="benchmarks need a C compiler"
+)
+
+
+def fig4_max_log2n() -> int:
+    value = os.environ.get("SPL_FIG4_MAX_LOG2N")
+    if value:
+        return int(value)
+    return 20 if FULL else 14
+
+
+def write_results(name: str, lines: list[str]) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def small_search_results():
+    """The paper's §4.1 search, shared by Figures 3/4/5."""
+    from repro.search.dp import search_small_sizes
+
+    sizes = (2, 4, 8, 16, 32, 64)
+    cap = None if FULL else 16
+    return search_small_sizes(sizes, max_candidates=cap, min_time=0.002)
+
+
+@pytest.fixture(scope="session")
+def large_search(small_search_results):
+    """The §4.2 keep-3 DP, shared by Figures 4 and 5."""
+    from repro.search.large import LargeSearch
+
+    keep = 3 if FULL else 2
+    radices = (4, 5, 6) if not FULL else (1, 2, 3, 4, 5, 6)
+    return LargeSearch(small_search_results, keep=keep,
+                       radix_log2_range=radices, min_time=0.002)
+
+
+@pytest.fixture(scope="session")
+def fftw_library():
+    from repro.fftw import FftwLibrary
+
+    return FftwLibrary()
+
+
+@pytest.fixture(scope="session")
+def fftw_planner(fftw_library):
+    from repro.fftw import Planner
+
+    return Planner(fftw_library, min_time=0.002)

@@ -1,0 +1,71 @@
+"""Ablation: the machine-dependent peepholes and compiler flop counts.
+
+Section 3.4 describes two SPARC-specific transformations (unary-minus
+avoidance and 'automatic' stack allocation) and notes they "may not
+have a positive effect on machines other than the SPARC".  This
+ablation measures the unary-minus rewrite on the host — reporting,
+not asserting, a direction — and verifies the optimizer's flop-count
+reductions that Figure 2 rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.formulas.factorization import ct_dit
+from repro.perfeval.runner import build_executable
+from repro.perfeval.timing import time_callable
+
+from conftest import requires_cc, write_results
+
+FORMULA = ct_dit(8, 8)
+
+
+def timed(peephole: bool) -> float:
+    compiler = SplCompiler(CompilerOptions(
+        optimize="default", unroll=True, codetype="real", language="c",
+        peephole=peephole,
+    ))
+    routine = compiler.compile_formula(FORMULA, f"abl_ph{int(peephole)}",
+                                       language="c")
+    executable = build_executable(routine)
+    return time_callable(executable.timer_closure(), min_time=0.002,
+                         repeats=3)
+
+
+@requires_cc
+def test_ablation_peephole(benchmark):
+    t_off = timed(peephole=False)
+    t_on = timed(peephole=True)
+
+    flops = {}
+    ops_total = {}
+    for level in ("none", "scalars", "default"):
+        compiler = SplCompiler(CompilerOptions(
+            optimize=level, unroll=True, codetype="real", language="c"))
+        routine = compiler.compile_formula(FORMULA, f"abl_{level}",
+                                           language="c")
+        flops[level] = routine.flop_count
+        ops_total[level] = len(routine.source.splitlines())
+
+    lines = [
+        "Ablation: peephole and optimization levels on F_64 (DIT 8x8)",
+        f"peephole off: {t_off * 1e9:10.1f} ns/call",
+        f"peephole on:  {t_on * 1e9:10.1f} ns/call "
+        f"(ratio {t_on / t_off:.3f}; SPARC-specific, direction may vary)",
+        "",
+        f"{'level':>10} {'flops':>8} {'source lines':>14}",
+    ]
+    for level in ("none", "scalars", "default"):
+        lines.append(
+            f"{level:>10} {flops[level]:>8} {ops_total[level]:>14}"
+        )
+    write_results("ablation_peephole", lines)
+
+    benchmark(lambda: timed(peephole=False))
+
+    # The default optimizations must strictly reduce arithmetic.
+    assert flops["default"] < flops["none"]
+    # The peephole changes instruction selection, not operation count,
+    # so times stay within noise of each other (within 2x either way).
+    assert 0.5 < t_on / t_off < 2.0

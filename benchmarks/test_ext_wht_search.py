@@ -1,0 +1,67 @@
+"""Extension: search over Walsh-Hadamard factorizations.
+
+Section 5 of the paper points at the Johnson/Pueschel WHT package as
+the closest related work — a search over WHT breakdown formulas.  The
+SPL system subsumes it: the same generator + compiler + timer machinery
+searches the WHT space with no new code.  This benchmark demonstrates
+that, reporting the spread between the best and worst WHT_64 formulas
+(the reason search matters at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.generator.wht_rules import enumerate_wht_formulas
+from repro.perfeval.runner import build_executable
+from repro.perfeval.timing import time_callable
+
+from conftest import requires_cc, write_results
+
+N = 64
+
+
+@requires_cc
+def test_ext_wht_search(benchmark):
+    compiler = SplCompiler(CompilerOptions(
+        optimize="default", datatype="real", language="c",
+        unroll_threshold=8,
+    ))
+    rows = []
+    for index, formula in enumerate(enumerate_wht_formulas(N)):
+        routine = compiler.compile_formula(formula, f"wht_{index}",
+                                           language="c")
+        executable = build_executable(routine)
+        seconds = time_callable(executable.timer_closure(),
+                                min_time=0.002, repeats=2)
+        rows.append((seconds, formula.to_spl()))
+    rows.sort()
+
+    lines = [
+        f"Extension: search over {len(rows)} WHT_{N} breakdown formulas",
+        f"{'rank':>4} {'ns/call':>10}  formula",
+    ]
+    for rank, (seconds, text) in enumerate(rows):
+        shown = text if len(text) < 70 else text[:67] + "..."
+        lines.append(f"{rank:>4} {seconds * 1e9:>10.1f}  {shown}")
+    spread = rows[-1][0] / rows[0][0]
+    lines.append(f"best/worst spread: {spread:.2f}x")
+    write_results("ext_wht_search", lines)
+
+    # Correctness of the winner.
+    from repro.formulas.transforms import wht_matrix
+    from repro.core.parser import parse_formula_text
+
+    best_formula = parse_formula_text(rows[0][1])
+    routine = compiler.compile_formula(best_formula, "wht_best",
+                                       language="c")
+    executable = build_executable(routine)
+    x = np.random.default_rng(0).standard_normal(N)
+    np.testing.assert_allclose(executable.apply(x), wht_matrix(N) @ x,
+                               atol=1e-9)
+
+    benchmark(executable.timer_closure())
+
+    # Shape: the formula space has real performance spread (>20%),
+    # which is what makes searching worthwhile.
+    assert spread > 1.2, spread

@@ -1,0 +1,106 @@
+"""Figure 2: effect of basic optimizations.
+
+The paper compiles 45 SPL formulas for FFT N=32 three ways — (1) no
+optimization, (2) temporary vectors replaced by scalar variables,
+(3) default optimizations — and plots performance normalized to (3).
+Its key observation is that the effect *depends on the back-end
+compiler*: large wins on SPARC (Workshop 5.0) and Pentium II (egcs),
+"insignificant" on MIPS because "the MIPSpro compiler did a good job in
+standard optimizations".
+
+A modern gcc at -O3 behaves like the paper's MIPSpro: the three
+versions are nearly indistinguishable.  To reproduce the paper's other
+two panels we add a weak-back-end axis — the same codes compiled at
+-O0 — where the SPL compiler's own optimizations must carry the load
+and version (3) wins clearly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.generator.fft_rules import enumerate_breakdown_trees
+from repro.perfeval.runner import build_executable
+from repro.perfeval.timing import time_callable
+
+from conftest import FULL, requires_cc, write_results
+
+N = 32
+NUM_FORMULAS = 45 if FULL else 15
+VERSIONS = ("none", "scalars", "default")
+BACKENDS = {"strong": ("-O3",), "weak": ("-O0",)}
+
+
+def compile_and_time(formula, level: str, index: int,
+                     cflags: tuple[str, ...]) -> float:
+    compiler = SplCompiler(CompilerOptions(
+        optimize=level, unroll=True, datatype="complex",
+        codetype="real", language="c",
+    ))
+    tag = "".join(f.strip("-") for f in cflags)
+    routine = compiler.compile_formula(
+        formula, f"fig2_{level}_{index}_{tag}", language="c"
+    )
+    executable = build_executable(routine, cflags=cflags)
+    return time_callable(executable.timer_closure(), min_time=0.002,
+                         repeats=2)
+
+
+@requires_cc
+def test_fig2_optimization_effect(benchmark):
+    formulas = enumerate_breakdown_trees(N)[1:NUM_FORMULAS + 1]
+    normalized = {
+        backend: {v: [] for v in VERSIONS} for backend in BACKENDS
+    }
+    for backend, cflags in BACKENDS.items():
+        for index, formula in enumerate(formulas):
+            times = {
+                level: compile_and_time(formula, level, index, cflags)
+                for level in VERSIONS
+            }
+            for level in VERSIONS:
+                normalized[backend][level].append(
+                    times["default"] / times[level]
+                )
+
+    lines = [
+        f"Figure 2: normalized performance of {len(formulas)} SPL "
+        f"formulas for FFT N={N}",
+        "(1.0 = the default-optimized version on the same backend)",
+    ]
+    means = {}
+    for backend in BACKENDS:
+        lines.append("")
+        lines.append(f"backend gcc {BACKENDS[backend][0]} ({backend}):")
+        lines.append(f"{'formula':>8} {'no-opt':>8} {'scalar':>8} "
+                     f"{'default':>8}")
+        data = normalized[backend]
+        for i in range(len(formulas)):
+            lines.append(
+                f"{i:>8} {data['none'][i]:>8.3f} "
+                f"{data['scalars'][i]:>8.3f} {data['default'][i]:>8.3f}"
+            )
+        means[backend] = {
+            v: float(np.mean(data[v])) for v in VERSIONS
+        }
+        lines.append(
+            f"{'mean':>8} {means[backend]['none']:>8.3f} "
+            f"{means[backend]['scalars']:>8.3f} "
+            f"{means[backend]['default']:>8.3f}"
+        )
+    write_results("fig2_optimization_effect", lines)
+
+    # The benchmark fixture times one default-optimized executable.
+    compiler = SplCompiler(CompilerOptions(
+        optimize="default", unroll=True, codetype="real", language="c"))
+    routine = compiler.compile_formula(formulas[0], "fig2_bench",
+                                       language="c")
+    benchmark(build_executable(routine).timer_closure())
+
+    # Shapes:
+    # weak backend = the paper's SPARC/PII panels: no-opt clearly loses.
+    assert means["weak"]["none"] < 0.85, means["weak"]
+    assert means["weak"]["scalars"] <= 1.1, means["weak"]
+    # strong backend = the paper's MIPS panel: differences insignificant.
+    for level in VERSIONS:
+        assert 0.7 < means["strong"][level] < 1.4, means["strong"]

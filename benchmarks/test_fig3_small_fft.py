@@ -1,0 +1,76 @@
+"""Figure 3: performance for small-size FFTs (N = 2 .. 64).
+
+The paper compares straight-line code found by the Equation-10 search
+with FFTW's codelets, in pseudo-MFlops = 5 N log2(N) / t(us).  Here the
+baseline is the FFTW-substitute's codelets (themselves strided
+straight-line code).  Expected shape: the two curves are close — within
+a small factor at every size — exactly the paper's conclusion.
+"""
+
+import ctypes
+
+import numpy as np
+import pytest
+
+from repro.perfeval.timing import pseudo_mflops, time_callable
+
+from conftest import requires_cc, write_results
+
+SIZES = (2, 4, 8, 16, 32, 64)
+
+
+def codelet_closure(library, n):
+    fn = library.codelet_fn(n)
+    rng = np.random.default_rng(0)
+    x = np.ascontiguousarray(rng.standard_normal(2 * n))
+    y = np.zeros(2 * n)
+    dp = ctypes.POINTER(ctypes.c_double)
+    xp = x.ctypes.data_as(dp)
+    yp = y.ctypes.data_as(dp)
+
+    def call() -> None:
+        fn(yp, xp, 1, 1, 0, 0)
+
+    call._buffers = (x, y)
+    return call
+
+
+@requires_cc
+def test_fig3_small_fft(benchmark, small_search_results, fftw_library):
+    rows = []
+    ratios = []
+    for n in SIZES:
+        spl_result = small_search_results[n]
+        spl_mflops = spl_result.mflops
+        t_codelet = time_callable(codelet_closure(fftw_library, n),
+                                  min_time=0.002, repeats=2)
+        fftw_mflops = pseudo_mflops(n, t_codelet)
+        ratios.append(spl_mflops / fftw_mflops)
+        rows.append((n, spl_mflops, fftw_mflops))
+
+    lines = [
+        "Figure 3: small-size FFT performance (pseudo-MFlops)",
+        f"{'N':>4} {'SPL':>10} {'FFTW codelet':>14} {'SPL/FFTW':>10}",
+    ]
+    for (n, spl, fftw), ratio in zip(rows, ratios):
+        lines.append(f"{n:>4} {spl:>10.1f} {fftw:>14.1f} {ratio:>10.2f}")
+    write_results("fig3_small_fft", lines)
+
+    # Time the N=64 winner through the benchmark fixture.
+    from repro.search.measure import measure_formula
+    from repro.search.dp import default_small_compiler
+
+    compiler = default_small_compiler()
+    routine = compiler.compile_formula(small_search_results[64].formula,
+                                       "fig3_best64", language="c")
+    from repro.perfeval.runner import build_executable
+
+    benchmark(build_executable(routine).timer_closure())
+
+    # Shape: SPL straight-line code is within a small factor of the
+    # codelets at every size (the paper's "very close").
+    assert all(ratio > 0.4 for ratio in ratios), ratios
+    # And performance grows with size in this range (per-call overhead
+    # amortizes), as in the paper's curves.
+    mflops = [row[1] for row in rows]
+    assert mflops[-1] > mflops[0]

@@ -1,0 +1,62 @@
+"""Figure 5: memory consumption for large-size FFTs.
+
+The paper measures the memory required to run the SPL-generated code
+against FFTW with estimated and with measured plans, finding SPL close
+to "FFTW estimate" while FFTW's measuring planner needs more memory
+during its runtime search.
+
+Accounting here: SPL = generated code + twiddle tables + temporaries +
+I/O buffers; FFTW = executor code share + plan (twiddles + work) + I/O
+buffers; FFTW-measure additionally charges the planner's candidate
+allocations (its peak planning footprint).
+"""
+
+import pytest
+
+from repro.perfeval.ccompile import compile_shared_object
+from repro.perfeval.memory import routine_memory
+
+from conftest import fig4_max_log2n, requires_cc, write_results
+
+
+@requires_cc
+def test_fig5_memory(benchmark, large_search, fftw_library, fftw_planner):
+    sizes = [1 << k for k in range(7, fig4_max_log2n() + 1)]
+    rows = []
+    for n in sizes:
+        candidate = large_search.best_candidate(n)
+        routine = large_search.compiler.compile_formula(
+            candidate.formula, f"fig5_{n}", language="c")
+        so_path = compile_shared_object(routine.source)
+        spl_bytes = routine_memory(routine, so_path).total_bytes
+
+        measured = fftw_planner.plan_measure(n)
+        planning_bytes = fftw_planner.planning_bytes_by_n.get(n, 0)
+        estimated = fftw_planner.plan_estimate(n)
+        code_share = fftw_library.shared_object_size()
+        io_bytes = 2 * (2 * n) * 8
+        est_bytes = estimated.memory_bytes() + code_share + io_bytes
+        meas_bytes = (measured.memory_bytes() + code_share + io_bytes
+                      + planning_bytes)
+        rows.append((n, spl_bytes, meas_bytes, est_bytes))
+
+    lines = [
+        "Figure 5: memory consumption for large-size FFTs (KB)",
+        f"{'N':>8} {'SPL':>10} {'FFTW':>10} {'FFTW-est':>10}",
+    ]
+    for n, spl, meas, est in rows:
+        lines.append(f"{n:>8} {spl / 1024:>10.1f} {meas / 1024:>10.1f} "
+                     f"{est / 1024:>10.1f}")
+    write_results("fig5_memory", lines)
+
+    benchmark(lambda: routine_memory(routine, so_path))
+
+    for n, spl, meas, est in rows:
+        # FFTW's measuring planner needs more memory than estimate mode
+        # (the paper's main observation in Figure 5).
+        assert meas > est
+        # SPL memory is the same order as FFTW-estimate: within ~4x once
+        # the data (not the code) dominates.
+        if n >= 1024:
+            assert spl < 4 * est
+            assert spl > est / 8

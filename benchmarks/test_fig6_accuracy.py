@@ -1,0 +1,73 @@
+"""Figure 6: accuracy of the FFT computation.
+
+The paper runs benchfft over the generated codes and plots the relative
+error per size (of order 1e-14 at 2^18, growing slowly — consistent
+with the O(sqrt(log N)) error growth of Cooley-Tukey in double
+precision).  Here the SPL-compiled codes are compared against a
+high-precision reference for N = 2^1 .. 2^16 (2^18 in full mode).
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.formulas.factorization import ct_multi
+from repro.perfeval.accuracy import relative_error
+from repro.perfeval.runner import build_executable
+
+from conftest import FULL, requires_cc, write_results
+
+MAX_LOG2N = 18 if FULL else 14
+
+
+def spl_fft_callable(n: int):
+    """Compile a radix-8 (with remainder) SPL FFT for size n."""
+    compiler = SplCompiler(CompilerOptions(
+        optimize="default", datatype="complex", codetype="real",
+        language="c", unroll_threshold=8,
+    ))
+    if n == 2:
+        factors = [2]
+    else:
+        factors = []
+        m = n
+        while m > 8:
+            factors.append(8)
+            m //= 8
+        factors.append(m)
+    routine = compiler.compile_formula(ct_multi(factors), f"acc{n}",
+                                       language="c")
+    executable = build_executable(routine)
+    return executable.apply
+
+
+@requires_cc
+def test_fig6_accuracy(benchmark):
+    sizes = [1 << k for k in range(1, MAX_LOG2N + 1)]
+    rows = []
+    for n in sizes:
+        fft = spl_fft_callable(n)
+        error = relative_error(fft, n, trials=2)
+        rows.append((n, error))
+
+    lines = [
+        "Figure 6: relative error of the SPL-generated FFT per size",
+        f"{'N':>8} {'rel. L2 error':>14}",
+    ]
+    for n, error in rows:
+        lines.append(f"{n:>8} {error:>14.3e}")
+    write_results("fig6_accuracy", lines)
+
+    benchmark(lambda: relative_error(np.fft.fft, 256, trials=1))
+
+    errors = [e for _, e in rows]
+    # Shape: double-precision accuracy at every size...
+    assert all(e < 1e-12 for e in errors), errors
+    # ...with slow growth: the largest size is within a modest factor
+    # of machine epsilon scaled by sqrt(log N) (paper: ~1e-14 region).
+    n_max, e_max = rows[-1]
+    bound = 50 * np.finfo(float).eps * math.sqrt(math.log2(n_max))
+    assert e_max < bound, (e_max, bound)

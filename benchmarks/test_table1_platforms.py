@@ -1,0 +1,31 @@
+"""Table 1: experiment platforms.
+
+The paper lists three 1990s workstations (UltraSPARC II 333MHz, MIPS
+R10000 195MHz, Pentium II 400MHz) with their caches, memory, OS and
+back-end compiler.  This benchmark prints the equivalent inventory row
+for the host the reproduction runs on, next to the paper's rows.
+"""
+
+from repro.perfeval.platform import format_table, host_platform
+
+from conftest import write_results
+
+PAPER_ROWS = [
+    "Paper platforms (for reference):",
+    "  UltraSPARC II  333MHz  16KB/16KB L1  2MB L2  128MB  Solaris 7"
+    "  Workshop 5.0",
+    "  MIPS R10000    195MHz  32KB/32KB L1  1MB L2  384MB  IRIX64 6.5"
+    "  MIPSpro 7.3.1.1m",
+    "  Pentium II     400MHz  16KB/16KB L1  512KB L2  256MB  Linux 2.2.18"
+    "  egcs 1.1.2",
+]
+
+
+def test_table1_platform_inventory(benchmark):
+    row = benchmark(host_platform)
+    lines = [format_table([row]), ""]
+    lines.extend(PAPER_ROWS)
+    write_results("table1_platforms", lines)
+    data = row.as_table_row()
+    assert data["CPU"]
+    assert data["OS"]

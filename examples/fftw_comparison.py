@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""SPL-generated code head to head with the FFTW-style baseline.
+
+A demo-scale version of the paper's Figure 4 comparison: SPL loop code
+(search winners embedded as codelet templates) versus the adaptive
+planner/executor/codelet library in measure and estimate modes.
+
+Run:  python examples/fftw_comparison.py  (needs a C compiler; ~1 min)
+"""
+
+import numpy as np
+
+from repro.fftw import FftwLibrary, Planner
+from repro.perfeval.ccompile import have_c_compiler
+from repro.perfeval.timing import pseudo_mflops, time_callable
+from repro.search.dp import search_small_sizes
+from repro.search.large import LargeSearch
+
+SIZES = (128, 256, 512, 1024, 2048)
+
+
+def main() -> None:
+    if not have_c_compiler():
+        print("This example needs a C compiler (cc/gcc/clang) on PATH.")
+        return
+
+    print("building the FFTW-substitute library (codelets + executor)...")
+    library = FftwLibrary()
+    planner = Planner(library)
+
+    print("running the SPL search...")
+    small = search_small_sizes((2, 4, 8, 16, 32, 64), max_candidates=8)
+    search = LargeSearch(small, keep=2, max_codelet=64,
+                         radix_log2_range=(3, 4, 5, 6))
+
+    print(f"\n{'N':>6} {'SPL':>10} {'FFTW':>10} {'FFTW-est':>10}"
+          f"   (pseudo-MFlops)")
+    rng = np.random.default_rng(0)
+    for n in SIZES:
+        spl = search.best_measurement(n)
+        measured_plan = planner.plan_measure(n)
+        estimate_plan = planner.plan_estimate(n)
+        t_measured = time_callable(
+            library.transform(measured_plan).timer_closure())
+        t_estimate = time_callable(
+            library.transform(estimate_plan).timer_closure())
+        print(f"{n:>6} {spl.mflops:>10.1f} "
+              f"{pseudo_mflops(n, t_measured):>10.1f} "
+              f"{pseudo_mflops(n, t_estimate):>10.1f}")
+
+        # Everyone agrees with numpy.
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        reference = np.fft.fft(x)
+        assert np.abs(spl.executable.apply(x) - reference).max() < 1e-8 * n
+        assert np.abs(
+            library.transform(measured_plan).apply(x) - reference
+        ).max() < 1e-8 * n
+    print("\nfftw-comparison example OK")
+
+
+if __name__ == "__main__":
+    main()

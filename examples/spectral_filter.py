@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A realistic DSP workload built on SPL-compiled transforms.
+
+FFT-based cyclic filtering — the workload class the paper's
+introduction motivates ("thousands of variants of fundamental
+algorithms" behind every DSP pipeline):
+
+1. the *entire* filter ``y = F^{-1} diag(H) F x`` is expressed as a
+   single SPL formula and compiled into one fused routine;
+2. a 2-D DFT (row-column algorithm, also one formula) sharpens the
+   same machinery for image-sized data;
+3. results are validated against numpy/scipy reference pipelines.
+
+Run:  python examples/spectral_filter.py
+"""
+
+import numpy as np
+
+from repro.core import CompilerOptions, SplCompiler
+from repro.formulas.factorization import ct_multi
+from repro.formulas.multidim import cyclic_convolution_with_taps, dft2d
+
+
+def fused_cyclic_filter() -> None:
+    print("=== a fused FFT -> multiply -> IFFT filter, one formula ===")
+    n = 64
+    rng = np.random.default_rng(0)
+
+    # A low-pass 9-tap moving-average filter, circularly embedded.
+    taps = np.zeros(n)
+    taps[:9] = 1.0 / 9.0
+    spectrum = np.fft.fft(taps)
+
+    compiler = SplCompiler(CompilerOptions(language="python",
+                                           unroll_threshold=8))
+    formula = cyclic_convolution_with_taps(
+        n, spectrum, leaf=lambda m: ct_multi([8, 8]) if m == 64
+        else ct_multi([m]),
+    )
+    routine = compiler.compile_formula(formula, "lowpass64")
+    print(f"  compiled one routine: {routine.flop_count} flops "
+          f"per 64-sample block")
+
+    signal = np.sin(2 * np.pi * 3 * np.arange(n) / n)
+    signal += 0.5 * rng.standard_normal(n)  # noise
+    filtered = np.asarray(routine.run(list(signal + 0j)))
+    reference = np.fft.ifft(np.fft.fft(signal) * spectrum)
+    error = np.abs(filtered - reference).max()
+    print(f"  vs numpy reference pipeline: max error {error:.2e}")
+    assert error < 1e-10
+
+    noise_before = np.std(signal - np.sin(2 * np.pi * 3
+                                          * np.arange(n) / n))
+    print(f"  noise std before filtering: {noise_before:.3f}, "
+          f"output is smooth: {np.std(np.diff(filtered.real)):.3f} "
+          f"vs input {np.std(np.diff(signal)):.3f}")
+
+
+def image_transform() -> None:
+    print("\n=== 2-D DFT of an 8x16 'image', row-column formula ===")
+    m, n = 8, 16
+    compiler = SplCompiler(CompilerOptions(language="python",
+                                           unroll_threshold=8))
+    formula = dft2d(m, n, leaf=lambda k: ct_multi(
+        [2] * (k.bit_length() - 1)))
+    routine = compiler.compile_formula(formula, "dft2d_8x16")
+    rng = np.random.default_rng(1)
+    image = rng.standard_normal((m, n))
+    got = np.asarray(routine.run(list(image.reshape(-1) + 0j)))
+    got = got.reshape(m, n)
+    error = np.abs(got - np.fft.fft2(image)).max()
+    print(f"  {m}x{n} 2-D DFT vs numpy.fft.fft2: max error {error:.2e}")
+    assert error < 1e-9
+
+    # Energy conservation (Parseval) as a sanity check of the pipeline.
+    lhs = np.sum(np.abs(image) ** 2)
+    rhs = np.sum(np.abs(got) ** 2) / (m * n)
+    print(f"  Parseval check: {lhs:.6f} == {rhs:.6f}")
+    assert abs(lhs - rhs) < 1e-8
+
+
+def main() -> None:
+    fused_cyclic_filter()
+    image_transform()
+    print("\nspectral-filter example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of "SPL: A Language and Compiler for DSP Algorithms".
+
+Xiong, Johnson, Johnson, Padua - PLDI 2001.
+
+Public API highlights:
+
+* :class:`repro.core.SplCompiler` / :class:`repro.core.CompilerOptions`
+  -- the SPL compiler;
+* :mod:`repro.formulas` -- dense semantics and factorization rules;
+* :mod:`repro.generator` -- formula enumeration;
+* :mod:`repro.search` -- timing-driven dynamic programming;
+* :mod:`repro.fftw` -- the FFTW-style adaptive baseline;
+* :mod:`repro.perfeval` -- timing / accuracy / memory measurement.
+"""
+
+from repro.core import CompiledRoutine, CompilerOptions, SplCompiler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledRoutine",
+    "CompilerOptions",
+    "SplCompiler",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""The SPL compiler — the paper's primary contribution.
+
+The compiler proceeds in the five phases of Section 3 of the paper:
+
+1. parsing (:mod:`repro.core.lexer`, :mod:`repro.core.parser`),
+2. intermediate code generation (:mod:`repro.core.codegen` driven by the
+   template mechanism in :mod:`repro.core.templates`),
+3. intermediate code restructuring (:mod:`repro.core.unroll`,
+   :mod:`repro.core.intrinsics`, :mod:`repro.core.typetrans`),
+4. optimization (:mod:`repro.core.optimizer`, :mod:`repro.core.peephole`),
+5. target code generation (:mod:`repro.core.backend_c`,
+   :mod:`repro.core.backend_fortran`, :mod:`repro.core.backend_python`).
+
+:class:`repro.core.compiler.SplCompiler` wires the phases together.
+"""
+
+from repro.core.compiler import CompiledRoutine, CompilerOptions, SplCompiler
+from repro.core.errors import (
+    SplError,
+    SplNameError,
+    SplSemanticError,
+    SplSyntaxError,
+    SplTemplateError,
+)
+
+__all__ = [
+    "CompiledRoutine",
+    "CompilerOptions",
+    "SplCompiler",
+    "SplError",
+    "SplNameError",
+    "SplSemanticError",
+    "SplSyntaxError",
+    "SplTemplateError",
+]

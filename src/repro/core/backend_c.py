@@ -1,0 +1,132 @@
+"""C target code generation (Section 3.5).
+
+The paper's C backend uses only real arithmetic ("of the popular
+imperative languages only Fortran supports complex data type"), so a
+complex-datatype program must be lowered by
+:func:`repro.core.typetrans.complex_to_real` before reaching this
+backend; the routine then operates on interleaved re/im arrays.
+
+Generated signature::
+
+    void name(double *restrict y, const double *restrict x);
+
+or, for codelet-style strided entry points::
+
+    void name(double *restrict y, const double *restrict x,
+              int istride, int ostride, int iofs, int oofs);
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SplSemanticError
+from repro.core.icode import (
+    FConst,
+    FVar,
+    IExpr,
+    Instr,
+    Loop,
+    Op,
+    Operand,
+    Program,
+    VecRef,
+)
+
+INDENT = "    "
+
+
+def emit_c(program: Program, *, static: bool = False) -> str:
+    """Render ``program`` as one self-contained C function."""
+    if program.datatype == "complex" and program.element_width != 2:
+        raise SplSemanticError(
+            "the C backend requires complex programs to be lowered to "
+            "real arithmetic first (codetype real)"
+        )
+    lines: list[str] = []
+    for name, values in program.tables.items():
+        data = ", ".join(_const(v) for v in values)
+        lines.append(
+            f"static const double {name}[{len(values)}] = {{{data}}};"
+        )
+    qualifier = "static " if static else ""
+    params = "double *restrict y, const double *restrict x"
+    if program.strided:
+        params += ", int istride, int ostride, int iofs, int oofs"
+    lines.append(f"{qualifier}void {program.name}({params})")
+    lines.append("{")
+    scalars = program.scalar_names()
+    if scalars:
+        lines.append(f"{INDENT}double {', '.join(scalars)};")
+    loop_vars = _loop_vars(program.body)
+    if loop_vars:
+        lines.append(f"{INDENT}int {', '.join(loop_vars)};")
+    for info in program.temp_vectors():
+        lines.append(f"{INDENT}double {info.name}[{max(info.size, 1)}];")
+    lines.extend(_emit_block(program.body, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _loop_vars(body: list[Instr]) -> list[str]:
+    names: dict[str, None] = {}
+
+    def visit(instrs: list[Instr]) -> None:
+        for inst in instrs:
+            if isinstance(inst, Loop):
+                names.setdefault(inst.var)
+                visit(inst.body)
+
+    visit(body)
+    return list(names)
+
+
+def _emit_block(body: list[Instr], depth: int) -> list[str]:
+    pad = INDENT * depth
+    lines: list[str] = []
+    for inst in body:
+        if isinstance(inst, Loop):
+            lines.append(
+                f"{pad}for ({inst.var} = 0; {inst.var} < {inst.count}; "
+                f"{inst.var}++) {{"
+            )
+            lines.extend(_emit_block(inst.body, depth + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(inst, Op):
+            lines.append(f"{pad}{_emit_op(inst)}")
+        else:
+            lines.append(f"{pad}/* {inst.text} */")
+    return lines
+
+
+def _emit_op(op: Op) -> str:
+    dest = _operand(op.dest)
+    if op.op == "=":
+        return f"{dest} = {_operand(op.a)};"
+    if op.op == "neg":
+        return f"{dest} = -{_operand(op.a)};"
+    return f"{dest} = {_operand(op.a)} {op.op} {_operand(op.b)};"
+
+
+def _operand(operand: Operand) -> str:
+    if isinstance(operand, FVar):
+        return operand.name
+    if isinstance(operand, FConst):
+        return _const(operand.value)
+    if isinstance(operand, VecRef):
+        return f"{operand.vec}[{_index(operand.index)}]"
+    raise SplSemanticError(f"cannot emit operand {operand!r} as C")
+
+
+def _const(value) -> str:
+    if isinstance(value, complex):
+        raise SplSemanticError(
+            "complex constant reached the C backend; run the type "
+            "transformation first"
+        )
+    return repr(float(value))
+
+
+def _index(expr: IExpr) -> str:
+    const = expr.as_const()
+    if const is not None:
+        return str(const)
+    return str(expr)

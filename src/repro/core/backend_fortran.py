@@ -1,0 +1,135 @@
+"""Fortran target code generation (the paper's primary target).
+
+Follows the shape of the paper's ``I64F2`` listing: ``implicit real*8
+(f)`` / ``implicit integer (r)`` declarations, 1-based array
+subscripts, ``do ... end do`` loops.  When the code type is complex the
+backend declares ``complex*16`` data and emits complex constants as
+``(re, im)`` pairs — the Fortran-only capability called out in Section
+3.3.3.
+
+The ``automatic_storage`` flag reproduces the paper's second peephole:
+"declares all temporary variables as automatic so they will be
+allocated on the stack" (a Sun Fortran extension).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SplSemanticError
+from repro.core.icode import (
+    FConst,
+    FVar,
+    IExpr,
+    Instr,
+    Loop,
+    Op,
+    Operand,
+    Program,
+    VecRef,
+)
+
+MARGIN = "      "  # columns 1-6 of fixed-form Fortran
+CONT = "     &"
+
+
+def emit_fortran(program: Program, *, automatic_storage: bool = False) -> str:
+    complex_code = (
+        program.datatype == "complex" and program.element_width == 1
+    )
+    scalar_type = "complex*16" if complex_code else "real*8"
+    lines: list[str] = []
+    args = "(y,x)"
+    if program.strided:
+        args = "(y,x,istride,ostride,iofs,oofs)"
+    lines.append(f"{MARGIN}subroutine {program.name} {args}")
+    lines.append(f"{MARGIN}implicit {scalar_type} (f)")
+    lines.append(f"{MARGIN}implicit integer (r)")
+    if program.strided:
+        lines.append(f"{MARGIN}integer istride,ostride,iofs,oofs")
+    out_len = program.out_size * program.element_width
+    in_len = program.in_size * program.element_width
+    lines.append(f"{MARGIN}{scalar_type} y({out_len}),x({in_len})")
+    for info in program.temp_vectors():
+        lines.append(f"{MARGIN}{scalar_type} {info.name}({max(info.size, 1)})")
+    for name, values in program.tables.items():
+        lines.append(f"{MARGIN}{scalar_type} {name}({len(values)})")
+        lines.extend(_data_statement(name, values))
+    if automatic_storage:
+        names = program.scalar_names()
+        names.extend(info.name for info in program.temp_vectors())
+        for name in names:
+            lines.append(f"{MARGIN}automatic {name}")
+    lines.extend(_emit_block(program.body, 0))
+    lines.append(f"{MARGIN}end")
+    return "\n".join(lines) + "\n"
+
+
+def _data_statement(name: str, values) -> list[str]:
+    rendered = [_const(v) for v in values]
+    lines = [f"{MARGIN}data {name} /"]
+    current = lines[-1]
+    for i, item in enumerate(rendered):
+        suffix = "," if i + 1 < len(rendered) else "/"
+        if len(current) + len(item) + 1 > 70:
+            lines[-1] = current
+            current = f"{CONT}{item}{suffix}"
+            lines.append(current)
+        else:
+            current += item + suffix
+            lines[-1] = current
+    return lines
+
+
+def _emit_block(body: list[Instr], depth: int) -> list[str]:
+    pad = MARGIN + "  " * depth
+    lines: list[str] = []
+    for inst in body:
+        if isinstance(inst, Loop):
+            lines.append(f"{pad}do {inst.var} = 0, {inst.count - 1}")
+            lines.extend(_emit_block(inst.body, depth + 1))
+            lines.append(f"{pad}end do")
+        elif isinstance(inst, Op):
+            lines.append(f"{pad}{_emit_op(inst)}")
+        else:
+            lines.append(f"c {inst.text}")
+    return lines
+
+
+def _emit_op(op: Op) -> str:
+    dest = _operand(op.dest)
+    if op.op == "=":
+        return f"{dest} = {_operand(op.a)}"
+    if op.op == "neg":
+        return f"{dest} = -{_operand(op.a)}"
+    return f"{dest} = {_operand(op.a)} {op.op} {_operand(op.b)}"
+
+
+def _operand(operand: Operand) -> str:
+    if isinstance(operand, FVar):
+        return operand.name
+    if isinstance(operand, FConst):
+        return _const(operand.value)
+    if isinstance(operand, VecRef):
+        return f"{operand.vec}({_index(operand.index)})"
+    raise SplSemanticError(f"cannot emit operand {operand!r} as Fortran")
+
+
+def _const(value) -> str:
+    if isinstance(value, complex):
+        return f"({_real(value.real)},{_real(value.imag)})"
+    return _real(float(value))
+
+
+def _real(value: float) -> str:
+    text = repr(value)
+    if "e" in text or "E" in text:
+        return text.replace("e", "d").replace("E", "d")
+    return text + "d0"
+
+
+def _index(expr: IExpr) -> str:
+    # Fortran arrays are 1-based: shift every subscript.
+    shifted = expr + 1
+    const = shifted.as_const()
+    if const is not None:
+        return str(const)
+    return str(shifted)

@@ -1,0 +1,104 @@
+"""Command-line interface: ``spl-compile [options] file.spl``.
+
+Mirrors the paper's compiler invocation, including the ``-B`` unrolling
+threshold ('with the command-line option "-B 32", all the loops in
+those sub-formulas whose input vector is smaller than or equal to 32
+are fully unrolled').
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    arg_parser = argparse.ArgumentParser(
+        prog="spl-compile",
+        description="Compile SPL formulas into Fortran, C or Python.",
+    )
+    arg_parser.add_argument("file", help="SPL source file ('-' for stdin)")
+    arg_parser.add_argument(
+        "-B", "--unroll-threshold", type=int, metavar="SIZE", default=None,
+        help="fully unroll loops of sub-formulas with input size <= SIZE",
+    )
+    arg_parser.add_argument(
+        "--unroll", action="store_true",
+        help="fully unroll every loop (straight-line code)",
+    )
+    arg_parser.add_argument(
+        "--language", choices=("c", "fortran", "python"), default=None,
+        help="target language (overrides #language directives)",
+    )
+    arg_parser.add_argument(
+        "--datatype", choices=("real", "complex"), default=None,
+        help="data type (overrides #datatype directives)",
+    )
+    arg_parser.add_argument(
+        "--codetype", choices=("real", "complex"), default=None,
+        help="code type (overrides #codetype directives)",
+    )
+    arg_parser.add_argument(
+        "--optimize", choices=("none", "scalars", "default"),
+        default="default", help="optimization level (default: default)",
+    )
+    arg_parser.add_argument(
+        "--peephole", action="store_true",
+        help="apply the SPARC-style unary-minus peephole",
+    )
+    arg_parser.add_argument(
+        "--automatic", action="store_true",
+        help="declare Fortran temporaries 'automatic' (stack allocation)",
+    )
+    arg_parser.add_argument(
+        "--stats", action="store_true",
+        help="print flop/memory statistics for each routine to stderr",
+    )
+    return arg_parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"spl-compile: {exc}", file=sys.stderr)
+            return 2
+    options = CompilerOptions(
+        language=args.language,
+        datatype=args.datatype,
+        codetype=args.codetype,
+        unroll=args.unroll,
+        unroll_threshold=args.unroll_threshold,
+        optimize=args.optimize,
+        peephole=args.peephole,
+        automatic_storage=args.automatic,
+    )
+    try:
+        routines = SplCompiler(options).compile_text(source)
+    except SplError as exc:
+        print(f"spl-compile: {exc}", file=sys.stderr)
+        return 1
+    for routine in routines:
+        print(routine.source)
+        if args.stats:
+            program = routine.program
+            print(
+                f"; {routine.name}: in={program.in_size} "
+                f"out={program.out_size} flops={program.flop_count()} "
+                f"temps={program.temp_elements()} "
+                f"tables={program.table_elements()}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,378 @@
+"""Intermediate code generation (phase 2, Section 3.2).
+
+Each formula is expanded recursively: the newest template whose pattern
+matches (and whose condition holds) supplies the i-code; pattern
+variables bound to sub-formulas are expanded in place with composed
+strides and offsets.  The six implicit parameters of the paper
+(``$in``, ``$out`` and their strides/offsets) are carried in
+:class:`VecContext` objects.
+
+Matrix literals — ``(matrix ...)``, ``(diagonal ...)``,
+``(permutation ...)`` — have built-in code generation since a template
+pattern cannot quantify over "any literal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import nodes
+from repro.core.errors import SplSemanticError, SplTemplateError
+from repro.core.icode import (
+    FConst,
+    FVar,
+    IExpr,
+    Instr,
+    Intrinsic,
+    Loop,
+    Op,
+    Operand,
+    Program,
+    VEC_INPUT,
+    VEC_OUTPUT,
+    VEC_TEMP,
+    VecInfo,
+    VecRef,
+    iter_ops,
+)
+from repro.core.templates import (
+    TAssign,
+    TCall,
+    TIntrinsic,
+    TLoop,
+    TNumber,
+    TOperand,
+    TRAssign,
+    TScalar,
+    TStmt,
+    TVecElem,
+    TemplateEnv,
+    TemplateTable,
+    eval_texpr,
+)
+
+INPUT_VEC = "x"
+OUTPUT_VEC = "y"
+
+
+@dataclass(frozen=True)
+class VecContext:
+    """A view into a vector: ``element(k) = vec[offset + k*stride]``."""
+
+    vec: str
+    offset: IExpr
+    stride: IExpr
+
+    def ref(self, index: IExpr) -> VecRef:
+        return VecRef(self.vec, self.offset + index * self.stride)
+
+    def narrowed(self, offset: IExpr, stride: IExpr) -> "VecContext":
+        return VecContext(
+            self.vec,
+            self.offset + offset * self.stride,
+            stride * self.stride,
+        )
+
+
+class CodeGenerator:
+    """Expands one formula into a complete i-code :class:`Program`."""
+
+    def __init__(self, table: TemplateTable, *,
+                 unroll_all: bool = False,
+                 unroll_threshold: int | None = None):
+        self.table = table
+        self.unroll_all = unroll_all
+        self.unroll_threshold = unroll_threshold
+        self._loop_counter = 0
+        self._scalar_counter = 0
+        self._temp_counter = 0
+        self._temps: dict[str, VecInfo] = {}
+        self._expansion_stack: set[int] = set()
+
+    def generate(self, formula: nodes.Formula, name: str,
+                 datatype: str = "complex", *,
+                 strided: bool = False) -> Program:
+        in_size, out_size = self.table.sizes(formula)
+        if strided:
+            in_ctx = VecContext(INPUT_VEC, IExpr.var("iofs"),
+                                IExpr.var("istride"))
+            out_ctx = VecContext(OUTPUT_VEC, IExpr.var("oofs"),
+                                 IExpr.var("ostride"))
+        else:
+            in_ctx = VecContext(INPUT_VEC, IExpr.const(0), IExpr.const(1))
+            out_ctx = VecContext(OUTPUT_VEC, IExpr.const(0), IExpr.const(1))
+        body = self._expand(formula, in_ctx, out_ctx, inherited_unroll=False)
+        program = Program(
+            name=name,
+            in_size=in_size,
+            out_size=out_size,
+            datatype=datatype,
+            body=body,
+            strided=strided,
+        )
+        program.vectors[INPUT_VEC] = VecInfo(INPUT_VEC, in_size, VEC_INPUT)
+        program.vectors[OUTPUT_VEC] = VecInfo(OUTPUT_VEC, out_size, VEC_OUTPUT)
+        _size_temps(program, self._temps)
+        for info in self._temps.values():
+            program.vectors[info.name] = info
+        return program
+
+    # -- expansion ---------------------------------------------------------
+
+    def _expand(self, formula: nodes.Formula, in_ctx: VecContext,
+                out_ctx: VecContext, inherited_unroll: bool) -> list[Instr]:
+        unroll = formula.unroll if formula.unroll is not None \
+            else inherited_unroll
+        if isinstance(formula, nodes.DiagonalLit):
+            return self._expand_diagonal(formula, in_ctx, out_ctx)
+        if isinstance(formula, nodes.PermutationLit):
+            return self._expand_permutation(formula, in_ctx, out_ctx)
+        if isinstance(formula, nodes.MatrixLit):
+            return self._expand_matrix(formula, in_ctx, out_ctx)
+        found = self.table.find(formula)
+        if found is None:
+            raise SplTemplateError(
+                f"no template matches {formula.to_spl()}"
+            )
+        template, info = found
+        if template.expansion is not None:
+            # A search-generated macro template: compile the stored
+            # formula in place of the matched one (same vector views).
+            if id(template) in self._expansion_stack:
+                raise SplTemplateError(
+                    f"recursive expansion of template "
+                    f"{template.describe()}"
+                )
+            self._expansion_stack.add(id(template))
+            try:
+                return self._expand(template.expansion, in_ctx, out_ctx,
+                                    unroll)
+            finally:
+                self._expansion_stack.discard(id(template))
+        in_size, out_size = self.table.sizes(formula)
+        env = TemplateEnv(info["ints"])
+        env.ints["in_size"] = in_size
+        env.ints["out_size"] = out_size
+        env.index_vars["in_size"] = IExpr.const(in_size)
+        env.index_vars["out_size"] = IExpr.const(out_size)
+        env.index_vars["in_stride"] = in_ctx.stride
+        env.index_vars["out_stride"] = out_ctx.stride
+        env.index_vars["in_offset"] = in_ctx.offset
+        env.index_vars["out_offset"] = out_ctx.offset
+        frame = _Frame(env=env, bindings=info["bindings"],
+                       in_ctx=in_ctx, out_ctx=out_ctx,
+                       unroll=unroll,
+                       should_unroll=self._should_unroll(unroll, in_size))
+        return self._expand_body(template.body, frame)
+
+    def _should_unroll(self, unroll_flag: bool, in_size: int) -> bool:
+        if unroll_flag or self.unroll_all:
+            return True
+        if self.unroll_threshold is not None:
+            return in_size <= self.unroll_threshold
+        return False
+
+    def _expand_body(self, stmts: list[TStmt], frame: "_Frame") -> list[Instr]:
+        result: list[Instr] = []
+        for stmt in stmts:
+            if isinstance(stmt, TLoop):
+                result.extend(self._expand_loop(stmt, frame))
+            elif isinstance(stmt, TRAssign):
+                frame.env.index_vars[stmt.name] = eval_texpr(
+                    stmt.value, frame.env
+                )
+            elif isinstance(stmt, TAssign):
+                result.append(self._expand_assign(stmt, frame))
+            elif isinstance(stmt, TCall):
+                result.extend(self._expand_call(stmt, frame))
+            else:
+                raise SplTemplateError(f"malformed template statement {stmt}")
+        return result
+
+    def _expand_loop(self, stmt: TLoop, frame: "_Frame") -> list[Instr]:
+        lo_expr = eval_texpr(stmt.lo, frame.env)
+        hi_expr = eval_texpr(stmt.hi, frame.env)
+        lo, hi = lo_expr.as_const(), hi_expr.as_const()
+        if lo is None or hi is None:
+            raise SplTemplateError(
+                "loop bounds must be constant after pattern substitution"
+            )
+        count = hi - lo + 1
+        if count <= 0:
+            return []
+        var = self._fresh_loop_var()
+        saved = frame.env.index_vars.get(stmt.var)
+        frame.env.index_vars[stmt.var] = IExpr.var(var) + lo
+        body = self._expand_body(stmt.body, frame)
+        if saved is None:
+            frame.env.index_vars.pop(stmt.var, None)
+        else:
+            frame.env.index_vars[stmt.var] = saved
+        return [Loop(var, count, body, unroll=frame.should_unroll)]
+
+    def _expand_assign(self, stmt: TAssign, frame: "_Frame") -> Op:
+        dest = self._operand(stmt.dest, frame)
+        if not isinstance(dest, (FVar, VecRef)):
+            raise SplTemplateError("invalid assignment destination")
+        a = self._operand(stmt.a, frame)
+        b = self._operand(stmt.b, frame) if stmt.b is not None else None
+        return Op(stmt.op, dest, a, b)
+
+    def _operand(self, operand: TOperand, frame: "_Frame") -> Operand:
+        if isinstance(operand, TScalar):
+            return FVar(frame.scalar(operand.name, self))
+        if isinstance(operand, TNumber):
+            return FConst(operand.value)
+        if isinstance(operand, TIntrinsic):
+            args = tuple(eval_texpr(a, frame.env) for a in operand.args)
+            return Intrinsic(operand.name.upper(), args)
+        if isinstance(operand, TVecElem):
+            index = eval_texpr(operand.index, frame.env)
+            return frame.vec_context(operand.vec, self).ref(index)
+        raise SplTemplateError(f"malformed template operand {operand}")
+
+    def _expand_call(self, stmt: TCall, frame: "_Frame") -> list[Instr]:
+        sub = frame.bindings.get(stmt.var)
+        if not isinstance(sub, nodes.Formula):
+            raise SplTemplateError(
+                f"call through unbound formula variable {stmt.var}"
+            )
+        in_base = frame.vec_context(stmt.in_vec, self)
+        out_base = frame.vec_context(stmt.out_vec, self)
+        in_ctx = in_base.narrowed(
+            eval_texpr(stmt.in_offset, frame.env),
+            eval_texpr(stmt.in_stride, frame.env),
+        )
+        out_ctx = out_base.narrowed(
+            eval_texpr(stmt.out_offset, frame.env),
+            eval_texpr(stmt.out_stride, frame.env),
+        )
+        return self._expand(sub, in_ctx, out_ctx, frame.unroll)
+
+    # -- built-in literal code generation ------------------------------------
+
+    def _expand_diagonal(self, formula: nodes.DiagonalLit,
+                         in_ctx: VecContext,
+                         out_ctx: VecContext) -> list[Instr]:
+        body: list[Instr] = []
+        for i, value in enumerate(formula.values):
+            index = IExpr.const(i)
+            body.append(Op("*", out_ctx.ref(index), FConst(value),
+                           in_ctx.ref(index)))
+        return body
+
+    def _expand_permutation(self, formula: nodes.PermutationLit,
+                            in_ctx: VecContext,
+                            out_ctx: VecContext) -> list[Instr]:
+        # Direct gather: $in and $out never alias in generated code
+        # (see the F_2 template note in startup.spl).
+        body: list[Instr] = []
+        for i, k in enumerate(formula.perm):
+            body.append(Op("=", out_ctx.ref(IExpr.const(i)),
+                           in_ctx.ref(IExpr.const(k - 1))))
+        return body
+
+    def _expand_matrix(self, formula: nodes.MatrixLit, in_ctx: VecContext,
+                       out_ctx: VecContext) -> list[Instr]:
+        body: list[Instr] = []
+        for i, row in enumerate(formula.rows):
+            dest = out_ctx.ref(IExpr.const(i))
+            terms = [(j, a) for j, a in enumerate(row) if a != 0]
+            if not terms:
+                body.append(Op("=", dest, FConst(0.0)))
+                continue
+            first_j, first_a = terms[0]
+            first_src = in_ctx.ref(IExpr.const(first_j))
+            if first_a == 1:
+                body.append(Op("=", dest, first_src))
+            else:
+                body.append(Op("*", dest, FConst(first_a), first_src))
+            for j, a in terms[1:]:
+                src = in_ctx.ref(IExpr.const(j))
+                if a == 1:
+                    body.append(Op("+", dest, dest, src))
+                else:
+                    scalar = FVar(self._fresh_scalar())
+                    body.append(Op("*", scalar, FConst(a), src))
+                    body.append(Op("+", dest, dest, scalar))
+        return body
+
+    # -- fresh-name helpers ---------------------------------------------------
+
+    def _fresh_loop_var(self) -> str:
+        name = f"i{self._loop_counter}"
+        self._loop_counter += 1
+        return name
+
+    def _fresh_scalar(self) -> str:
+        name = f"f{self._scalar_counter}"
+        self._scalar_counter += 1
+        return name
+
+    def _fresh_temp(self) -> str:
+        name = f"t{self._temp_counter}"
+        self._temp_counter += 1
+        self._temps[name] = VecInfo(name, 0, VEC_TEMP)
+        return name
+
+
+@dataclass
+class _Frame:
+    """Per-template-instantiation state: local name mappings."""
+
+    env: TemplateEnv
+    bindings: dict
+    in_ctx: VecContext
+    out_ctx: VecContext
+    unroll: bool
+    should_unroll: bool
+
+    def __post_init__(self) -> None:
+        self._scalars: dict[str, str] = {}
+        self._temp_names: dict[str, str] = {}
+
+    def scalar(self, template_name: str, gen: CodeGenerator) -> str:
+        name = self._scalars.get(template_name)
+        if name is None:
+            name = gen._fresh_scalar()
+            self._scalars[template_name] = name
+        return name
+
+    def vec_context(self, template_vec: str, gen: CodeGenerator) -> VecContext:
+        if template_vec == "in":
+            return self.in_ctx
+        if template_vec == "out":
+            return self.out_ctx
+        name = self._temp_names.get(template_vec)
+        if name is None:
+            name = gen._fresh_temp()
+            self._temp_names[template_vec] = name
+        return VecContext(name, IExpr.const(0), IExpr.const(1))
+
+
+def _size_temps(program: Program, temps: dict[str, VecInfo]) -> None:
+    """Infer temp vector sizes by bounding every subscript."""
+    if not temps:
+        return
+    maxima = {name: -1 for name in temps}
+
+    def visit(body: list[Instr], ranges: dict[str, tuple[int, int]]) -> None:
+        for inst in body:
+            if isinstance(inst, Loop):
+                inner = dict(ranges)
+                inner[inst.var] = (0, inst.count - 1)
+                visit(inst.body, inner)
+            elif isinstance(inst, Op):
+                for item in (inst.dest, *inst.operands()):
+                    if isinstance(item, VecRef) and item.vec in maxima:
+                        lo, hi = item.index.interval(ranges)
+                        if lo < 0:
+                            raise SplSemanticError(
+                                f"negative subscript on temporary "
+                                f"{item.vec}: {item.index}"
+                            )
+                        maxima[item.vec] = max(maxima[item.vec], hi)
+
+    visit(program.body, {})
+    for name, info in temps.items():
+        info.size = maxima[name] + 1

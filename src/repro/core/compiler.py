@@ -1,0 +1,255 @@
+"""The SPL compiler driver: the five phases of Section 3 in order.
+
+1. parsing,
+2. intermediate code generation,
+3. intermediate code restructuring (unrolling + scalarization,
+   intrinsic evaluation, type transformation),
+4. optimization (value numbering + DCE, optional peephole),
+5. target code generation (Fortran / C / Python).
+
+The optimization level knob mirrors the three code versions of the
+paper's Figure 2 experiment:
+
+* ``"none"``    — version (1): no optimization;
+* ``"scalars"`` — version (2): temporary vectors replaced by scalars;
+* ``"default"`` — version (3): scalars + the default value-numbering
+  optimizations.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.core import parser
+from repro.core.backend_c import emit_c
+from repro.core.backend_fortran import emit_fortran
+from repro.core.backend_python import compile_python, emit_python
+from repro.core.codegen import CodeGenerator
+from repro.core.errors import SplError, SplSemanticError
+from repro.core.icode import Program
+from repro.core.intrinsics import evaluate_intrinsics
+from repro.core.nodes import Formula
+from repro.core.optimizer import optimize
+from repro.core.parser import FormulaUnit, ParsedProgram
+from repro.core.peephole import avoid_unary_minus
+from repro.core.templates import TemplateTable
+from repro.core.typetrans import complex_to_real
+from repro.core.unroll import scalarize_temps, unroll_loops
+
+OPT_LEVELS = ("none", "scalars", "default")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs corresponding to the paper's command-line options."""
+
+    language: str | None = None  # None: honor each unit's #language
+    datatype: str | None = None  # None: honor each unit's #datatype
+    codetype: str | None = None
+    unroll: bool = False  # unroll every loop (straight-line code)
+    unroll_threshold: int | None = None  # the paper's "-B <size>"
+    optimize: str = "default"
+    peephole: bool = False  # SPARC-style unary-minus rewriting
+    automatic_storage: bool = False  # Fortran 'automatic' declarations
+
+    def __post_init__(self) -> None:
+        if self.optimize not in OPT_LEVELS:
+            raise SplSemanticError(
+                f"optimize must be one of {OPT_LEVELS}, got {self.optimize!r}"
+            )
+
+
+@dataclass
+class CompiledRoutine:
+    """The result of compiling one SPL formula."""
+
+    name: str
+    formula: Formula
+    program: Program
+    source: str
+    language: str
+    _callable: Callable | None = field(default=None, repr=False)
+
+    @property
+    def in_size(self) -> int:
+        return self.program.in_size
+
+    @property
+    def out_size(self) -> int:
+        return self.program.out_size
+
+    @property
+    def flop_count(self) -> int:
+        return self.program.flop_count()
+
+    def callable(self) -> Callable:
+        """An executable ``fn(y, x)`` built from the Python backend."""
+        if self._callable is None:
+            self._callable = compile_python(self.program)
+        return self._callable
+
+    def run(self, x: Sequence) -> list:
+        """Apply the routine to a logical input vector.
+
+        Accepts/returns logical (complex, if the datatype is complex)
+        element vectors, hiding the interleaved re/im representation.
+        """
+        width = self.program.element_width
+        if len(x) != self.in_size:
+            raise SplSemanticError(
+                f"{self.name} expects {self.in_size} elements, got {len(x)}"
+            )
+        if width == 2:
+            buf = []
+            for value in x:
+                value = complex(value)
+                buf.extend((value.real, value.imag))
+        else:
+            buf = list(x)
+        y = [0.0] * (self.out_size * width)
+        self.callable()(y, buf)
+        if width == 2:
+            return [complex(y[2 * k], y[2 * k + 1])
+                    for k in range(self.out_size)]
+        return y
+
+
+class SplCompiler:
+    """A compiler session: start-up templates plus accumulated state.
+
+    Templates and ``define``d names persist across :meth:`compile_text`
+    calls, mirroring how the paper's compiler reads a start-up file and
+    then the user program.
+    """
+
+    def __init__(self, options: CompilerOptions | None = None):
+        self.options = options or CompilerOptions()
+        self.templates = TemplateTable()
+        self.defines: dict[str, Formula] = {}
+        self._load_startup()
+
+    def _load_startup(self) -> None:
+        source = (
+            importlib.resources.files("repro.core")
+            .joinpath("startup.spl")
+            .read_text()
+        )
+        parser.parse_program(source, templates=self.templates)
+
+    # -- public API ----------------------------------------------------------
+
+    def parse(self, source: str) -> ParsedProgram:
+        return parser.parse_program(
+            source, templates=self.templates, defines=self.defines
+        )
+
+    def add_definitions(self, source: str) -> None:
+        """Parse a program only for its templates and defines."""
+        program = self.parse(source)
+        self.defines.update(program.defines)
+        if program.units:
+            raise SplSemanticError(
+                "add_definitions expects only templates and defines"
+            )
+
+    def compile_text(self, source: str) -> list[CompiledRoutine]:
+        """Compile every formula in an SPL program."""
+        program = self.parse(source)
+        self.defines.update(program.defines)
+        return [self._compile_unit(unit) for unit in program.units]
+
+    def compile_formula(self, formula: Formula | str, name: str = "spl_0",
+                        *, datatype: str | None = None,
+                        language: str | None = None,
+                        strided: bool = False,
+                        vectorize: int = 1) -> CompiledRoutine:
+        """Compile a single formula (AST or SPL text).
+
+        ``vectorize=m`` applies Section 3.5's vectorization: "adding an
+        outer loop to the code so the computation changes from A to
+        A (x) I_m" — the routine then processes m interleaved signals
+        at once.
+        """
+        if isinstance(formula, str):
+            formula = parser.parse_formula_text(formula, self.defines)
+        if vectorize < 1:
+            raise SplSemanticError("vectorize factor must be >= 1")
+        if vectorize > 1:
+            from repro.core import nodes
+
+            formula = nodes.Tensor(left=formula,
+                                   right=nodes.identity(vectorize))
+        unit = FormulaUnit(
+            formula=formula,
+            name=name,
+            datatype=datatype or self.options.datatype or "complex",
+            codetype=self.options.codetype or datatype
+            or self.options.datatype or "complex",
+            language=language or self.options.language or "fortran",
+        )
+        return self._compile_unit(unit, strided=strided)
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def _compile_unit(self, unit: FormulaUnit, *,
+                      strided: bool = False) -> CompiledRoutine:
+        opts = self.options
+        language = opts.language or unit.language
+        datatype = opts.datatype or unit.datatype
+        codetype = opts.codetype or unit.codetype
+        if opts.datatype:
+            codetype = opts.codetype or opts.datatype
+
+        # Phase 2: intermediate code generation.
+        generator = CodeGenerator(
+            self.templates,
+            unroll_all=opts.unroll,
+            unroll_threshold=opts.unroll_threshold,
+        )
+        program = generator.generate(
+            unit.formula, unit.name, datatype, strided=strided
+        )
+
+        # Phase 3: restructuring.
+        unroll_loops(program)
+        if opts.optimize in ("scalars", "default"):
+            scalarize_temps(program)
+        evaluate_intrinsics(program)
+        wants_real = codetype == "real" or language == "c"
+        if datatype == "complex" and wants_real:
+            complex_to_real(program)
+
+        # Phase 4: optimization.
+        if opts.optimize == "default":
+            optimize(program)
+        if opts.peephole:
+            avoid_unary_minus(program)
+
+        # Phase 5: target code generation.
+        if language == "c":
+            source = emit_c(program)
+        elif language == "fortran":
+            source = emit_fortran(
+                program, automatic_storage=opts.automatic_storage
+            )
+        elif language == "python":
+            source = emit_python(program)
+        else:
+            raise SplSemanticError(f"unknown target language {language!r}")
+
+        return CompiledRoutine(
+            name=unit.name,
+            formula=unit.formula,
+            program=program,
+            source=source,
+            language=language,
+        )
+
+
+def compile_text(source: str,
+                 options: CompilerOptions | None = None
+                 ) -> list[CompiledRoutine]:
+    """One-shot convenience wrapper around :class:`SplCompiler`."""
+    return SplCompiler(options).compile_text(source)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SPL compiler."""
+
+from __future__ import annotations
+
+
+class SplError(Exception):
+    """Base class for every error raised by the SPL compiler."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SplSyntaxError(SplError):
+    """Raised when an SPL program cannot be tokenized or parsed."""
+
+
+class SplNameError(SplError):
+    """Raised for references to undefined symbols or unknown directives."""
+
+
+class SplSemanticError(SplError):
+    """Raised when a formula is structurally valid but meaningless.
+
+    Examples: composing matrices with mismatched sizes, a permutation
+    that is not a bijection, or a parameterized matrix with parameters
+    that violate its template's condition.
+    """
+
+
+class SplTemplateError(SplError):
+    """Raised when no template matches a formula, or a template is ill-formed."""

@@ -1,0 +1,527 @@
+"""Parsers for patterns, conditions and the i-code mini-language.
+
+These are the pieces of the SPL grammar that only occur inside
+``(template pattern condition i-code)`` forms.  The program-level
+parser (:mod:`repro.core.parser`) delegates to this module.
+
+The i-code mini-language is line-oriented (one statement per line):
+
+* ``do $i0 = lo, hi`` ... ``end`` — Fortran-style inclusive loop;
+* ``$r0 = <int expr>`` — integer scalar definition;
+* ``$f0 = <operand> [op <operand>]`` / ``$out(e) = ...`` — four-tuples;
+* ``A_($in, $t0, in_ofs, out_ofs, in_stride, out_stride)`` — recursive
+  expansion of a bound formula pattern variable.
+
+Float operands are scalar variables, vector elements, intrinsic calls
+(``W(n_, $r0)``), or scalar constants (numbers, ``pi``, ``sqrt(2)``,
+complex pairs ``(0.7, -0.7)``).
+"""
+
+from __future__ import annotations
+
+from repro.core import lexer, scalars
+from repro.core.errors import SplSyntaxError
+from repro.core.lexer import Token, TokenStream
+from repro.core.pattern import (
+    PatFormula,
+    PatInt,
+    PatOp,
+    PatParam,
+    Pattern,
+    is_formula_var,
+    is_int_var,
+)
+from repro.core.templates import (
+    CondAnd,
+    CondCompare,
+    CondNot,
+    CondOr,
+    Condition,
+    TAssign,
+    TBinop,
+    TCall,
+    TConst,
+    TExpr,
+    TIndexVar,
+    TIntrinsic,
+    TLoop,
+    TNeg,
+    TNumber,
+    TOperand,
+    TPatVar,
+    TProperty,
+    TRAssign,
+    TScalar,
+    TStmt,
+    TVecElem,
+)
+
+_PATTERN_OPS = ("compose", "tensor", "direct-sum")
+_INTRINSIC_NAMES = ("w", "wh", "dc2", "dc4")
+_SCALAR_FUNCS = ("sqrt", "cos", "sin", "tan", "exp", "log")
+_SCALAR_CONSTS = ("pi", "e")
+_RESERVED_TEXPR = ("in_size", "out_size", "in_stride", "out_stride",
+                   "in_offset", "out_offset")
+
+
+# ---------------------------------------------------------------------------
+# Patterns.
+# ---------------------------------------------------------------------------
+
+
+def parse_pattern(stream: TokenStream) -> Pattern:
+    """Parse a template pattern such as ``(compose (I n_) B_)``."""
+    token = stream.next(skip_newlines=True)
+    if token.kind == lexer.NAME:
+        if is_formula_var(token.value):
+            return PatFormula(token.value)
+        raise SplSyntaxError(
+            f"expected a pattern, found bare name {token.value!r}",
+            line=token.line,
+        )
+    if token.kind != lexer.LPAREN:
+        raise SplSyntaxError(
+            f"expected a pattern, found {token.value!r}", line=token.line
+        )
+    head = stream.expect(lexer.NAME, skip_newlines=True)
+    name = head.value
+    if name.lower() in _PATTERN_OPS or _is_direct_sum(name, stream):
+        op = _canonical_op(name, stream)
+        children: list[Pattern] = []
+        while stream.peek(skip_newlines=True).kind != lexer.RPAREN:
+            children.append(parse_pattern(stream))
+        stream.expect(lexer.RPAREN, skip_newlines=True)
+        if len(children) < 2:
+            raise SplSyntaxError(
+                f"pattern ({op} ...) needs at least two children",
+                line=head.line,
+            )
+        result: Pattern = children[-1]
+        for child in reversed(children[:-1]):
+            result = PatOp(op, (child, result))
+        return result
+    # A parameterized-matrix pattern: (NAME arg ...).
+    args: list[int | PatInt] = []
+    while True:
+        token = stream.peek(skip_newlines=True)
+        if token.kind == lexer.RPAREN:
+            stream.next(skip_newlines=True)
+            break
+        if token.kind == lexer.NUMBER:
+            stream.next(skip_newlines=True)
+            if any(c in token.value for c in ".eE"):
+                raise SplSyntaxError(
+                    "pattern parameters must be integers", line=token.line
+                )
+            args.append(int(token.value))
+        elif token.kind == lexer.NAME and is_int_var(token.value):
+            stream.next(skip_newlines=True)
+            args.append(PatInt(token.value))
+        else:
+            raise SplSyntaxError(
+                f"invalid pattern parameter {token.value!r}", line=token.line
+            )
+    return PatParam(name.upper(), tuple(args))
+
+
+def _is_direct_sum(name: str, stream: TokenStream) -> bool:
+    # "direct-sum" lexes as NAME(direct) OP(-) NAME(sum); peek for that.
+    if name.lower() != "direct":
+        return False
+    return (
+        stream.peek().kind == lexer.OP
+        and stream.peek().value == "-"
+    )
+
+
+def _canonical_op(name: str, stream: TokenStream) -> str:
+    if name.lower() in ("compose", "tensor"):
+        return name.lower()
+    stream.expect(lexer.OP, "-")
+    tail = stream.expect(lexer.NAME)
+    if tail.value.lower() != "sum":
+        raise SplSyntaxError(
+            f"unknown operation direct-{tail.value}", line=tail.line
+        )
+    return "direct-sum"
+
+
+# ---------------------------------------------------------------------------
+# Template integer expressions.
+# ---------------------------------------------------------------------------
+
+
+def parse_texpr(stream: TokenStream) -> TExpr:
+    return _texpr_sum(stream)
+
+
+def _texpr_sum(stream: TokenStream) -> TExpr:
+    value = _texpr_term(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == lexer.OP and token.value in "+-":
+            stream.next()
+            rhs = _texpr_term(stream)
+            value = TBinop(token.value, value, rhs)
+        else:
+            return value
+
+
+def _texpr_term(stream: TokenStream) -> TExpr:
+    value = _texpr_factor(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == lexer.OP and token.value in "*/":
+            stream.next()
+            rhs = _texpr_factor(stream)
+            value = TBinop(token.value, value, rhs)
+        else:
+            return value
+
+
+def _texpr_factor(stream: TokenStream) -> TExpr:
+    token = stream.peek()
+    if token.kind == lexer.OP and token.value in "+-":
+        stream.next()
+        inner = _texpr_factor(stream)
+        return TNeg(inner) if token.value == "-" else inner
+    return _texpr_primary(stream)
+
+
+def _texpr_primary(stream: TokenStream) -> TExpr:
+    token = stream.next()
+    if token.kind == lexer.NUMBER:
+        if any(c in token.value for c in ".eE"):
+            raise SplSyntaxError(
+                "integer expression contains a float literal", line=token.line
+            )
+        return TConst(int(token.value))
+    if token.kind == lexer.DOLLAR:
+        name = token.value[1:]
+        if name in _RESERVED_TEXPR or name[0] in "ir":
+            return TIndexVar(name)
+        raise SplSyntaxError(
+            f"{token.value} is not an integer variable", line=token.line
+        )
+    if token.kind == lexer.NAME:
+        if is_int_var(token.value):
+            return TPatVar(token.value)
+        if is_formula_var(token.value):
+            stream.expect(lexer.DOT)
+            attr = stream.expect(lexer.NAME)
+            if attr.value not in ("in_size", "out_size"):
+                raise SplSyntaxError(
+                    f"unknown property .{attr.value}", line=attr.line
+                )
+            return TProperty(token.value, attr.value)
+        raise SplSyntaxError(
+            f"unexpected name {token.value!r} in integer expression",
+            line=token.line,
+        )
+    if token.kind == lexer.LPAREN:
+        inner = _texpr_sum(stream)
+        stream.expect(lexer.RPAREN)
+        return inner
+    raise SplSyntaxError(
+        f"expected an integer expression, found {token.value!r}",
+        line=token.line,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Conditions.
+# ---------------------------------------------------------------------------
+
+
+def parse_condition(stream: TokenStream) -> Condition:
+    """Parse a bracketed condition ``[ m_ == 2*n_ && n_ > 0 ]``."""
+    stream.expect(lexer.LBRACKET, skip_newlines=True)
+    cond = _cond_or(stream)
+    stream.expect(lexer.RBRACKET, skip_newlines=True)
+    return cond
+
+
+def _cond_or(stream: TokenStream) -> Condition:
+    value = _cond_and(stream)
+    while stream.match(lexer.OP, "||", skip_newlines=True):
+        value = CondOr(value, _cond_and(stream))
+    return value
+
+
+def _cond_and(stream: TokenStream) -> Condition:
+    value = _cond_not(stream)
+    while stream.match(lexer.OP, "&&", skip_newlines=True):
+        value = CondAnd(value, _cond_not(stream))
+    return value
+
+
+def _cond_not(stream: TokenStream) -> Condition:
+    if stream.match(lexer.OP, "!", skip_newlines=True):
+        return CondNot(_cond_not(stream))
+    saved = stream.position
+    if stream.match(lexer.LPAREN, skip_newlines=True):
+        # Could be a parenthesized condition or a parenthesized integer
+        # expression starting a comparison; try condition first.
+        try:
+            inner = _cond_or(stream)
+            stream.expect(lexer.RPAREN, skip_newlines=True)
+            return inner
+        except SplSyntaxError:
+            stream.seek(saved)
+    return _cond_compare(stream)
+
+
+def _cond_compare(stream: TokenStream) -> Condition:
+    lhs = parse_texpr(stream)
+    token = stream.next()
+    if token.kind != lexer.OP or token.value not in (
+        "==", "!=", "<", "<=", ">", ">=",
+    ):
+        raise SplSyntaxError(
+            f"expected a comparison operator, found {token.value!r}",
+            line=token.line,
+        )
+    rhs = parse_texpr(stream)
+    return CondCompare(token.value, lhs, rhs)
+
+
+# ---------------------------------------------------------------------------
+# I-code statement sequences.
+# ---------------------------------------------------------------------------
+
+
+def parse_icode_block(stream: TokenStream) -> list[TStmt]:
+    """Parse a parenthesized i-code block ``( stmt \\n stmt ... )``."""
+    stream.expect(lexer.LPAREN, skip_newlines=True)
+    stack: list[list[TStmt]] = [[]]
+    loops: list[TLoop] = []
+    while True:
+        token = stream.peek(skip_newlines=True)
+        if token.kind == lexer.RPAREN:
+            stream.next(skip_newlines=True)
+            break
+        if token.kind == lexer.EOF:
+            raise SplSyntaxError("unterminated i-code block", line=token.line)
+        stmt = _parse_statement(stream)
+        if stmt is None:  # "end"
+            if not loops:
+                raise SplSyntaxError("'end' without matching 'do'",
+                                     line=token.line)
+            loops.pop()
+            stack.pop()
+            continue
+        stack[-1].append(stmt)
+        if isinstance(stmt, TLoop):
+            loops.append(stmt)
+            stack.append(stmt.body)
+    if loops:
+        raise SplSyntaxError("unterminated 'do' loop in i-code")
+    return stack[0]
+
+
+def _parse_statement(stream: TokenStream) -> TStmt | None:
+    token = stream.peek(skip_newlines=True)
+    if token.kind == lexer.NAME and token.value.lower() == "do":
+        return _parse_do(stream)
+    if token.kind == lexer.NAME and token.value.lower() == "end":
+        stream.next(skip_newlines=True)
+        _expect_end_of_statement(stream)
+        # The paper also writes "end do"; accept an optional trailing 'do'.
+        return None
+    if token.kind == lexer.NAME and is_formula_var(token.value):
+        return _parse_call(stream)
+    if token.kind == lexer.DOLLAR:
+        return _parse_assignment(stream)
+    raise SplSyntaxError(
+        f"unexpected {token.value!r} at start of i-code statement",
+        line=token.line,
+    )
+
+
+def _parse_do(stream: TokenStream) -> TLoop:
+    stream.next(skip_newlines=True)  # 'do'
+    var = stream.expect(lexer.DOLLAR)
+    name = var.value[1:]
+    if not name.startswith("i"):
+        raise SplSyntaxError(
+            f"loop variable must be an $i variable, got {var.value}",
+            line=var.line,
+        )
+    stream.expect(lexer.OP, "=")
+    lo = parse_texpr(stream)
+    stream.match(lexer.COMMA)
+    hi = parse_texpr(stream)
+    _expect_end_of_statement(stream)
+    return TLoop(var=name, lo=lo, hi=hi)
+
+
+def _parse_call(stream: TokenStream) -> TCall:
+    head = stream.next(skip_newlines=True)
+    stream.expect(lexer.LPAREN)
+    in_vec = _parse_vec_name(stream)
+    stream.match(lexer.COMMA)
+    out_vec = _parse_vec_name(stream)
+    exprs: list[TExpr] = []
+    for _ in range(4):
+        stream.match(lexer.COMMA)
+        exprs.append(parse_texpr(stream))
+    stream.expect(lexer.RPAREN)
+    _expect_end_of_statement(stream)
+    return TCall(
+        var=head.value,
+        in_vec=in_vec,
+        out_vec=out_vec,
+        in_offset=exprs[0],
+        out_offset=exprs[1],
+        in_stride=exprs[2],
+        out_stride=exprs[3],
+    )
+
+
+def _parse_vec_name(stream: TokenStream) -> str:
+    token = stream.expect(lexer.DOLLAR)
+    name = token.value[1:]
+    if name in ("in", "out") or name.startswith("t"):
+        return name
+    raise SplSyntaxError(
+        f"expected a vector ($in, $out or $tN), found {token.value}",
+        line=token.line,
+    )
+
+
+def _parse_assignment(stream: TokenStream) -> TStmt:
+    token = stream.next(skip_newlines=True)
+    name = token.value[1:]
+    if name.startswith("r"):
+        stream.expect(lexer.OP, "=")
+        value = parse_texpr(stream)
+        _expect_end_of_statement(stream)
+        return TRAssign(name=name, value=value)
+    dest: TScalar | TVecElem
+    if name.startswith("f"):
+        dest = TScalar(name)
+    elif name in ("in", "out") or name.startswith("t"):
+        stream.expect(lexer.LPAREN)
+        index = parse_texpr(stream)
+        stream.expect(lexer.RPAREN)
+        dest = TVecElem(name, index)
+    else:
+        raise SplSyntaxError(
+            f"cannot assign to {token.value}", line=token.line
+        )
+    stream.expect(lexer.OP, "=")
+    return _parse_rhs(stream, dest)
+
+
+def _parse_rhs(stream: TokenStream, dest: TScalar | TVecElem) -> TAssign:
+    token = stream.peek()
+    if token.kind == lexer.OP and token.value == "-":
+        stream.next()
+        operand = _parse_operand(stream)
+        follow = stream.peek()
+        if follow.kind == lexer.OP and follow.value in "+-*/":
+            # "-a op b": fold the sign into a constant when possible,
+            # otherwise this is not a four-tuple.
+            if isinstance(operand, TNumber):
+                stream.next()
+                b = _parse_operand(stream)
+                _expect_end_of_statement(stream)
+                return TAssign(follow.value, dest,
+                               TNumber(-operand.value), b)
+            raise SplSyntaxError(
+                "i-code statements are four-tuples: at most one operator "
+                "per statement",
+                line=follow.line,
+            )
+        _expect_end_of_statement(stream)
+        return TAssign("neg", dest, operand)
+    a = _parse_operand(stream)
+    follow = stream.peek()
+    if follow.kind == lexer.OP and follow.value in "+-*/":
+        stream.next()
+        b = _parse_operand(stream)
+        _expect_end_of_statement(stream)
+        return TAssign(follow.value, dest, a, b)
+    _expect_end_of_statement(stream)
+    return TAssign("=", dest, a)
+
+
+def _parse_operand(stream: TokenStream) -> TOperand:
+    token = stream.peek()
+    if token.kind == lexer.DOLLAR:
+        stream.next()
+        name = token.value[1:]
+        if name.startswith("f"):
+            return TScalar(name)
+        if name in ("in", "out") or name.startswith("t"):
+            stream.expect(lexer.LPAREN)
+            index = parse_texpr(stream)
+            stream.expect(lexer.RPAREN)
+            return TVecElem(name, index)
+        raise SplSyntaxError(
+            f"{token.value} cannot be a floating-point operand",
+            line=token.line,
+        )
+    if token.kind == lexer.NAME:
+        name = token.value.lower()
+        if name in _INTRINSIC_NAMES:
+            stream.next()
+            return _parse_intrinsic(name.upper(), stream)
+        if name in _SCALAR_FUNCS or name in _SCALAR_CONSTS:
+            return TNumber(scalars.parse_scalar(stream))
+        raise SplSyntaxError(
+            f"unknown operand {token.value!r}", line=token.line
+        )
+    if token.kind == lexer.NUMBER:
+        stream.next()
+        return TNumber(_number_value(token))
+    if token.kind == lexer.LPAREN:
+        # A parenthesized scalar constant or a complex pair; a trailing
+        # operator belongs to the four-tuple, so parse a primary only.
+        return TNumber(scalars.parse_scalar_primary(stream))
+    if token.kind == lexer.OP and token.value == "-":
+        stream.next()
+        inner = _parse_operand(stream)
+        if isinstance(inner, TNumber):
+            return TNumber(-inner.value)
+        raise SplSyntaxError(
+            "unary minus in operand position applies to constants only",
+            line=token.line,
+        )
+    raise SplSyntaxError(
+        f"expected an operand, found {token.value!r}", line=token.line
+    )
+
+
+def _parse_intrinsic(name: str, stream: TokenStream) -> TIntrinsic:
+    stream.expect(lexer.LPAREN)
+    args = [parse_texpr(stream)]
+    while True:
+        if stream.match(lexer.COMMA):
+            args.append(parse_texpr(stream))
+            continue
+        if stream.peek().kind == lexer.RPAREN:
+            break
+        args.append(parse_texpr(stream))
+    stream.expect(lexer.RPAREN)
+    return TIntrinsic(name, tuple(args))
+
+
+def _number_value(token: Token):
+    if any(c in token.value for c in ".eE"):
+        return float(token.value)
+    return int(token.value)
+
+
+def _expect_end_of_statement(stream: TokenStream) -> None:
+    token = stream.peek()
+    if token.kind in (lexer.NEWLINE, lexer.RPAREN, lexer.EOF):
+        return
+    # Accept Fortran's "end do" — 'do' directly after 'end'.
+    if token.kind == lexer.NAME and token.value.lower() == "do":
+        stream.next()
+        return
+    raise SplSyntaxError(
+        f"unexpected {token.value!r} at end of i-code statement",
+        line=token.line,
+    )

@@ -1,0 +1,169 @@
+"""Tokenizer for the SPL language.
+
+SPL source is Cambridge Polish notation (S-expressions) with three
+lexical extensions described in Section 2.2 of the paper:
+
+* lines whose first non-blank character is ``#`` are compiler directives
+  and are delivered as single :data:`DIRECTIVE` tokens;
+* everything between ``;`` and the end of the line is a comment;
+* scalar constant expressions (``sqrt(2)``, ``(cos(2*pi/3.0),sin(2*pi/3.0))``)
+  use infix operators, so arithmetic/relational operators are tokens too.
+
+Newlines are preserved as tokens because the i-code mini-language inside
+``(template ...)`` forms is line-oriented; the formula parser simply
+skips them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import SplSyntaxError
+
+# Token kinds.
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+COMMA = "COMMA"
+DOT = "DOT"
+NAME = "NAME"  # identifiers, including pattern variables ending in '_'
+DOLLAR = "DOLLAR"  # $in, $out, $i0, $f3, $in_stride, ...
+NUMBER = "NUMBER"  # integer or floating point literal
+OP = "OP"  # + - * / = == != <= >= < > && || !
+DIRECTIVE = "DIRECTIVE"  # whole '#...' line, value excludes the '#'
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source line for error reporting."""
+
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<dollar>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<op>==|!=|<=|>=|&&|\|\||[+\-*/=<>!])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<ws>[ \t\r]+)
+    """,
+    re.VERBOSE,
+)
+
+_GROUP_TO_KIND = {
+    "number": NUMBER,
+    "dollar": DOLLAR,
+    "name": NAME,
+    "op": OP,
+    "lparen": LPAREN,
+    "rparen": RPAREN,
+    "lbracket": LBRACKET,
+    "rbracket": RBRACKET,
+    "comma": COMMA,
+    "dot": DOT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize SPL source text into a list of tokens ending with EOF."""
+    return list(_iter_tokens(source))
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    lines = source.split("\n")
+    for lineno, raw_line in enumerate(lines, start=1):
+        # Strip comments first; a ';' cannot occur inside any other token.
+        line = raw_line.split(";", 1)[0]
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            yield Token(DIRECTIVE, stripped[1:].strip(), lineno)
+            yield Token(NEWLINE, "\n", lineno)
+            continue
+        pos = 0
+        emitted = False
+        while pos < len(line):
+            match = _TOKEN_RE.match(line, pos)
+            if match is None:
+                raise SplSyntaxError(
+                    f"unexpected character {line[pos]!r}", line=lineno
+                )
+            pos = match.end()
+            group = match.lastgroup
+            if group == "ws":
+                continue
+            yield Token(_GROUP_TO_KIND[group], match.group(), lineno)
+            emitted = True
+        if emitted or stripped:
+            yield Token(NEWLINE, "\n", lineno)
+    yield Token(EOF, "", len(lines))
+
+
+class TokenStream:
+    """Cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def seek(self, position: int) -> None:
+        self._pos = position
+
+    def peek(self, skip_newlines: bool = False) -> Token:
+        pos = self._pos
+        if skip_newlines:
+            while self._tokens[pos].kind == NEWLINE:
+                pos += 1
+        return self._tokens[pos]
+
+    def next(self, skip_newlines: bool = False) -> Token:
+        if skip_newlines:
+            while self._tokens[self._pos].kind == NEWLINE:
+                self._pos += 1
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None,
+               skip_newlines: bool = False) -> Token:
+        token = self.next(skip_newlines=skip_newlines)
+        if token.kind != kind or (value is not None and token.value != value):
+            want = kind if value is None else f"{kind} {value!r}"
+            raise SplSyntaxError(
+                f"expected {want}, found {token.kind} {token.value!r}",
+                line=token.line,
+            )
+        return token
+
+    def match(self, kind: str, value: str | None = None,
+              skip_newlines: bool = False) -> Token | None:
+        saved = self._pos
+        token = self.next(skip_newlines=skip_newlines)
+        if token.kind == kind and (value is None or token.value == value):
+            return token
+        self._pos = saved
+        return None
+
+    def at_eof(self) -> bool:
+        return self.peek(skip_newlines=True).kind == EOF

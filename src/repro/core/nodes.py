@@ -1,0 +1,275 @@
+"""Formula AST node types.
+
+An SPL formula denotes a (structured) matrix; the compiler turns it into
+a subroutine computing the matrix-vector product ``y = M x``.  The AST
+is binary: n-ary ``compose``/``tensor``/``direct-sum`` forms are
+associated right-to-left by the parser (Section 3.1 of the paper).
+
+Each node carries an optional ``unroll`` flag recording the state of the
+``#unroll`` directive at the point the formula was written; ``None``
+means "inherit from the enclosing formula".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.errors import SplSemanticError
+from repro.core.scalars import Number
+
+SizeResolver = Callable[["Param"], tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class for all formula nodes."""
+
+    unroll: bool | None = field(default=None, compare=False, kw_only=True)
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        """Return ``(in_size, out_size)`` of the matrix this node denotes."""
+        raise NotImplementedError
+
+    def to_spl(self) -> str:
+        """Render this formula back to SPL source text."""
+        raise NotImplementedError
+
+    def with_unroll(self, unroll: bool | None) -> "Formula":
+        return dataclasses.replace(self, unroll=unroll)
+
+    def walk(self) -> Iterator["Formula"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        return self.to_spl()
+
+
+@dataclass(frozen=True)
+class Param(Formula):
+    """A parameterized matrix such as ``(I 4)``, ``(F 8)``, ``(L 16 4)``.
+
+    ``name`` is case-insensitive in SPL source and stored upper-cased.
+    New parameterized matrices may be introduced by templates, in which
+    case their sizes are inferred from the template's i-code.
+    """
+
+    name: str = ""
+    params: tuple[int, ...] = ()
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        return resolver(self)
+
+    def to_spl(self) -> str:
+        inner = " ".join(str(p) for p in self.params)
+        return f"({self.name} {inner})" if inner else f"({self.name})"
+
+
+@dataclass(frozen=True)
+class MatrixLit(Formula):
+    """A general matrix given element-wise: ``(matrix (r11 r12) (r21 r22))``."""
+
+    rows: tuple[tuple[Number, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.rows or not self.rows[0]:
+            raise SplSemanticError("matrix literal must be non-empty")
+        width = len(self.rows[0])
+        if any(len(row) != width for row in self.rows):
+            raise SplSemanticError("matrix literal rows differ in length")
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        return len(self.rows[0]), len(self.rows)
+
+    def to_spl(self) -> str:
+        rows = " ".join(
+            "(" + " ".join(_scalar_text(v) for v in row) + ")"
+            for row in self.rows
+        )
+        return f"(matrix {rows})"
+
+
+@dataclass(frozen=True)
+class DiagonalLit(Formula):
+    """A diagonal matrix: ``(diagonal (d1 ... dn))``."""
+
+    values: tuple[Number, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SplSemanticError("diagonal literal must be non-empty")
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        n = len(self.values)
+        return n, n
+
+    def to_spl(self) -> str:
+        inner = " ".join(_scalar_text(v) for v in self.values)
+        return f"(diagonal ({inner}))"
+
+
+@dataclass(frozen=True)
+class PermutationLit(Formula):
+    """A permutation matrix ``(permutation (k1 ... kn))``.
+
+    The row description is 1-based, as in the paper: the generated code
+    computes ``y[i] = x[k_{i+1} - 1]``.
+    """
+
+    perm: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        n = len(self.perm)
+        if sorted(self.perm) != list(range(1, n + 1)):
+            raise SplSemanticError(
+                f"(permutation {self.perm}) is not a permutation of 1..{n}"
+            )
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        n = len(self.perm)
+        return n, n
+
+    def to_spl(self) -> str:
+        inner = " ".join(str(k) for k in self.perm)
+        return f"(permutation ({inner}))"
+
+
+@dataclass(frozen=True)
+class _Binary(Formula):
+    left: Formula = None  # type: ignore[assignment]
+    right: Formula = None  # type: ignore[assignment]
+
+    op_name = ""
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def to_spl(self) -> str:
+        return f"({self.op_name} {self.left.to_spl()} {self.right.to_spl()})"
+
+
+@dataclass(frozen=True)
+class Compose(_Binary):
+    """Matrix product: ``(compose A B)`` denotes ``A B`` (B applied first)."""
+
+    op_name = "compose"
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        left_in, left_out = self.left.size(resolver)
+        right_in, right_out = self.right.size(resolver)
+        if left_in != right_out:
+            raise SplSemanticError(
+                f"compose size mismatch: {self.left.to_spl()} expects input "
+                f"of size {left_in} but {self.right.to_spl()} produces "
+                f"{right_out}"
+            )
+        return right_in, left_out
+
+
+@dataclass(frozen=True)
+class Tensor(_Binary):
+    """Tensor (Kronecker) product ``A (x) B``."""
+
+    op_name = "tensor"
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        left_in, left_out = self.left.size(resolver)
+        right_in, right_out = self.right.size(resolver)
+        return left_in * right_in, left_out * right_out
+
+
+@dataclass(frozen=True)
+class DirectSum(_Binary):
+    """Direct sum ``A (+) B``: block-diagonal stacking."""
+
+    op_name = "direct-sum"
+
+    def size(self, resolver: SizeResolver) -> tuple[int, int]:
+        left_in, left_out = self.left.size(resolver)
+        right_in, right_out = self.right.size(resolver)
+        return left_in + right_in, left_out + right_out
+
+
+def _fold_right(cls, operands: list[Formula]) -> Formula:
+    if not operands:
+        raise SplSemanticError(f"{cls.op_name} needs at least one operand")
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = cls(left=operand, right=result)
+    return result
+
+
+def compose(*operands: Formula) -> Formula:
+    """Right-associated n-ary matrix product."""
+    return _fold_right(Compose, list(operands))
+
+
+def tensor(*operands: Formula) -> Formula:
+    """Right-associated n-ary tensor product."""
+    return _fold_right(Tensor, list(operands))
+
+
+def direct_sum(*operands: Formula) -> Formula:
+    """Right-associated n-ary direct sum."""
+    return _fold_right(DirectSum, list(operands))
+
+
+def identity(n: int) -> Param:
+    return Param(name="I", params=(n,))
+
+
+def fourier(n: int) -> Param:
+    return Param(name="F", params=(n,))
+
+
+def stride(mn: int, s: int) -> Param:
+    return Param(name="L", params=(mn, s))
+
+
+def twiddle(mn: int, s: int) -> Param:
+    return Param(name="T", params=(mn, s))
+
+
+def reversal(n: int) -> Param:
+    """The ``(J n)`` reversal permutation (used by DCT factorizations)."""
+    return Param(name="J", params=(n,))
+
+
+def default_param_sizes(param: Param) -> tuple[int, int]:
+    """Size rules for the predefined parameterized matrices.
+
+    Raises :class:`SplSemanticError` for unknown names; the compiler
+    falls back to template-based size inference in that case.
+    """
+    name, params = param.name, param.params
+    if name in ("I", "F", "J", "WHT", "DCT2", "DCT4") and len(params) == 1:
+        n = params[0]
+        if n <= 0:
+            raise SplSemanticError(f"({name} {n}): size must be positive")
+        if name == "WHT" and n & (n - 1):
+            raise SplSemanticError(f"(WHT {n}): size must be a power of two")
+        return n, n
+    if name in ("L", "T") and len(params) == 2:
+        mn, s = params
+        if mn <= 0 or s <= 0 or mn % s != 0:
+            raise SplSemanticError(
+                f"({name} {mn} {s}): second parameter must divide the first"
+            )
+        return mn, mn
+    raise SplSemanticError(
+        f"unknown parameterized matrix ({param.name} "
+        f"{' '.join(str(p) for p in param.params)})"
+    )
+
+
+def _scalar_text(value: Number) -> str:
+    if isinstance(value, complex):
+        return f"({value.real!r},{value.imag!r})"
+    return repr(value)

@@ -1,0 +1,325 @@
+"""Program-level parser for SPL (phase 1 of the compiler, Section 3.1).
+
+An SPL program is a sequence of:
+
+* compiler directives — lines starting with ``#``;
+* ``(define name formula)`` — name assignment;
+* ``(template pattern [condition] (i-code))`` — template definition;
+* bare formulas — each becomes one generated subroutine.
+
+Formulas are returned as closed ASTs: references to ``define``d names
+are substituted at parse time (the defined subtree keeps the ``#unroll``
+state that was active when it was defined, which is how the paper's
+``I64F2`` example selectively unrolls an inner formula).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import icode_parser, lexer, scalars
+from repro.core.errors import SplNameError, SplSyntaxError
+from repro.core.lexer import TokenStream
+from repro.core.nodes import (
+    Compose,
+    DiagonalLit,
+    DirectSum,
+    Formula,
+    MatrixLit,
+    Param,
+    PermutationLit,
+    Tensor,
+)
+from repro.core.templates import Template, TemplateTable
+
+_OPERATOR_CLASSES = {
+    "compose": Compose,
+    "tensor": Tensor,
+    "direct-sum": DirectSum,
+}
+
+_LITERAL_HEADS = ("matrix", "diagonal", "permutation")
+
+DATATYPES = ("real", "complex")
+LANGUAGES = ("c", "fortran", "python")
+
+
+@dataclass
+class DirectiveState:
+    """The directive context in effect at some point of the program."""
+
+    subname: str | None = None
+    datatype: str = "complex"
+    codetype: str | None = None  # None: follow datatype
+    language: str = "fortran"
+    unroll: bool = False
+
+
+@dataclass
+class FormulaUnit:
+    """One top-level formula together with its directive context."""
+
+    formula: Formula
+    name: str
+    datatype: str
+    codetype: str
+    language: str
+
+
+@dataclass
+class ParsedProgram:
+    units: list[FormulaUnit] = field(default_factory=list)
+    defines: dict[str, Formula] = field(default_factory=dict)
+    templates: list[Template] = field(default_factory=list)
+
+
+def parse_program(source: str,
+                  templates: TemplateTable | None = None,
+                  defines: dict[str, Formula] | None = None) -> ParsedProgram:
+    """Parse a whole SPL program.
+
+    Templates are appended to ``templates`` (if given) as they are
+    parsed, so formulas later in the same program can use them.
+    """
+    stream = TokenStream(lexer.tokenize(source))
+    program = ParsedProgram(defines=dict(defines or {}))
+    state = DirectiveState()
+    counter = 0
+    while not stream.at_eof():
+        token = stream.peek(skip_newlines=True)
+        if token.kind == lexer.DIRECTIVE:
+            stream.next(skip_newlines=True)
+            _apply_directive(token.value, state, token.line)
+            continue
+        item = _parse_item(stream, program.defines, state)
+        if item is None:
+            continue
+        if isinstance(item, Template):
+            program.templates.append(item)
+            if templates is not None:
+                templates.add(item)
+            continue
+        name = state.subname or f"spl_{counter}"
+        state.subname = None
+        counter += 1
+        program.units.append(
+            FormulaUnit(
+                formula=item,
+                name=name,
+                datatype=state.datatype,
+                codetype=state.codetype or state.datatype,
+                language=state.language,
+            )
+        )
+    return program
+
+
+def parse_formula_text(source: str,
+                       defines: dict[str, Formula] | None = None) -> Formula:
+    """Parse a single formula from text (convenience for tests/tools)."""
+    stream = TokenStream(lexer.tokenize(source))
+    formula = _parse_formula(stream, dict(defines or {}), DirectiveState())
+    trailing = stream.peek(skip_newlines=True)
+    if trailing.kind != lexer.EOF:
+        raise SplSyntaxError(
+            f"unexpected {trailing.value!r} after formula", line=trailing.line
+        )
+    return formula
+
+
+def _apply_directive(text: str, state: DirectiveState, line: int) -> None:
+    parts = text.split()
+    if not parts:
+        raise SplSyntaxError("empty compiler directive", line=line)
+    head, args = parts[0].lower(), parts[1:]
+    if head == "subname":
+        if len(args) != 1:
+            raise SplSyntaxError("#subname takes one argument", line=line)
+        state.subname = args[0]
+    elif head == "datatype":
+        value = _one_of(args, DATATYPES, "#datatype", line)
+        state.datatype = value
+    elif head == "codetype":
+        value = _one_of(args, DATATYPES, "#codetype", line)
+        state.codetype = value
+    elif head == "language":
+        value = _one_of(args, LANGUAGES, "#language", line)
+        state.language = value
+    elif head == "unroll":
+        value = _one_of(args, ("on", "off"), "#unroll", line)
+        state.unroll = value == "on"
+    else:
+        raise SplNameError(f"unknown compiler directive #{head}", line=line)
+
+
+def _one_of(args: list[str], allowed: tuple[str, ...], what: str,
+            line: int) -> str:
+    if len(args) != 1 or args[0].lower() not in allowed:
+        raise SplSyntaxError(
+            f"{what} takes one of {', '.join(allowed)}", line=line
+        )
+    return args[0].lower()
+
+
+def _parse_item(stream: TokenStream, defines: dict[str, Formula],
+                state: DirectiveState):
+    token = stream.peek(skip_newlines=True)
+    if token.kind != lexer.LPAREN:
+        # A bare name can be a formula by itself.
+        if token.kind == lexer.NAME:
+            return _parse_formula(stream, defines, state)
+        raise SplSyntaxError(
+            f"expected a formula or definition, found {token.value!r}",
+            line=token.line,
+        )
+    saved = stream.position
+    stream.next(skip_newlines=True)
+    head = stream.peek(skip_newlines=True)
+    if head.kind == lexer.NAME and head.value.lower() == "define":
+        stream.next(skip_newlines=True)
+        name = stream.expect(lexer.NAME, skip_newlines=True)
+        formula = _parse_formula(stream, defines, state)
+        stream.expect(lexer.RPAREN, skip_newlines=True)
+        defines[name.value] = formula.with_unroll(
+            True if state.unroll else formula.unroll
+        )
+        return None
+    if head.kind == lexer.NAME and head.value.lower() == "template":
+        stream.next(skip_newlines=True)
+        template = _parse_template(stream)
+        stream.expect(lexer.RPAREN, skip_newlines=True)
+        return template
+    stream.seek(saved)
+    return _parse_formula(stream, defines, state)
+
+
+def _parse_template(stream: TokenStream) -> Template:
+    pattern = icode_parser.parse_pattern(stream)
+    condition = None
+    if stream.peek(skip_newlines=True).kind == lexer.LBRACKET:
+        condition = icode_parser.parse_condition(stream)
+    body = icode_parser.parse_icode_block(stream)
+    return Template(pattern=pattern, condition=condition, body=body)
+
+
+def _parse_formula(stream: TokenStream, defines: dict[str, Formula],
+                   state: DirectiveState) -> Formula:
+    formula = _parse_formula_inner(stream, defines)
+    if state.unroll and formula.unroll is None:
+        formula = formula.with_unroll(True)
+    return formula
+
+
+def _parse_formula_inner(stream: TokenStream,
+                         defines: dict[str, Formula]) -> Formula:
+    token = stream.next(skip_newlines=True)
+    if token.kind == lexer.NAME:
+        if token.value in defines:
+            return defines[token.value]
+        raise SplNameError(f"undefined symbol {token.value!r}",
+                           line=token.line)
+    if token.kind != lexer.LPAREN:
+        raise SplSyntaxError(
+            f"expected a formula, found {token.value!r}", line=token.line
+        )
+    head = stream.expect(lexer.NAME, skip_newlines=True)
+    name = head.value
+    lowered = name.lower()
+    if lowered == "direct" and stream.peek().kind == lexer.OP \
+            and stream.peek().value == "-":
+        stream.next()
+        tail = stream.expect(lexer.NAME)
+        if tail.value.lower() != "sum":
+            raise SplSyntaxError(
+                f"unknown operation direct-{tail.value}", line=tail.line
+            )
+        lowered = "direct-sum"
+    if lowered in _OPERATOR_CLASSES:
+        return _parse_operator(lowered, head.line, stream, defines)
+    if lowered in _LITERAL_HEADS:
+        return _parse_literal(lowered, stream)
+    return _parse_param(name, stream, defines)
+
+
+def _parse_operator(op: str, line: int, stream: TokenStream,
+                    defines: dict[str, Formula]) -> Formula:
+    cls = _OPERATOR_CLASSES[op]
+    children: list[Formula] = []
+    while stream.peek(skip_newlines=True).kind != lexer.RPAREN:
+        children.append(_parse_formula_inner(stream, defines))
+    stream.expect(lexer.RPAREN, skip_newlines=True)
+    if len(children) < 2:
+        raise SplSyntaxError(f"({op} ...) needs at least two operands",
+                             line=line)
+    result = children[-1]
+    for child in reversed(children[:-1]):
+        result = cls(left=child, right=result)
+    return result
+
+
+def _parse_literal(kind: str, stream: TokenStream) -> Formula:
+    if kind == "matrix":
+        rows = []
+        while stream.peek(skip_newlines=True).kind == lexer.LPAREN:
+            rows.append(_parse_scalar_row(stream))
+        stream.expect(lexer.RPAREN, skip_newlines=True)
+        return MatrixLit(rows=tuple(rows))
+    if kind == "diagonal":
+        values = _parse_scalar_row(stream)
+        stream.expect(lexer.RPAREN, skip_newlines=True)
+        return DiagonalLit(values=values)
+    # permutation
+    stream.expect(lexer.LPAREN, skip_newlines=True)
+    entries = []
+    while stream.peek(skip_newlines=True).kind == lexer.NUMBER:
+        entries.append(int(stream.next(skip_newlines=True).value))
+    stream.expect(lexer.RPAREN, skip_newlines=True)
+    stream.expect(lexer.RPAREN, skip_newlines=True)
+    return PermutationLit(perm=tuple(entries))
+
+
+def _parse_scalar_row(stream: TokenStream) -> tuple:
+    stream.expect(lexer.LPAREN, skip_newlines=True)
+    values = []
+    while stream.peek(skip_newlines=True).kind != lexer.RPAREN:
+        # Skip newlines between elements inside a literal row.
+        while stream.match(lexer.NEWLINE):
+            pass
+        values.append(scalars.parse_scalar_element(stream))
+    stream.expect(lexer.RPAREN, skip_newlines=True)
+    return tuple(values)
+
+
+def _parse_param(name: str, stream: TokenStream,
+                 defines: dict[str, Formula]) -> Formula:
+    params: list[int] = []
+    children: list[Formula] = []
+    while True:
+        token = stream.peek(skip_newlines=True)
+        if token.kind == lexer.RPAREN:
+            stream.next(skip_newlines=True)
+            break
+        if token.kind == lexer.NUMBER:
+            stream.next(skip_newlines=True)
+            if any(c in token.value for c in ".eE"):
+                raise SplSyntaxError(
+                    "parameters of a parameterized matrix must be integers",
+                    line=token.line,
+                )
+            params.append(int(token.value))
+        elif token.kind in (lexer.NAME, lexer.LPAREN) and not params:
+            # Formula arguments: a user-defined operation such as the
+            # template-introduced (vec A m). Only supported for
+            # templates; here they can only be defined names.
+            children.append(_parse_formula_inner(stream, defines))
+        else:
+            raise SplSyntaxError(
+                f"invalid parameter {token.value!r} for ({name} ...)",
+                line=token.line,
+            )
+    if children:
+        raise SplSyntaxError(
+            f"({name} ...) with formula arguments is not a predefined "
+            "operation"
+        )
+    return Param(name=name.upper(), params=tuple(params))

@@ -1,0 +1,136 @@
+"""Pattern matching for the template mechanism (Section 3.2).
+
+A pattern is an SPL formula that may contain pattern variables, all of
+which end with an underscore:
+
+* lower-case-initial variables (``n_``) match integer constants;
+* upper-case-initial variables (``A_``) match whole sub-formulas.
+
+"Pattern variables can not match undefined symbols" — defined symbols
+are substituted by the parser, so by matching time every formula is
+closed and this rule is automatic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import nodes
+from repro.core.errors import SplTemplateError
+
+Binding = int | nodes.Formula
+
+
+@dataclass(frozen=True)
+class PatInt:
+    """A pattern variable matching an integer constant (``n_``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PatFormula:
+    """A pattern variable matching any sub-formula (``A_``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PatParam:
+    """Pattern over a parameterized matrix, e.g. ``(F n_)`` or ``(F 2)``."""
+
+    name: str
+    args: tuple[int | PatInt, ...]
+
+
+@dataclass(frozen=True)
+class PatOp:
+    """Pattern over a matrix operation, e.g. ``(compose A_ B_)``.
+
+    ``op`` is one of ``compose``, ``tensor``, ``direct-sum``.  N-ary
+    patterns are associated right-to-left, like formulas.
+    """
+
+    op: str
+    children: tuple["Pattern", ...]
+
+
+Pattern = PatParam | PatOp | PatFormula
+
+_OP_CLASSES = {
+    "compose": nodes.Compose,
+    "tensor": nodes.Tensor,
+    "direct-sum": nodes.DirectSum,
+}
+
+
+def is_int_var(name: str) -> bool:
+    return name.endswith("_") and name[0].islower()
+
+
+def is_formula_var(name: str) -> bool:
+    return name.endswith("_") and name[0].isupper()
+
+
+def match(pattern: Pattern, formula: nodes.Formula) -> dict[str, Binding] | None:
+    """Match ``formula`` against ``pattern``.
+
+    Returns the bindings (pattern-variable name to integer or formula)
+    on success, or None when the formula does not have the pattern's
+    shape.  A variable occurring twice must bind consistently.
+    """
+    bindings: dict[str, Binding] = {}
+    if _match(pattern, formula, bindings):
+        return bindings
+    return None
+
+
+def _match(pattern: Pattern, formula: nodes.Formula,
+           bindings: dict[str, Binding]) -> bool:
+    if isinstance(pattern, PatFormula):
+        return _bind(bindings, pattern.name, formula)
+    if isinstance(pattern, PatParam):
+        if not isinstance(formula, nodes.Param):
+            return False
+        if formula.name != pattern.name:
+            return False
+        if len(formula.params) != len(pattern.args):
+            return False
+        for arg, value in zip(pattern.args, formula.params):
+            if isinstance(arg, PatInt):
+                if not _bind(bindings, arg.name, value):
+                    return False
+            elif arg != value:
+                return False
+        return True
+    if isinstance(pattern, PatOp):
+        cls = _OP_CLASSES.get(pattern.op)
+        if cls is None:
+            raise SplTemplateError(f"unknown operation in pattern: {pattern.op}")
+        if type(formula) is not cls:
+            return False
+        assert len(pattern.children) == 2
+        return _match(pattern.children[0], formula.left, bindings) and _match(
+            pattern.children[1], formula.right, bindings
+        )
+    raise SplTemplateError(f"malformed pattern {pattern!r}")
+
+
+def _bind(bindings: dict[str, Binding], name: str, value: Binding) -> bool:
+    if name in bindings:
+        return bindings[name] == value
+    bindings[name] = value
+    return True
+
+
+def pattern_to_spl(pattern: Pattern) -> str:
+    """Render a pattern back to SPL-ish text (for error messages)."""
+    if isinstance(pattern, PatFormula):
+        return pattern.name
+    if isinstance(pattern, PatParam):
+        args = " ".join(
+            a.name if isinstance(a, PatInt) else str(a) for a in pattern.args
+        )
+        return f"({pattern.name} {args})" if args else f"({pattern.name})"
+    inner = " ".join(pattern_to_spl(c) for c in pattern.children)
+    return f"({pattern.op} {inner})"

@@ -1,0 +1,40 @@
+"""Machine-dependent peephole optimizations (Section 3.4).
+
+The paper describes two SPARC-specific transformations:
+
+* unary minus on double operands is replaced by a subtraction from zero
+  or a negative constant ("f2=0-f1" instead of "f2=-f1"), because SPARC
+  negation is a single-precision instruction and switching FPU modes
+  costs cycles;
+* temporary variables are declared "automatic" so Fortran allocates
+  them on the stack.
+
+The first is an i-code rewrite implemented here; the second is a flag
+honored by the Fortran backend.  Both default to on/off per target.
+"""
+
+from __future__ import annotations
+
+from repro.core.icode import FConst, Instr, Loop, Op, Program
+
+
+def avoid_unary_minus(program: Program) -> Program:
+    """Rewrite ``dest = -a`` into ``dest = 0 - a`` (constants fold)."""
+    program.body = _rewrite(program.body)
+    return program
+
+
+def _rewrite(body: list[Instr]) -> list[Instr]:
+    result: list[Instr] = []
+    for inst in body:
+        if isinstance(inst, Loop):
+            result.append(Loop(inst.var, inst.count, _rewrite(inst.body),
+                               unroll=inst.unroll))
+        elif isinstance(inst, Op) and inst.op == "neg":
+            if isinstance(inst.a, FConst):
+                result.append(Op("=", inst.dest, FConst(-inst.a.value)))
+            else:
+                result.append(Op("-", inst.dest, FConst(0.0), inst.a))
+        else:
+            result.append(inst)
+    return result

@@ -1,0 +1,233 @@
+"""Constant scalar expressions.
+
+Section 2.2: matrix elements "can be specified as constant scalar
+expressions, which may contain function invocations and symbolic
+constants like pi... All constant scalar expressions are evaluated at
+compile-time."  This module implements that evaluation.
+
+Grammar (infix, standard precedence)::
+
+    scalar  := term (('+' | '-') term)*
+    term    := factor (('*' | '/') factor)*
+    factor  := ['-' | '+'] primary
+    primary := NUMBER | 'pi' | NAME '(' scalar (',' scalar)* ')'
+             | '(' scalar ')' | '(' scalar ',' scalar ')'
+
+``(a, b)`` denotes the complex number ``a + b*i``.  ``w(n, k)`` (also
+written ``w(n k)``) is the primitive root of unity
+``exp(-2*pi*i/n) ** k`` — the twiddle-factor intrinsic of the paper.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable
+
+from repro.core import lexer
+from repro.core.errors import SplSyntaxError
+from repro.core.lexer import Token, TokenStream
+
+Number = int | float | complex
+
+
+def omega(n: int, k: int = 1) -> complex:
+    """The root of unity ``w_n^k`` with ``w_n = exp(-2*pi*i/n)``.
+
+    Components that are exactly 0 or +/-1 in exact arithmetic (k a
+    multiple of n/4) are snapped, so that e.g. ``w_4^1`` is exactly
+    ``-i`` — which lets the type transformation recognize
+    multiplication by i and emit the swap-and-negate form.
+    """
+    if n == 0:
+        raise ZeroDivisionError("w(0, k) is undefined")
+    value = cmath.exp(-2j * math.pi * (k % n) / n)
+    return complex(_snap(value.real), _snap(value.imag))
+
+
+def _snap(component: float, tolerance: float = 1e-12) -> float:
+    for exact in (0.0, 1.0, -1.0):
+        if abs(component - exact) < tolerance:
+            return exact
+    return component
+
+
+def simplify_number(value: Number) -> Number:
+    """Collapse a numeric value to the narrowest sensible Python type."""
+    if isinstance(value, complex):
+        if value.imag == 0.0:
+            value = value.real
+        else:
+            return value
+    if isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
+        return int(value)
+    return value
+
+
+def _real_arg(name: str, value: Number) -> float:
+    value = simplify_number(value)
+    if isinstance(value, complex):
+        raise SplSyntaxError(f"{name}() requires a real argument, got {value}")
+    return float(value)
+
+
+def _sqrt(x: Number) -> Number:
+    x = simplify_number(x)
+    if isinstance(x, complex) or x < 0:
+        return cmath.sqrt(x)
+    return math.sqrt(x)
+
+
+_FUNCTIONS: dict[str, Callable[..., Number]] = {
+    "sqrt": _sqrt,
+    "cos": lambda x: math.cos(_real_arg("cos", x)),
+    "sin": lambda x: math.sin(_real_arg("sin", x)),
+    "tan": lambda x: math.tan(_real_arg("tan", x)),
+    "exp": lambda x: cmath.exp(x) if isinstance(x, complex) else math.exp(x),
+    "log": lambda x: math.log(_real_arg("log", x)),
+    "w": lambda n, k=1: omega(int(_real_arg("w", n)), int(_real_arg("w", k))),
+}
+
+_CONSTANTS: dict[str, Number] = {
+    "pi": math.pi,
+    "e": math.e,
+    "i": 1j,
+}
+
+
+def parse_scalar(stream: TokenStream) -> Number:
+    """Parse one scalar constant expression and evaluate it."""
+    value = _parse_sum(stream)
+    return simplify_number(value)
+
+
+def parse_scalar_element(stream: TokenStream) -> Number:
+    """Parse one element of a matrix/diagonal literal.
+
+    Elements are separated by whitespace, so top-level ``+``/``-`` would
+    be ambiguous with the next element's sign: elements are parsed at
+    *term* level (signs, products, quotients, function calls, complex
+    pairs). Write sums inside parentheses: ``(1+2)``.
+    """
+    return simplify_number(_parse_term(stream))
+
+
+def parse_scalar_primary(stream: TokenStream) -> Number:
+    """Parse a single primary constant: a number, ``pi``, a function
+    call, a parenthesized expression, or a complex pair ``(a, b)`` —
+    without consuming any following infix operator.  Used for constant
+    operands inside i-code statements, where a trailing ``*`` belongs
+    to the four-tuple, not the constant.
+    """
+    return simplify_number(_parse_primary(stream))
+
+
+def parse_scalar_text(text: str) -> Number:
+    """Parse ``text`` as a single scalar constant expression."""
+    stream = TokenStream(lexer.tokenize(text))
+    value = parse_scalar(stream)
+    trailing = stream.peek(skip_newlines=True)
+    if trailing.kind != lexer.EOF:
+        raise SplSyntaxError(
+            f"unexpected {trailing.value!r} after scalar expression",
+            line=trailing.line,
+        )
+    return value
+
+
+def _parse_sum(stream: TokenStream) -> Number:
+    value = _parse_term(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == lexer.OP and token.value in "+-":
+            stream.next()
+            rhs = _parse_term(stream)
+            value = value + rhs if token.value == "+" else value - rhs
+        else:
+            return value
+
+
+def _parse_term(stream: TokenStream) -> Number:
+    value = _parse_factor(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == lexer.OP and token.value in "*/":
+            stream.next()
+            rhs = _parse_factor(stream)
+            value = value * rhs if token.value == "*" else value / rhs
+        else:
+            return value
+
+
+def _parse_factor(stream: TokenStream) -> Number:
+    token = stream.peek()
+    if token.kind == lexer.OP and token.value in "+-":
+        stream.next()
+        value = _parse_factor(stream)
+        return -value if token.value == "-" else value
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: TokenStream) -> Number:
+    token = stream.next()
+    if token.kind == lexer.NUMBER:
+        return _number_from_token(token)
+    if token.kind == lexer.NAME:
+        name = token.value.lower()
+        if stream.peek().kind == lexer.LPAREN:
+            return _parse_call(name, token, stream)
+        if name in _CONSTANTS:
+            return _CONSTANTS[name]
+        raise SplSyntaxError(f"unknown scalar constant {token.value!r}",
+                             line=token.line)
+    if token.kind == lexer.LPAREN:
+        value = _parse_sum(stream)
+        if stream.match(lexer.COMMA):
+            imag = _parse_sum(stream)
+            stream.expect(lexer.RPAREN)
+            return complex(_to_real(value, token), _to_real(imag, token))
+        stream.expect(lexer.RPAREN)
+        return value
+    raise SplSyntaxError(
+        f"expected a scalar expression, found {token.value!r}", line=token.line
+    )
+
+
+def _parse_call(name: str, name_token: Token, stream: TokenStream) -> Number:
+    if name not in _FUNCTIONS:
+        raise SplSyntaxError(f"unknown function {name!r}", line=name_token.line)
+    stream.expect(lexer.LPAREN)
+    args = [_parse_sum(stream)]
+    # Arguments may be separated by commas or, as in the paper's W(n_ $r0)
+    # style, by plain whitespace.
+    while True:
+        if stream.match(lexer.COMMA):
+            args.append(_parse_sum(stream))
+            continue
+        if stream.peek().kind == lexer.RPAREN:
+            break
+        args.append(_parse_sum(stream))
+    stream.expect(lexer.RPAREN)
+    try:
+        return _FUNCTIONS[name](*args)
+    except TypeError as exc:
+        raise SplSyntaxError(
+            f"wrong number of arguments for {name}(): {exc}",
+            line=name_token.line,
+        ) from exc
+
+
+def _number_from_token(token: Token) -> Number:
+    text = token.value
+    if any(ch in text for ch in ".eE"):
+        return float(text)
+    return int(text)
+
+
+def _to_real(value: Number, token: Token) -> float:
+    value = simplify_number(value)
+    if isinstance(value, complex):
+        raise SplSyntaxError(
+            "components of a complex pair must be real", line=token.line
+        )
+    return float(value)

@@ -1,0 +1,194 @@
+"""Type transformation: complex arithmetic over pairs of reals (§3.3.3).
+
+When the data type is complex but the generated code should use only
+real numbers (the paper's ``#codetype real``, and always for C, which
+the paper notes has no complex intrinsic type), every logical complex
+element becomes two adjacent real elements (re at ``2k``, im at
+``2k+1``), every complex scalar becomes two real scalars, and every
+complex operation is expanded into real operations.
+
+The expansion implements the optimization the paper highlights:
+multiplication by ``i`` (or ``-i``) becomes a swap plus a negation
+instead of four multiplies.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SplSemanticError
+from repro.core.icode import (
+    FConst,
+    FVar,
+    Instr,
+    Intrinsic,
+    Loop,
+    Op,
+    Operand,
+    Program,
+    VecRef,
+    iter_ops,
+)
+from repro.core.scalars import Number
+
+
+def complex_to_real(program: Program) -> Program:
+    """Lower a complex-datatype program to real arithmetic in place."""
+    if program.datatype != "complex" or program.element_width == 2:
+        return program
+    for op in iter_ops(program.body):
+        for item in op.operands():
+            if isinstance(item, Intrinsic):
+                raise SplSemanticError(
+                    "intrinsics must be evaluated before type transformation"
+                )
+    lowering = _Lowering(program)
+    program.body = lowering.rewrite(program.body)
+    program.element_width = 2
+    for info in program.vectors.values():
+        info.size *= 2
+    program.tables = {
+        name: _interleave(values) for name, values in program.tables.items()
+    }
+    return program
+
+
+def _interleave(values: tuple[Number, ...]) -> tuple[float, ...]:
+    flat: list[float] = []
+    for value in values:
+        value = complex(value)
+        flat.extend((value.real, value.imag))
+    return tuple(flat)
+
+
+class _Lowering:
+    def __init__(self, program: Program):
+        self.program = program
+        self._counter = 0
+        self._used = {
+            item.name
+            for op in iter_ops(program.body)
+            for item in (op.dest, *op.operands())
+            if isinstance(item, FVar)
+        }
+
+    def fresh(self) -> FVar:
+        while True:
+            name = f"f{self._counter}"
+            self._counter += 1
+            if name not in self._used:
+                self._used.add(name)
+                return FVar(name)
+
+    def rewrite(self, body: list[Instr]) -> list[Instr]:
+        result: list[Instr] = []
+        for inst in body:
+            if isinstance(inst, Loop):
+                result.append(Loop(inst.var, inst.count,
+                                   self.rewrite(inst.body),
+                                   unroll=inst.unroll))
+            elif isinstance(inst, Op):
+                result.extend(self.rewrite_op(inst))
+            else:
+                result.append(inst)
+        return result
+
+    # -- helpers -------------------------------------------------------------
+
+    def parts(self, operand: Operand) -> tuple[Operand, Operand]:
+        """The (real, imaginary) component operands of ``operand``."""
+        if isinstance(operand, FVar):
+            return FVar(operand.name + "r"), FVar(operand.name + "i")
+        if isinstance(operand, VecRef):
+            base = operand.index * 2
+            return VecRef(operand.vec, base), VecRef(operand.vec, base + 1)
+        if isinstance(operand, FConst):
+            value = complex(operand.value)
+            return FConst(value.real), FConst(value.imag)
+        raise SplSemanticError(f"cannot lower operand {operand}")
+
+    def dest_parts(self, dest) -> tuple:
+        re, im = self.parts(dest)
+        return re, im
+
+    def rewrite_op(self, op: Op) -> list[Instr]:
+        dr, di = self.dest_parts(op.dest)
+        if op.op == "=":
+            ar, ai = self.parts(op.a)
+            return [Op("=", dr, ar), Op("=", di, ai)]
+        if op.op == "neg":
+            ar, ai = self.parts(op.a)
+            return [Op("neg", dr, ar), Op("neg", di, ai)]
+        if op.op in ("+", "-"):
+            ar, ai = self.parts(op.a)
+            br, bi = self.parts(op.b)
+            return [Op(op.op, dr, ar, br), Op(op.op, di, ai, bi)]
+        if op.op == "*":
+            return self.rewrite_mul(op, dr, di)
+        if op.op == "/":
+            return self.rewrite_div(op, dr, di)
+        raise SplSemanticError(f"unknown operator {op.op!r}")
+
+    def rewrite_mul(self, op: Op, dr, di) -> list[Instr]:
+        a, b = op.a, op.b
+        # Put a constant operand (if any) first.
+        if isinstance(b, FConst) and not isinstance(a, FConst):
+            a, b = b, a
+        if isinstance(a, FConst):
+            return self.mul_by_const(complex(a.value), b, dr, di)
+        # General complex multiply: (ar+ai*i)(br+bi*i).
+        ar, ai = self.parts(a)
+        br, bi = self.parts(b)
+        t1, t2, t3, t4 = (self.fresh() for _ in range(4))
+        return [
+            Op("*", t1, ar, br),
+            Op("*", t2, ai, bi),
+            Op("*", t3, ar, bi),
+            Op("*", t4, ai, br),
+            Op("-", dr, t1, t2),
+            Op("+", di, t3, t4),
+        ]
+
+    def mul_by_const(self, c: complex, b: Operand, dr, di) -> list[Instr]:
+        br, bi = self.parts(b)
+        if c.imag == 0.0:
+            if c.real == 1.0:
+                return [Op("=", dr, br), Op("=", di, bi)]
+            if c.real == -1.0:
+                return [Op("neg", dr, br), Op("neg", di, bi)]
+            cr = FConst(c.real)
+            return [Op("*", dr, cr, br), Op("*", di, cr, bi)]
+        if c.real == 0.0:
+            if c.imag == 1.0:
+                # i * b = -bi + br*i: a swap and a negation.
+                t = self.fresh()
+                return [Op("neg", t, bi), Op("=", di, br), Op("=", dr, t)]
+            if c.imag == -1.0:
+                t = self.fresh()
+                return [Op("neg", t, br), Op("=", dr, bi), Op("=", di, t)]
+            ci = FConst(c.imag)
+            t = self.fresh()
+            return [
+                Op("*", t, FConst(-c.imag), bi),
+                Op("*", di, ci, br),
+                Op("=", dr, t),
+            ]
+        cr, ci = FConst(c.real), FConst(c.imag)
+        t1, t2, t3, t4 = (self.fresh() for _ in range(4))
+        return [
+            Op("*", t1, cr, br),
+            Op("*", t2, ci, bi),
+            Op("*", t3, cr, bi),
+            Op("*", t4, ci, br),
+            Op("-", dr, t1, t2),
+            Op("+", di, t3, t4),
+        ]
+
+    def rewrite_div(self, op: Op, dr, di) -> list[Instr]:
+        if not isinstance(op.b, FConst):
+            raise SplSemanticError(
+                "complex division is only supported by a constant divisor"
+            )
+        divisor = complex(op.b.value)
+        if divisor == 0:
+            raise SplSemanticError("division by zero")
+        return self.rewrite_mul(Op("*", op.dest, FConst(1.0 / divisor), op.a),
+                                dr, di)

@@ -1,0 +1,132 @@
+"""Loop unrolling and scalarization (Section 3.3.1).
+
+Loops are marked for unrolling during code generation (``#unroll``
+directives, the global flag, or the ``-B`` size threshold); this pass
+performs the expansion.  After full unrolling, temporary vectors whose
+subscripts are all constant are replaced by scalar variables — "the use
+of scalar variables tends to improve the quality of the code generated
+by Fortran and C compilers".
+"""
+
+from __future__ import annotations
+
+from repro.core.icode import (
+    FVar,
+    Instr,
+    Loop,
+    Op,
+    Operand,
+    Program,
+    VEC_TEMP,
+    VecRef,
+    iter_ops,
+    map_operands,
+    subst_indices,
+)
+
+
+def unroll_loops(program: Program) -> Program:
+    """Fully expand every loop whose ``unroll`` flag is set."""
+    program.body = _unroll(program.body)
+    return program
+
+
+def _unroll(body: list[Instr]) -> list[Instr]:
+    result: list[Instr] = []
+    for inst in body:
+        if isinstance(inst, Loop):
+            inner = _unroll(inst.body)
+            if inst.unroll:
+                for k in range(inst.count):
+                    result.extend(subst_indices(inner, {inst.var: k}))
+            else:
+                result.append(Loop(inst.var, inst.count, inner,
+                                   unroll=False))
+        else:
+            result.append(inst)
+    return result
+
+
+def partially_unroll(loop: Loop, factor: int) -> list[Instr]:
+    """Unroll ``loop`` by ``factor`` (with a remainder loop if needed).
+
+    Provided for experimentation with partial unrolling; the main
+    pipeline uses full unrolling, as the paper's experiments do.
+    """
+    if factor <= 1:
+        return [loop]
+    main_trips = loop.count // factor
+    remainder = loop.count % factor
+    result: list[Instr] = []
+    if main_trips > 0:
+        replicated: list[Instr] = []
+        for k in range(factor):
+            shifted = subst_indices(
+                loop.body,
+                {loop.var: _scaled(loop.var, factor, k)},
+            )
+            replicated.extend(shifted)
+        result.append(Loop(loop.var, main_trips, replicated, unroll=False))
+    for k in range(remainder):
+        result.extend(subst_indices(loop.body,
+                                    {loop.var: main_trips * factor + k}))
+    return result
+
+
+def _scaled(var: str, factor: int, offset: int):
+    from repro.core.icode import IExpr
+
+    return IExpr.var(var) * factor + offset
+
+
+def scalarize_temps(program: Program) -> Program:
+    """Replace fully-unrolled temporary vectors with scalar variables.
+
+    Only temps whose every subscript is a constant are eligible (after
+    full unrolling this is all of them in straight-line code).  Input,
+    output and table vectors are never scalarized.
+    """
+    eligible = {
+        info.name for info in program.vectors.values()
+        if info.kind == VEC_TEMP
+    }
+    for op in iter_ops(program.body):
+        for item in (op.dest, *op.operands()):
+            if isinstance(item, VecRef) and item.vec in eligible:
+                if item.index.as_const() is None:
+                    eligible.discard(item.vec)
+    if not eligible:
+        return program
+
+    used_scalars = {
+        item.name
+        for op in iter_ops(program.body)
+        for item in (op.dest, *op.operands())
+        if isinstance(item, FVar)
+    }
+    counter = len(used_scalars)
+    names: dict[tuple[str, int], str] = {}
+
+    def fresh() -> str:
+        nonlocal counter
+        while True:
+            name = f"f{counter}"
+            counter += 1
+            if name not in used_scalars:
+                used_scalars.add(name)
+                return name
+
+    def rewrite(operand: Operand) -> Operand:
+        if isinstance(operand, VecRef) and operand.vec in eligible:
+            index = operand.index.as_const()
+            assert index is not None
+            key = (operand.vec, index)
+            if key not in names:
+                names[key] = fresh()
+            return FVar(names[key])
+        return operand
+
+    program.body = map_operands(program.body, rewrite)
+    for name in eligible:
+        del program.vectors[name]
+    return program

@@ -1,0 +1,30 @@
+"""An FFTW-style adaptive FFT library, built from scratch.
+
+This is the reproduction's substitute for the FFTW binary the paper
+benchmarks against (Section 4 / Section 5).  It mirrors FFTW's
+architecture exactly as the paper describes it:
+
+* **codelets** (:mod:`repro.fftw.codelets`) — optimized straight-line
+  transforms for sizes 2..64 taking ``istride``/``ostride`` parameters;
+  like FFTW's genfft output, they are *generated* — here by our own SPL
+  compiler;
+* **planner** (:mod:`repro.fftw.planner`) — run-time dynamic
+  programming choosing a recursive factorization, in both *measure*
+  and *estimate* modes;
+* **executor** (:mod:`repro.fftw.executor`) — a recursive interpreter
+  of plans, implemented in C for fair timing against SPL-generated
+  code.
+"""
+
+from repro.fftw.codelets import CodeletSet
+from repro.fftw.executor import FftwLibrary, FftwTransform
+from repro.fftw.planner import Plan, PlanLevel, Planner
+
+__all__ = [
+    "CodeletSet",
+    "FftwLibrary",
+    "FftwTransform",
+    "Plan",
+    "PlanLevel",
+    "Planner",
+]

@@ -1,0 +1,79 @@
+"""FFTW-style codelets: strided straight-line FFTs for sizes 2..64.
+
+"These codelets accept two parameters, 'istride' and 'ostride', which
+are used to control the access to the input and output vectors."
+(Section 4.1.)  Like FFTW's genfft, the codelets are generated — by the
+SPL compiler itself, from fixed good factorizations (or from formulas
+supplied by a search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler import CompiledRoutine, CompilerOptions, SplCompiler
+from repro.core.nodes import Formula, fourier
+from repro.formulas.factorization import ct_dit, ct_multi
+
+CODELET_SIZES = (2, 4, 8, 16, 32, 64)
+
+
+def default_codelet_formula(n: int) -> Formula:
+    """A good fixed factorization for a codelet of size ``n``.
+
+    Radix-4 decimation in time with a radix-2 step for the odd powers —
+    the classic split used by FFT codelet generators.
+    """
+    if n <= 4:
+        return fourier(n)
+    factors: list[int] = []
+    remaining = n
+    while remaining > 4:
+        factors.append(4)
+        remaining //= 4
+    factors.append(remaining)
+    return ct_multi(factors)
+
+
+def codelet_compiler() -> SplCompiler:
+    return SplCompiler(CompilerOptions(
+        unroll=True, optimize="default", datatype="complex",
+        codetype="real", language="c",
+    ))
+
+
+@dataclass
+class CodeletSet:
+    """The compiled codelets plus their combined C source."""
+
+    routines: dict[int, CompiledRoutine] = field(default_factory=dict)
+
+    @staticmethod
+    def build(formulas: dict[int, Formula] | None = None,
+              sizes: tuple[int, ...] = CODELET_SIZES) -> "CodeletSet":
+        """Generate strided codelets for ``sizes``.
+
+        ``formulas`` overrides the factorization used per size (e.g.
+        with search winners), defaulting to the fixed radix-4 choice.
+        """
+        compiler = codelet_compiler()
+        routines: dict[int, CompiledRoutine] = {}
+        for n in sizes:
+            formula = (formulas or {}).get(n, default_codelet_formula(n))
+            routines[n] = compiler.compile_formula(
+                formula, f"spl_cod{n}", language="c", strided=True
+            )
+        return CodeletSet(routines=routines)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(sorted(self.routines))
+
+    def c_source(self) -> str:
+        """All codelets concatenated (entry points kept external)."""
+        return "\n".join(
+            self.routines[n].source for n in sorted(self.routines)
+        )
+
+    def flops(self, n: int) -> int:
+        return self.routines[n].flop_count

@@ -1,0 +1,209 @@
+"""FFTW-style plans and planners.
+
+"In FFTW, large-size FFTs are computed recursively using three
+components: the planner, the executor, and the codelets.  The planner
+searches for an optimal factorization at run-time using dynamic
+programming. ... FFTW also has an option to select plan by 'estimating'
+instead of measuring the execution time."  (Section 4.2.)
+
+A plan is a right-most radix chain: level i splits ``n_i = r_i * s``
+where ``r_i`` is computed by a codelet and ``s = n_{i+1}`` is handled
+by the next level; the last level is a single codelet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perfeval.timing import time_callable
+
+
+@dataclass(frozen=True)
+class PlanLevel:
+    """One recursion level: size ``n``; ``radix`` 0 means codelet leaf."""
+
+    n: int
+    radix: int
+
+
+@dataclass
+class Plan:
+    """A complete factorization plan plus its twiddle tables."""
+
+    n: int
+    levels: tuple[PlanLevel, ...]
+    twiddles: np.ndarray = field(repr=False)  # interleaved re/im
+    tw_offsets: tuple[int, ...] = ()  # complex-element offsets per level
+    work_len: int = 0  # doubles of scratch the executor needs
+
+    @staticmethod
+    def from_radices(n: int, radices: tuple[int, ...],
+                     codelet_sizes: tuple[int, ...]) -> "Plan":
+        """Build a plan from the radix chain (outermost first)."""
+        levels: list[PlanLevel] = []
+        tw_offsets: list[int] = []
+        chunks: list[np.ndarray] = []
+        work_len = 0
+        offset = 0
+        size = n
+        for radix in radices:
+            if size % radix or size // radix < 2:
+                raise ValueError(f"invalid radix {radix} for size {size}")
+            levels.append(PlanLevel(n=size, radix=radix))
+            tw_offsets.append(offset)
+            chunks.append(_twiddle_table(size, size // radix))
+            offset += size
+            work_len += 2 * size
+            size //= radix
+        if size not in codelet_sizes:
+            raise ValueError(
+                f"plan leaf size {size} has no codelet "
+                f"(available: {codelet_sizes})"
+            )
+        levels.append(PlanLevel(n=size, radix=0))
+        tw_offsets.append(offset)
+        twiddles = (
+            np.concatenate(chunks) if chunks else np.zeros(0)
+        )
+        return Plan(
+            n=n,
+            levels=tuple(levels),
+            twiddles=twiddles,
+            tw_offsets=tuple(tw_offsets),
+            work_len=work_len,
+        )
+
+    @property
+    def radices(self) -> tuple[int, ...]:
+        return tuple(level.radix for level in self.levels if level.radix)
+
+    @property
+    def leaf(self) -> int:
+        return self.levels[-1].n
+
+    def describe(self) -> str:
+        chain = " -> ".join(
+            f"{level.n}(r{level.radix})" if level.radix else f"cod{level.n}"
+            for level in self.levels
+        )
+        return f"plan[{self.n}]: {chain}"
+
+    def memory_bytes(self) -> int:
+        """Twiddles plus scratch: the plan's runtime footprint."""
+        return self.twiddles.nbytes + self.work_len * 8
+
+
+def _twiddle_table(n: int, s: int) -> np.ndarray:
+    """Interleaved ``T^n_s`` diagonal: w_n^(i*j) at complex index i*s+j."""
+    r = n // s
+    i = np.arange(r).reshape(-1, 1)
+    j = np.arange(s).reshape(1, -1)
+    w = np.exp(-2j * math.pi * (i * j) / n).reshape(-1)
+    out = np.empty(2 * n)
+    out[0::2] = w.real
+    out[1::2] = w.imag
+    return out
+
+
+class Planner:
+    """Dynamic-programming planners in measure and estimate modes."""
+
+    def __init__(self, library, *, min_time: float = 0.005):
+        # ``library`` is an FftwLibrary (duck-typed to avoid a cycle).
+        self.library = library
+        self.min_time = min_time
+        self._measure_cache: dict[int, Plan] = {}
+        self._estimate_cache: dict[int, tuple[float, tuple[int, ...]]] = {}
+        # Planning-time memory accounting for Figure 5: bytes allocated
+        # while searching (candidate twiddle tables and buffers), total
+        # and attributed per planned size.
+        self.planning_bytes = 0
+        self.planning_bytes_by_n: dict[int, int] = {}
+
+    # -- estimate mode ---------------------------------------------------------
+
+    def _estimate_cost(self, n: int) -> tuple[float, tuple[int, ...]]:
+        cached = self._estimate_cache.get(n)
+        if cached is not None:
+            return cached
+        sizes = self.library.codelet_sizes
+        if n in sizes:
+            cost = float(self.library.codelet_flops(n) + 4 * n)
+            self._estimate_cache[n] = (cost, ())
+            return self._estimate_cache[n]
+        best: tuple[float, tuple[int, ...]] | None = None
+        for r in sizes:
+            s = n // r
+            if n % r or s < 2:
+                continue
+            if s not in sizes and s % 2:
+                continue
+            try:
+                child_cost, child_radices = self._estimate_cost(s)
+            except ValueError:
+                continue
+            pass_cost = (
+                r * child_cost
+                + s * (self.library.codelet_flops(r) + 4 * r)
+                + 10.0 * n  # twiddle multiply + buffer traffic
+            )
+            if best is None or pass_cost < best[0]:
+                best = (pass_cost, (r, *child_radices))
+        if best is None:
+            raise ValueError(f"no factorization of {n} over the codelets")
+        self._estimate_cache[n] = best
+        return best
+
+    def plan_estimate(self, n: int) -> Plan:
+        """Choose a plan from the cost model alone (FFTW's estimate mode)."""
+        if n in self.library.codelet_sizes:
+            return Plan.from_radices(n, (), self.library.codelet_sizes)
+        _, radices = self._estimate_cost(n)
+        return Plan.from_radices(n, radices, self.library.codelet_sizes)
+
+    # -- measure mode ------------------------------------------------------------
+
+    def plan_measure(self, n: int) -> Plan:
+        """Choose a plan by timing candidates (FFTW's default mode)."""
+        cached = self._measure_cache.get(n)
+        if cached is not None:
+            return cached
+        sizes = self.library.codelet_sizes
+        if n in sizes:
+            plan = Plan.from_radices(n, (), sizes)
+            self._measure_cache[n] = plan
+            return plan
+        bytes_at_start = self.planning_bytes
+        best_plan: Plan | None = None
+        best_time = math.inf
+        for r in sizes:
+            s = n // r
+            if n % r or s < 2:
+                continue
+            if s in sizes:
+                child_radices: tuple[int, ...] = ()
+            else:
+                try:
+                    child = self.plan_measure(s)
+                except ValueError:
+                    continue
+                child_radices = child.radices
+            try:
+                plan = Plan.from_radices(n, (r, *child_radices), sizes)
+            except ValueError:
+                continue
+            transform = self.library.transform(plan)
+            self.planning_bytes += plan.memory_bytes()
+            seconds = time_callable(transform.timer_closure(),
+                                    min_time=self.min_time, repeats=2)
+            if seconds < best_time:
+                best_time = seconds
+                best_plan = plan
+        if best_plan is None:
+            raise ValueError(f"no factorization of {n} over the codelets")
+        self._measure_cache[n] = best_plan
+        self.planning_bytes_by_n[n] = self.planning_bytes - bytes_at_start
+        return best_plan

@@ -1,0 +1,30 @@
+"""Matrix semantics and factorization rules for SPL formulas.
+
+This package is the mathematical substrate of Section 2 of the paper:
+dense definitions of the signal transforms (:mod:`transforms`), the
+interpretation of any SPL formula as a matrix (:mod:`matrices`), and
+the factorization identities — Cooley-Tukey and friends — that the
+formula generator manipulates (:mod:`factorization`).
+"""
+
+from repro.formulas.matrices import to_matrix
+from repro.formulas.transforms import (
+    dct2_matrix,
+    dct4_matrix,
+    dft_matrix,
+    reversal_matrix,
+    stride_perm_matrix,
+    twiddle_matrix,
+    wht_matrix,
+)
+
+__all__ = [
+    "dct2_matrix",
+    "dct4_matrix",
+    "dft_matrix",
+    "reversal_matrix",
+    "stride_perm_matrix",
+    "to_matrix",
+    "twiddle_matrix",
+    "wht_matrix",
+]

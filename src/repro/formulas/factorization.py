@@ -1,0 +1,247 @@
+"""Factorization rules (Section 2.1, Equations 3 and 5-10).
+
+Each function returns a formula AST that is *identically equal* (as a
+matrix) to the transform it factors; the test suite checks every rule
+against the dense semantics.
+
+The ``leaf`` parameter lets callers substitute an already-factored
+formula for the ``F_r`` sub-transforms, which is how recursive
+breakdown trees are assembled by the formula generator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core import nodes
+from repro.core.errors import SplSemanticError
+from repro.core.nodes import (
+    Formula,
+    compose,
+    direct_sum,
+    fourier,
+    identity,
+    reversal,
+    stride,
+    tensor,
+    twiddle,
+)
+
+Leaf = Callable[[int], Formula]
+
+
+def _default_leaf(n: int) -> Formula:
+    return fourier(n)
+
+
+def _check_split(n: int, r: int, s: int) -> None:
+    if r * s != n or r < 2 or s < 2:
+        raise SplSemanticError(
+            f"invalid split {n} = {r} * {s}: factors must be >= 2"
+        )
+
+
+def ct_dit(r: int, s: int, leaf: Leaf = _default_leaf) -> Formula:
+    """Decimation-in-time Cooley-Tukey (Equations 3 and 5).
+
+    ``F_rs = (F_r (x) I_s) T^rs_s (I_r (x) F_s) L^rs_r``
+    """
+    n = r * s
+    _check_split(n, r, s)
+    return compose(
+        tensor(leaf(r), identity(s)),
+        twiddle(n, s),
+        tensor(identity(r), leaf(s)),
+        stride(n, r),
+    )
+
+
+def ct_dif(r: int, s: int, leaf: Leaf = _default_leaf) -> Formula:
+    """Decimation-in-frequency Cooley-Tukey (Equation 7).
+
+    ``F_rs = L^rs_s (I_r (x) F_s) T^rs_s (F_r (x) I_s)``
+    (the transpose of the DIT factorization; F and T are symmetric and
+    ``L^rs_r`` transposes to ``L^rs_s``).
+    """
+    n = r * s
+    _check_split(n, r, s)
+    return compose(
+        stride(n, s),
+        tensor(identity(r), leaf(s)),
+        twiddle(n, s),
+        tensor(leaf(r), identity(s)),
+    )
+
+
+def ct_parallel(r: int, s: int, leaf: Leaf = _default_leaf) -> Formula:
+    """The parallel form (Equation 8): every compute stage is I (x) A.
+
+    Obtained from DIT by commuting ``F_r (x) I_s`` with Equation 6:
+    ``F_rs = L^rs_r (I_s (x) F_r) L^rs_s T^rs_s (I_r (x) F_s) L^rs_r``
+    """
+    n = r * s
+    _check_split(n, r, s)
+    return compose(
+        stride(n, r),
+        tensor(identity(s), leaf(r)),
+        stride(n, s),
+        twiddle(n, s),
+        tensor(identity(r), leaf(s)),
+        stride(n, r),
+    )
+
+
+def ct_vector(r: int, s: int, leaf: Leaf = _default_leaf) -> Formula:
+    """The vector form (Equation 9): every compute stage is A (x) I.
+
+    ``F_rs = (F_r (x) I_s) T^rs_s L^rs_r (F_s (x) I_r)``
+    """
+    n = r * s
+    _check_split(n, r, s)
+    return compose(
+        tensor(leaf(r), identity(s)),
+        twiddle(n, s),
+        stride(n, r),
+        tensor(leaf(s), identity(r)),
+    )
+
+
+def tensor_flip(a: Formula, b: Formula, m: int, n: int) -> Formula:
+    """The commutation identity (Equation 6).
+
+    ``A_m (x) B_n = L^mn_m (B_n (x) A_m) L^mn_n`` where ``A`` is m x m
+    and ``B`` is n x n.
+    """
+    return compose(stride(m * n, m), tensor(b, a), stride(m * n, n))
+
+
+def ct_multi(factors: list[int], leaf: Leaf = _default_leaf) -> Formula:
+    """The general multi-factor factorization (Equation 10).
+
+    For ``n = n_1 n_2 ... n_t``::
+
+        F_n = [ prod_{i=1..t} (I_{n(i-)} (x) F_{n_i} (x) I_{n(i+)})
+                              (I_{n(i-)} (x) T^{n_i n(i+)}_{n(i+)}) ]
+              [ prod_{i=t..1} (I_{n(i-)} (x) L^{n_i n(i+)}_{n_i}) ]
+
+    with ``n(i-) = n_1 ... n_{i-1}`` and ``n(i+) = n_{i+1} ... n_t``.
+    ``factors = [2, n/2]`` gives the standard recursive step;
+    ``factors = [2] * k`` gives the iterative radix-2 FFT.
+    """
+    if len(factors) < 1 or any(f < 2 for f in factors):
+        raise SplSemanticError(f"invalid factor list {factors}")
+    if len(factors) == 1:
+        return leaf(factors[0])
+    t = len(factors)
+    stages: list[Formula] = []
+    for i in range(t):
+        left = math.prod(factors[:i])
+        ni = factors[i]
+        right = math.prod(factors[i + 1:])
+        butterfly: Formula = leaf(ni)
+        if right > 1:
+            butterfly = tensor(butterfly, identity(right))
+        if left > 1:
+            butterfly = tensor(identity(left), butterfly)
+        stages.append(butterfly)
+        if right > 1:
+            tw: Formula = twiddle(ni * right, right)
+            if left > 1:
+                tw = tensor(identity(left), tw)
+            stages.append(tw)
+    for i in range(t - 1, -1, -1):
+        left = math.prod(factors[:i])
+        ni = factors[i]
+        right = math.prod(factors[i + 1:])
+        if right <= 1:
+            continue  # L^{n_i}_{n_i} is the identity
+        perm: Formula = stride(ni * right, ni)
+        if left > 1:
+            perm = tensor(identity(left), perm)
+        stages.append(perm)
+    return compose(*stages)
+
+
+def wht_multi(exponents: list[int]) -> Formula:
+    """The WHT factorization of Section 2.1.
+
+    ``WHT_{2^k} = prod_i (I_{2^{e_1+..+e_{i-1}}} (x) WHT_{2^{e_i}}
+    (x) I_{2^{e_{i+1}+..+e_t}})`` with ``k = sum(exponents)``.
+    """
+    if not exponents or any(e < 1 for e in exponents):
+        raise SplSemanticError(f"invalid exponent list {exponents}")
+    k = sum(exponents)
+    if len(exponents) == 1:
+        return nodes.Param(name="WHT", params=(2 ** k,))
+    stages: list[Formula] = []
+    for i, e in enumerate(exponents):
+        left = 2 ** sum(exponents[:i])
+        right = 2 ** sum(exponents[i + 1:])
+        stage: Formula = nodes.Param(name="WHT", params=(2 ** e,))
+        if right > 1:
+            stage = tensor(stage, identity(right))
+        if left > 1:
+            stage = tensor(identity(left), stage)
+        stages.append(stage)
+    return compose(*stages)
+
+
+def dct2_split(n: int, leaf2: Callable[[int], Formula] | None = None,
+               leaf4: Callable[[int], Formula] | None = None) -> Formula:
+    """The DCT-II recursion of Section 2.1.
+
+    ``DCT2_n = L^n_{n/2} (DCT2_{n/2} (+) DCT4_{n/2})
+               (F_2 (x) I_{n/2}) (I_{n/2} (+) J_{n/2})``
+
+    The butterfly computes ``u_k = x_k + x_{n-1-k}`` and ``v_k = x_k -
+    x_{n-1-k}``; the stride permutation interleaves the half-size
+    DCT-II (even outputs) with the half-size DCT-IV (odd outputs).
+    """
+    if n < 4 or n % 2:
+        raise SplSemanticError("DCT-II split needs even n >= 4")
+    half = n // 2
+    sub2 = leaf2(half) if leaf2 else nodes.Param(name="DCT2", params=(half,))
+    sub4 = leaf4(half) if leaf4 else nodes.Param(name="DCT4", params=(half,))
+    return compose(
+        stride(n, half),
+        direct_sum(sub2, sub4),
+        tensor(fourier(2), identity(half)),
+        direct_sum(identity(half), reversal(half)),
+    )
+
+
+def dct4_via_dct2(n: int,
+                  leaf2: Callable[[int], Formula] | None = None) -> Formula:
+    """Express DCT-IV through DCT-II: ``DCT4_n = S_n DCT2_n D_n``.
+
+    ``D_n = diag(2 cos((2j+1) pi / (4n)))`` and ``S_n`` undoes the sum
+    recurrence ``y_k + y_{k-1} = z_k``: it is the inverse of that
+    bidiagonal system, the lower-triangular alternating matrix with
+    ``S[k,0] = (-1)^k / 2`` and ``S[k,j] = (-1)^(k-j)`` for
+    ``1 <= j <= k``.  (The paper calls ``S`` diagonal, which only holds
+    for n = 1; the triangular form is the closed-form solution.)  The
+    rule demonstrates mixing literal matrices with parameterized ones;
+    the *fast* DCT path is :func:`dct2_split`, which keeps everything
+    sparse.
+    """
+    if n < 1:
+        raise SplSemanticError("DCT-IV size must be positive")
+    d_values = tuple(
+        2.0 * math.cos((2 * j + 1) * math.pi / (4 * n)) for j in range(n)
+    )
+    rows = []
+    for k in range(n):
+        row = [0.0] * n
+        row[0] = 0.5 * (-1.0) ** k
+        for j in range(1, k + 1):
+            row[j] = (-1.0) ** (k - j)
+        rows.append(tuple(row))
+    sub2 = leaf2(n) if leaf2 else nodes.Param(name="DCT2", params=(n,))
+    return compose(
+        nodes.MatrixLit(rows=tuple(rows)),
+        sub2,
+        nodes.DiagonalLit(values=d_values),
+    )

@@ -1,0 +1,63 @@
+"""Dense matrix interpretation of SPL formulas.
+
+``to_matrix`` evaluates any formula AST to the (complex) numpy matrix
+it denotes — the integration oracle for the whole compiler: for every
+formula and every pipeline configuration, the generated code must
+compute ``to_matrix(f) @ x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nodes
+from repro.core.errors import SplSemanticError
+from repro.formulas import transforms
+
+_PARAM_BUILDERS = {
+    "I": lambda n: np.eye(n),
+    "F": transforms.dft_matrix,
+    "J": transforms.reversal_matrix,
+    "L": transforms.stride_perm_matrix,
+    "T": transforms.twiddle_matrix,
+    "WHT": transforms.wht_matrix,
+    "DCT2": transforms.dct2_matrix,
+    "DCT4": transforms.dct4_matrix,
+}
+
+
+def to_matrix(formula: nodes.Formula) -> np.ndarray:
+    """The dense matrix denoted by ``formula`` (complex dtype)."""
+    if isinstance(formula, nodes.Param):
+        builder = _PARAM_BUILDERS.get(formula.name)
+        if builder is None:
+            raise SplSemanticError(
+                f"no dense semantics for ({formula.name} ...); "
+                "user-defined matrices need their own oracle"
+            )
+        return np.asarray(builder(*formula.params), dtype=complex)
+    if isinstance(formula, nodes.MatrixLit):
+        return np.array(formula.rows, dtype=complex)
+    if isinstance(formula, nodes.DiagonalLit):
+        return np.diag(np.array(formula.values, dtype=complex))
+    if isinstance(formula, nodes.PermutationLit):
+        n = len(formula.perm)
+        matrix = np.zeros((n, n), dtype=complex)
+        for i, k in enumerate(formula.perm):
+            matrix[i, k - 1] = 1.0
+        return matrix
+    if isinstance(formula, nodes.Compose):
+        return to_matrix(formula.left) @ to_matrix(formula.right)
+    if isinstance(formula, nodes.Tensor):
+        return np.kron(to_matrix(formula.left), to_matrix(formula.right))
+    if isinstance(formula, nodes.DirectSum):
+        left = to_matrix(formula.left)
+        right = to_matrix(formula.right)
+        out = np.zeros(
+            (left.shape[0] + right.shape[0], left.shape[1] + right.shape[1]),
+            dtype=complex,
+        )
+        out[: left.shape[0], : left.shape[1]] = left
+        out[left.shape[0]:, left.shape[1]:] = right
+        return out
+    raise SplSemanticError(f"cannot interpret formula {formula!r}")

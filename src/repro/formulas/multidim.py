@@ -1,0 +1,101 @@
+"""Multidimensional and derived transforms expressed as SPL formulas.
+
+The tensor-product formalism makes multidimensional transforms free:
+the 2-D DFT on an m x n grid (row-major layout) is ``F_m (x) F_n``, and
+the row-column algorithm is the expansion
+``(F_m (x) I_n)(I_m (x) F_n)``.  The inverse DFT is also a formula:
+``F_n^{-1} = (1/n) R_n F_n`` with ``R_n`` the index-reversal
+permutation ``y[0] = x[0], y[k] = x[n-k]``.
+
+Everything here compiles through the unmodified SPL compiler — the
+point of the paper's "any class of algorithm that can be represented as
+matrix expressions".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import nodes
+from repro.core.errors import SplSemanticError
+from repro.core.nodes import Formula, compose, fourier, identity, tensor
+
+Leaf = Callable[[int], Formula]
+
+
+def dft2d(m: int, n: int, leaf: Leaf = fourier) -> Formula:
+    """The 2-D DFT on an m x n row-major grid: ``F_m (x) F_n``.
+
+    Expanded in row-column form so the compiler never materializes the
+    general tensor temp: ``(F_m (x) I_n) (I_m (x) F_n)``.
+    """
+    if m < 1 or n < 1:
+        raise SplSemanticError("2-D DFT sizes must be positive")
+    return compose(
+        tensor(leaf(m), identity(n)),
+        tensor(identity(m), leaf(n)),
+    )
+
+
+def dft3d(l: int, m: int, n: int, leaf: Leaf = fourier) -> Formula:
+    """The 3-D DFT on an l x m x n grid, dimension-by-dimension."""
+    if min(l, m, n) < 1:
+        raise SplSemanticError("3-D DFT sizes must be positive")
+    return compose(
+        tensor(leaf(l), identity(m * n)),
+        tensor(identity(l), leaf(m), identity(n)),
+        tensor(identity(l * m), leaf(n)),
+    )
+
+
+def index_reversal(n: int) -> nodes.PermutationLit:
+    """The mod-n index reversal: y[0] = x[0], y[k] = x[n-k]."""
+    perm = (1,) + tuple(range(n, 1, -1))
+    return nodes.PermutationLit(perm=perm)
+
+
+def inverse_dft(n: int, leaf: Leaf = fourier) -> Formula:
+    """The inverse DFT as a formula: ``(1/n) R_n F_n``.
+
+    Uses the identity ``F_n^{-1}[j,k] = (1/n) w_n^{-jk}`` and
+    ``w_n^{-jk} = w_n^{j(n-k) mod n}``, i.e. conjugation of the DFT is
+    the index-reversal permutation applied to its rows.
+    """
+    if n < 1:
+        raise SplSemanticError("inverse DFT size must be positive")
+    scale = nodes.DiagonalLit(values=(1.0 / n,) * n)
+    if n == 1:
+        return scale
+    return compose(scale, index_reversal(n), leaf(n))
+
+
+def cyclic_convolution(n: int, leaf: Leaf = fourier,
+                       inverse_leaf: Leaf | None = None) -> Formula:
+    """Cyclic convolution *machinery* by the convolution theorem.
+
+    Returns the formula ``F_n^{-1} . F_n`` — the identity, but
+    structured so that callers can splice a diagonal (the transformed
+    filter taps) between the stages; see
+    :func:`cyclic_convolution_with_taps`.
+    """
+    inv = inverse_leaf(n) if inverse_leaf else inverse_dft(n, leaf)
+    return compose(inv, leaf(n))
+
+
+def cyclic_convolution_with_taps(n: int, taps_spectrum,
+                                 leaf: Leaf = fourier) -> Formula:
+    """Cyclic convolution with a fixed filter, as one SPL formula.
+
+    ``y = F^{-1} diag(H) F x`` where ``H`` is the DFT of the filter
+    taps (supplied precomputed, as a sequence of n complex values).
+    """
+    values = tuple(complex(v) for v in taps_spectrum)
+    if len(values) != n:
+        raise SplSemanticError(
+            f"need {n} spectrum values, got {len(values)}"
+        )
+    return compose(
+        inverse_dft(n, leaf),
+        nodes.DiagonalLit(values=values),
+        leaf(n),
+    )

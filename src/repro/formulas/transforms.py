@@ -1,0 +1,92 @@
+"""Dense definitions of the signal transforms (Section 2.1).
+
+These matrices are the ground truth that every factorization rule and
+every generated program is verified against.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.errors import SplSemanticError
+
+
+def dft_matrix(n: int) -> np.ndarray:
+    """The n-point DFT: element (p, q) is ``w_n^(p*q)``, w_n = e^(-2pi*i/n)."""
+    if n <= 0:
+        raise SplSemanticError("DFT size must be positive")
+    indices = np.arange(n)
+    exponents = np.outer(indices, indices) % n
+    w = np.exp(-2j * math.pi / n)
+    return np.power(w, exponents)
+
+
+def stride_perm_matrix(n: int, s: int) -> np.ndarray:
+    """The stride permutation ``L^n_s``: y[j*(n/s) + i] = x[i*s + j].
+
+    Reading the input with stride ``s``; equivalently the transpose of
+    an (n/s) x s row-major matrix.
+    """
+    if n <= 0 or s <= 0 or n % s != 0:
+        raise SplSemanticError(f"(L {n} {s}): s must divide n")
+    m = n // s
+    matrix = np.zeros((n, n))
+    for i in range(m):
+        for j in range(s):
+            matrix[j * m + i, i * s + j] = 1.0
+    return matrix
+
+
+def twiddle_matrix(n: int, s: int) -> np.ndarray:
+    """The twiddle matrix ``T^n_s``: diag entries w_n^(i*j) at i*s + j."""
+    if n <= 0 or s <= 0 or n % s != 0:
+        raise SplSemanticError(f"(T {n} {s}): s must divide n")
+    m = n // s
+    w = np.exp(-2j * math.pi / n)
+    diag = np.empty(n, dtype=complex)
+    for i in range(m):
+        for j in range(s):
+            diag[i * s + j] = w ** (i * j)
+    return np.diag(diag)
+
+
+def reversal_matrix(n: int) -> np.ndarray:
+    """The reversal permutation ``J_n``: y[i] = x[n-1-i]."""
+    if n <= 0:
+        raise SplSemanticError("(J n): size must be positive")
+    return np.fliplr(np.eye(n))
+
+
+def wht_matrix(n: int) -> np.ndarray:
+    """The Walsh-Hadamard transform in Hadamard (natural) order."""
+    if n <= 0 or n & (n - 1):
+        raise SplSemanticError("WHT size must be a power of two")
+    matrix = np.array([[1.0]])
+    h2 = np.array([[1.0, 1.0], [1.0, -1.0]])
+    while matrix.shape[0] < n:
+        matrix = np.kron(matrix, h2)
+    return matrix
+
+
+def dct2_matrix(n: int) -> np.ndarray:
+    """The unnormalized DCT-II: y[k] = sum_j cos(pi*k*(2j+1)/(2n)) x[j].
+
+    With this scaling ``DCT2_2 = diag(1, 1/sqrt(2)) . F_2`` exactly as
+    in Section 2.1 of the paper.
+    """
+    if n <= 0:
+        raise SplSemanticError("DCT-II size must be positive")
+    k = np.arange(n).reshape(-1, 1)
+    j = np.arange(n).reshape(1, -1)
+    return np.cos(math.pi * k * (2 * j + 1) / (2 * n))
+
+
+def dct4_matrix(n: int) -> np.ndarray:
+    """The unnormalized DCT-IV: y[k] = sum_j cos(pi(2k+1)(2j+1)/(4n)) x[j]."""
+    if n <= 0:
+        raise SplSemanticError("DCT-IV size must be positive")
+    k = np.arange(n).reshape(-1, 1)
+    j = np.arange(n).reshape(1, -1)
+    return np.cos(math.pi * (2 * k + 1) * (2 * j + 1) / (4 * n))

@@ -1,0 +1,24 @@
+"""The formula generator (Figure 1 of the paper).
+
+Enumerates the algorithm space: breakdown trees for the FFT via the
+factorization identities of Section 2.1 (:mod:`fft_rules`), plus the
+Walsh-Hadamard (:mod:`wht_rules`) and DCT (:mod:`dct_rules`) spaces.
+The search engine picks from these candidates using timing feedback.
+"""
+
+from repro.generator.fft_rules import (
+    all_binary_splits,
+    enumerate_ct_formulas,
+    ordered_factorizations,
+)
+from repro.generator.wht_rules import enumerate_wht_formulas
+from repro.generator.dct_rules import dct2_recursive, dct4_recursive
+
+__all__ = [
+    "all_binary_splits",
+    "dct2_recursive",
+    "dct4_recursive",
+    "enumerate_ct_formulas",
+    "enumerate_wht_formulas",
+    "ordered_factorizations",
+]

@@ -1,0 +1,38 @@
+"""Recursive DCT formula generation (Section 2.1).
+
+The paper sketches ``DCTII_n = P (DCTII_{n/2} (+) DCTIV_{n/2})
+(I (x) F_2) Q`` and ``DCTIV_n = S DCTII_n D``; the verified concrete
+forms live in :mod:`repro.formulas.factorization`.  This module builds
+fully recursive breakdown trees from them.
+"""
+
+from __future__ import annotations
+
+from repro.core import nodes
+from repro.core.nodes import Formula
+from repro.formulas.factorization import dct2_split, dct4_via_dct2
+
+
+def dct2_recursive(n: int, *, min_size: int = 2) -> Formula:
+    """A fully recursive DCT-II formula.
+
+    Splits down to ``min_size``; DCT-IV sub-blocks are expanded through
+    DCT-II (via the lifting identity) when they are still splittable,
+    and left as definition leaves otherwise.
+    """
+    if n <= min_size or n % 2 or n < 4:
+        return nodes.Param(name="DCT2", params=(n,))
+    return dct2_split(
+        n,
+        leaf2=lambda m: dct2_recursive(m, min_size=min_size),
+        leaf4=lambda m: dct4_recursive(m, min_size=min_size),
+    )
+
+
+def dct4_recursive(n: int, *, min_size: int = 2) -> Formula:
+    """A recursive DCT-IV formula through the DCT-II lifting identity."""
+    if n <= min_size:
+        return nodes.Param(name="DCT4", params=(n,))
+    return dct4_via_dct2(
+        n, leaf2=lambda m: dct2_recursive(m, min_size=min_size)
+    )

@@ -1,0 +1,129 @@
+"""Enumeration of FFT factorizations (the formula generator's FFT space).
+
+Section 4: "we used dynamic programming over all possible
+factorizations using Equation 10".  This module enumerates that space:
+every ordered factorization of n feeds :func:`ct_multi`, and each
+``F_{n_i}`` leaf can recursively use the best known sub-formula.
+
+The single-step binary variants (DIT / DIF / parallel / vector forms,
+Equations 5 and 7-9) are also exposed so the search space can be
+widened beyond the paper's simple strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.nodes import Formula, fourier
+from repro.formulas import factorization as fac
+
+Leaf = Callable[[int], Formula]
+
+BINARY_RULES: dict[str, Callable[[int, int, Leaf], Formula]] = {
+    "dit": fac.ct_dit,
+    "dif": fac.ct_dif,
+    "parallel": fac.ct_parallel,
+    "vector": fac.ct_vector,
+}
+
+
+def ordered_factorizations(n: int, min_factor: int = 2) -> Iterator[list[int]]:
+    """All ordered factor lists (each factor >= min_factor) with t >= 2."""
+    for first in range(min_factor, n):
+        if n % first:
+            continue
+        rest = n // first
+        if rest == 1:
+            continue
+        yield [first, rest]
+        for tail in ordered_factorizations(rest, min_factor):
+            yield [first, *tail]
+
+
+def all_binary_splits(n: int) -> Iterator[tuple[int, int]]:
+    """All (r, s) with r*s = n, r >= 2, s >= 2."""
+    for r in range(2, n):
+        if n % r == 0 and n // r >= 2:
+            yield r, n // r
+
+
+def enumerate_ct_formulas(n: int, *, leaf: Leaf = fourier,
+                          rules: tuple[str, ...] = ("multi",),
+                          limit: int | None = None) -> list[Formula]:
+    """Enumerate distinct factorizations of ``F_n``.
+
+    ``rules`` chooses which identities generate candidates:
+
+    * ``"multi"``  — Equation 10 over every ordered factorization;
+    * ``"dit"``, ``"dif"``, ``"parallel"``, ``"vector"`` — the binary
+      forms over every split.
+
+    The direct definition ``(F n)`` is always the first candidate, so
+    a search over the result can fall back to the O(n^2) algorithm.
+    """
+    candidates: list[Formula] = [leaf(n)] if leaf is not fourier \
+        else [fourier(n)]
+    seen: set[str] = {candidates[0].to_spl()}
+
+    def push(formula: Formula) -> bool:
+        text = formula.to_spl()
+        if text in seen:
+            return True
+        seen.add(text)
+        candidates.append(formula)
+        return limit is None or len(candidates) < limit
+
+    if "multi" in rules:
+        for factors in ordered_factorizations(n):
+            if not push(fac.ct_multi(factors, leaf=leaf)):
+                return candidates
+    for rule_name, rule in BINARY_RULES.items():
+        if rule_name not in rules:
+            continue
+        for r, s in all_binary_splits(n):
+            if not push(rule(r, s, leaf)):
+                return candidates
+    return candidates
+
+
+def enumerate_breakdown_trees(n: int, *,
+                              rule: Callable[[int, int, Leaf], Formula]
+                              = fac.ct_dit,
+                              limit: int | None = None) -> list[Formula]:
+    """Fully recursive breakdown trees for ``F_n`` (binary rule).
+
+    Every node of the tree either stays a definition leaf ``(F m)`` or
+    splits with ``rule`` — the complete recursive Equation-10 space the
+    paper's Figure 2 draws its 45 formulas for ``F_32`` from (there are
+    51 distinct trees for n = 32).
+    """
+    memo: dict[int, list[Formula]] = {}
+
+    def trees(m: int) -> list[Formula]:
+        cached = memo.get(m)
+        if cached is not None:
+            return cached
+        out: list[Formula] = [fourier(m)]
+        for r, s in all_binary_splits(m):
+            for left in trees(r):
+                for right in trees(s):
+                    queues: dict[int, list[Formula]] = {}
+                    queues.setdefault(r, []).append(left)
+                    queues.setdefault(s, []).append(right)
+
+                    def leaf(k: int, q=queues) -> Formula:
+                        return q[k].pop(0)
+
+                    out.append(rule(r, s, leaf))
+        memo[m] = out
+        return out
+
+    result = trees(n)
+    if limit is not None:
+        result = result[:limit]
+    return result
+
+
+def count_factorizations(n: int) -> int:
+    """The number of Equation-10 candidates for ``F_n`` (plus the leaf)."""
+    return 1 + sum(1 for _ in ordered_factorizations(n))

@@ -1,0 +1,38 @@
+"""Enumeration of Walsh-Hadamard factorizations (Section 2.1).
+
+``WHT_{2^k} = prod_i (I (x) WHT_{2^{e_i}} (x) I)`` over every ordered
+composition of k — the search space of the Johnson/Pueschel WHT package
+the paper cites as closely related work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.nodes import Formula
+from repro.formulas.factorization import wht_multi
+
+
+def compositions(k: int, max_part: int | None = None) -> Iterator[list[int]]:
+    """All ordered compositions of ``k`` into parts >= 1."""
+    cap = max_part or k
+    if k == 0:
+        yield []
+        return
+    for first in range(1, min(k, cap) + 1):
+        for tail in compositions(k - first, max_part):
+            yield [first, *tail]
+
+
+def enumerate_wht_formulas(n: int, *,
+                           limit: int | None = None) -> list[Formula]:
+    """All WHT breakdown formulas for size ``n = 2^k`` (single level)."""
+    k = n.bit_length() - 1
+    if 2 ** k != n:
+        raise ValueError(f"WHT size must be a power of two, got {n}")
+    formulas: list[Formula] = []
+    for parts in compositions(k):
+        formulas.append(wht_multi(parts))
+        if limit is not None and len(formulas) >= limit:
+            break
+    return formulas

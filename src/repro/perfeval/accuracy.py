@@ -1,0 +1,42 @@
+"""Accuracy measurement in the style of benchfft (Figure 6).
+
+The paper measured "the relative error of FFT of each size" with
+Frigo's benchfft package, which compares against an arbitrary-precision
+FFT.  Offline we use the equivalent practical reference: numpy's FFT
+computed in extended precision where available.  The reported quantity
+is the relative L2 error
+
+    ||y - y_ref|| / ||y_ref||
+
+averaged over random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def reference_dft(x: np.ndarray) -> np.ndarray:
+    """A higher-precision DFT reference (longdouble if the platform has it)."""
+    if np.longdouble is not np.float64:
+        xl = x.astype(np.clongdouble)
+        yl = np.fft.fft(xl)
+        return yl.astype(complex)
+    return np.fft.fft(x)
+
+
+def relative_error(fft: Callable[[np.ndarray], np.ndarray], n: int, *,
+                   trials: int = 3, seed: int = 1234) -> float:
+    """Mean relative L2 error of ``fft`` on random complex inputs."""
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(trials):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y = np.asarray(fft(x))
+        y_ref = reference_dft(x)
+        total += float(
+            np.linalg.norm(y - y_ref) / np.linalg.norm(y_ref)
+        )
+    return total / trials

@@ -1,0 +1,118 @@
+"""Compile generated C code with the host compiler and load via ctypes.
+
+This is the reproduction's stand-in for the paper's back-end Fortran/C
+compilers (Workshop 5.0, MIPSpro, egcs): generated routines are
+compiled at maximum optimization and timed as native code.
+
+Shared objects are cached by source hash under a build directory, so
+repeated searches do not recompile identical candidates.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+_DEFAULT_CFLAGS = ("-O3", "-fPIC", "-shared", "-fno-math-errno")
+
+
+class CCompileError(RuntimeError):
+    """Raised when the host C compiler fails (or does not exist)."""
+
+
+def have_c_compiler() -> bool:
+    return _find_compiler() is not None
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def default_build_dir() -> Path:
+    root = os.environ.get("SPL_BUILD_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(tempfile.gettempdir()) / "spl-build"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
+                          build_dir: Path | None = None) -> Path:
+    """Compile C ``source`` into a cached shared object, returning its path."""
+    compiler = _find_compiler()
+    if compiler is None:
+        raise CCompileError("no C compiler (cc/gcc/clang) on PATH")
+    build_dir = build_dir or default_build_dir()
+    flags = _DEFAULT_CFLAGS + tuple(cflags)
+    digest = hashlib.sha256(
+        ("\x00".join(flags) + "\x01" + source).encode()
+    ).hexdigest()[:24]
+    so_path = build_dir / f"spl_{digest}.so"
+    if so_path.exists():
+        return so_path
+    c_path = build_dir / f"spl_{digest}.c"
+    c_path.write_text(source)
+    result = subprocess.run(
+        [compiler, *flags, str(c_path), "-o", str(so_path), "-lm"],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise CCompileError(
+            f"C compilation failed:\n{result.stderr}\n--- source ---\n"
+            + "\n".join(
+                f"{i + 1:4d} {line}"
+                for i, line in enumerate(source.split("\n")[:60])
+            )
+        )
+    return so_path
+
+
+def load_function(so_path: Path, name: str, *, strided: bool = False):
+    """Load ``name`` from a shared object with the SPL C signature."""
+    lib = ctypes.CDLL(str(so_path))
+    fn = getattr(lib, name)
+    argtypes = [ctypes.POINTER(ctypes.c_double),
+                ctypes.POINTER(ctypes.c_double)]
+    if strided:
+        argtypes += [ctypes.c_int] * 4
+    fn.argtypes = argtypes
+    fn.restype = None
+    fn._keepalive_lib = lib  # prevent the CDLL from being collected
+    return fn
+
+
+def compile_c_program(source: str, name: str, *, strided: bool = False,
+                      cflags: tuple[str, ...] = (),
+                      build_dir: Path | None = None):
+    """Compile one routine and return the raw ctypes function."""
+    so_path = compile_shared_object(source, cflags=cflags,
+                                    build_dir=build_dir)
+    return load_function(so_path, name, strided=strided)
+
+
+def make_numpy_wrapper(fn, out_len: int) -> Callable:
+    """Wrap a ctypes routine as ``wrapper(x) -> y`` over float64 arrays."""
+    import numpy as np
+
+    c_double_p = ctypes.POINTER(ctypes.c_double)
+
+    def wrapper(x: "np.ndarray") -> "np.ndarray":
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        y = np.zeros(out_len, dtype=np.float64)
+        fn(y.ctypes.data_as(c_double_p), x.ctypes.data_as(c_double_p))
+        return y
+
+    return wrapper

@@ -1,0 +1,65 @@
+"""Memory accounting for Figure 5.
+
+The paper measured the memory required to *run* the generated code —
+dominated by the text segment (code), the twiddle tables, the
+temporaries, and the I/O vectors.  This module accounts the same
+quantities for a compiled routine, and the FFTW substitute reports its
+plan/buffer footprint through the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.compiler import CompiledRoutine
+
+BYTES_PER_REAL = 8
+
+
+@dataclass
+class MemoryReport:
+    """Bytes attributable to each part of a runnable transform."""
+
+    code_bytes: int
+    table_bytes: int
+    temp_bytes: int
+    io_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.code_bytes + self.table_bytes + self.temp_bytes
+                + self.io_bytes)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "code": self.code_bytes,
+            "tables": self.table_bytes,
+            "temps": self.temp_bytes,
+            "io": self.io_bytes,
+            "total": self.total_bytes,
+        }
+
+
+def routine_memory(routine: CompiledRoutine,
+                   shared_object: Path | None = None) -> MemoryReport:
+    """Account the memory footprint of one compiled routine.
+
+    ``shared_object`` (when the C path is used) provides the true text
+    segment size; otherwise the generated source size is the proxy.
+    """
+    program = routine.program
+    if shared_object is not None and shared_object.exists():
+        code = shared_object.stat().st_size
+    else:
+        code = len(routine.source.encode())
+    width = program.element_width
+    return MemoryReport(
+        code_bytes=code,
+        table_bytes=program.table_elements() * BYTES_PER_REAL,
+        # temp vector sizes are physical element counts (already doubled
+        # by the complex-to-real lowering when applicable)
+        temp_bytes=program.temp_elements() * BYTES_PER_REAL,
+        io_bytes=(program.in_size + program.out_size) * width
+        * BYTES_PER_REAL,
+    )

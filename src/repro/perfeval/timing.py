@@ -1,0 +1,51 @@
+"""Timing helpers and the paper's performance metric.
+
+Section 4.1: "The performance is measured in terms of 'pseudo MFlops',
+which is a value calculated by using the equation 5 N log2(N) / t where
+N is the size of FFT and t is the execution time in microseconds."
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+
+def time_callable(fn: Callable[[], None], *, min_time: float = 0.02,
+                  repeats: int = 3) -> float:
+    """Best-of-``repeats`` average seconds per call of ``fn``.
+
+    Each repeat runs ``fn`` in a batch sized so the batch takes at
+    least ``min_time`` seconds, then the per-call average is taken;
+    the minimum over repeats rejects scheduling noise, as the paper's
+    (and FFTW's) timing methodology does.
+    """
+    # Calibrate the batch size.
+    calls = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time or calls >= 1 << 24:
+            break
+        growth = 2 if elapsed <= 0 else min(
+            16, max(2, int(min_time / max(elapsed, 1e-9)) + 1)
+        )
+        calls *= growth
+    best = elapsed / calls
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / calls)
+    return best
+
+
+def pseudo_mflops(n: int, seconds: float) -> float:
+    """``5 N log2(N) / t`` with t in microseconds."""
+    if seconds <= 0:
+        return float("inf")
+    return 5.0 * n * math.log2(n) / (seconds * 1e6)

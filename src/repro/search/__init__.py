@@ -1,0 +1,20 @@
+"""The search engine (Figure 1): timing-driven dynamic programming.
+
+Implements the two-stage strategy of Section 4:
+
+* :mod:`repro.search.dp` — small sizes (2..64): exhaustive dynamic
+  programming over the Equation-10 factorizations, straight-line code;
+* :mod:`repro.search.large` — large sizes: right-most binary
+  Cooley-Tukey with codelet leaves (r <= 64), dynamic programming that
+  keeps the *three* best results per size.
+"""
+
+from repro.search.dp import SearchResult, search_small_sizes
+from repro.search.large import LargeSearch, register_codelet_template
+
+__all__ = [
+    "LargeSearch",
+    "SearchResult",
+    "register_codelet_template",
+    "search_small_sizes",
+]

@@ -1,0 +1,88 @@
+"""Small-size FFT search: dynamic programming over Equation 10 (§4.1).
+
+"For the small sizes, we used dynamic programming over all possible
+factorizations using Equation 10 and, for each size, we selected the
+factorization with the lowest execution time."
+
+Sizes are processed in increasing order; when a factorization uses a
+sub-transform ``F_m`` for an already-solved ``m``, the best known
+formula for ``m`` is substituted as the leaf, which is what makes this
+dynamic programming rather than exhaustive tree search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.nodes import Formula, fourier
+from repro.generator.fft_rules import enumerate_ct_formulas
+from repro.search.measure import Measurement, measure_formula
+
+
+@dataclass
+class SearchResult:
+    """Best formula found for one transform size."""
+
+    n: int
+    formula: Formula
+    seconds: float
+    mflops: float
+    candidates_tried: int
+
+    def describe(self) -> str:
+        return (
+            f"F_{self.n}: {self.mflops:8.1f} pseudo-MFlops "
+            f"({self.candidates_tried} candidates) {self.formula.to_spl()}"
+        )
+
+
+def default_small_compiler() -> SplCompiler:
+    """Straight-line code, real arithmetic — the paper's §4.1 setup."""
+    return SplCompiler(CompilerOptions(
+        unroll=True, optimize="default", datatype="complex",
+        codetype="real", language="c",
+    ))
+
+
+def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
+                       compiler: SplCompiler | None = None,
+                       rules: tuple[str, ...] = ("multi",),
+                       max_candidates: int | None = None,
+                       min_time: float = 0.005,
+                       verbose: bool = False) -> dict[int, SearchResult]:
+    """Run the paper's small-size dynamic-programming search.
+
+    Returns, for each size, the fastest formula found together with
+    its measured time.  ``max_candidates`` caps the per-size candidate
+    count for quick runs.
+    """
+    compiler = compiler or default_small_compiler()
+    best: dict[int, SearchResult] = {}
+
+    def leaf(m: int) -> Formula:
+        result = best.get(m)
+        return result.formula if result is not None else fourier(m)
+
+    for n in sorted(sizes):
+        candidates = enumerate_ct_formulas(
+            n, leaf=leaf, rules=rules, limit=max_candidates
+        )
+        winner: Measurement | None = None
+        for index, formula in enumerate(candidates):
+            measured = measure_formula(
+                compiler, formula, f"spl_fft{n}_c{index}", min_time=min_time
+            )
+            if winner is None or measured.seconds < winner.seconds:
+                winner = measured
+        assert winner is not None
+        best[n] = SearchResult(
+            n=n,
+            formula=winner.formula,
+            seconds=winner.seconds,
+            mflops=winner.mflops,
+            candidates_tried=len(candidates),
+        )
+        if verbose:
+            print(best[n].describe())
+    return best

@@ -1,0 +1,171 @@
+"""Large-size FFT search (§4.2): right-most binary CT with codelets.
+
+"The search space was restricted to binary Cooley-Tukey style
+factorization, as expressed in Equation 5, and to right-most
+factorization ... the dynamic programming algorithm kept the three
+best results at each stage instead of just one."
+
+The best small-size formulas (from :mod:`repro.search.dp`) are
+registered as *templates* for ``(F r)``, r <= 64 — the paper's §4.2
+mechanism — so the large-size loop code embeds the tuned straight-line
+codelets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.nodes import (
+    Formula,
+    compose,
+    fourier,
+    identity,
+    stride,
+    tensor,
+    twiddle,
+)
+from repro.core.pattern import PatParam
+from repro.core.templates import Template
+from repro.search.dp import SearchResult
+from repro.search.measure import Measurement, measure_formula
+
+
+def register_codelet_template(compiler: SplCompiler, n: int,
+                              formula: Formula) -> None:
+    """Register ``formula`` as the expansion of ``(F n)``.
+
+    The formula subtree is marked for full unrolling so every use of
+    the codelet becomes straight-line code, exactly like the paper's
+    search-generated templates.  When the winning formula is the
+    direct definition ``(F n)`` itself, no template is needed — the
+    start-up definition already covers it (and registering it would
+    make the expansion self-recursive).
+    """
+    if formula == fourier(n):
+        return
+    compiler.templates.add(Template(
+        pattern=PatParam("F", (n,)),
+        condition=None,
+        expansion=formula.with_unroll(True),
+        source_name=f"codelet F_{n}",
+    ))
+
+
+@dataclass
+class LargeCandidate:
+    """One (radix, rest) plan kept by the keep-k dynamic programming."""
+
+    n: int
+    radix: int
+    formula: Formula
+    seconds: float
+    mflops: float
+
+
+def default_large_compiler() -> SplCompiler:
+    """Looped code with straight-line codelets — the §4.2 setup."""
+    return SplCompiler(CompilerOptions(
+        optimize="default", datatype="complex", codetype="real",
+        language="c",
+    ))
+
+
+class LargeSearch:
+    """Keep-k dynamic programming over right-most binary factorizations."""
+
+    def __init__(self, small: dict[int, SearchResult], *, keep: int = 3,
+                 max_codelet: int = 64,
+                 radix_log2_range: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+                 compiler: SplCompiler | None = None,
+                 min_time: float = 0.005,
+                 verbose: bool = False):
+        self.keep = keep
+        self.max_codelet = max_codelet
+        self.radix_log2_range = radix_log2_range
+        self.min_time = min_time
+        self.verbose = verbose
+        self.compiler = compiler or default_large_compiler()
+        self.codelet_sizes: list[int] = []
+        for n, result in sorted(small.items()):
+            if n <= max_codelet:
+                register_codelet_template(self.compiler, n, result.formula)
+                self.codelet_sizes.append(n)
+        # size -> the k best candidates, fastest first.
+        self.best: dict[int, list[LargeCandidate]] = {}
+
+    # -- formula assembly ------------------------------------------------------
+
+    def _right_factored(self, r: int, right: Formula, s: int) -> Formula:
+        """``F_rs = (F_r (x) I_s) T^rs_s (I_r (x) right) L^rs_r``."""
+        n = r * s
+        return compose(
+            tensor(fourier(r), identity(s)),
+            twiddle(n, s),
+            tensor(identity(r), right),
+            stride(n, r),
+        )
+
+    def _right_formulas(self, s: int) -> list[Formula]:
+        if s <= self.max_codelet:
+            return [fourier(s)]  # expands through the codelet template
+        return [cand.formula for cand in self.best[s]]
+
+    # -- the search ------------------------------------------------------------
+
+    def search_up_to(self, n: int) -> None:
+        """Fill the DP table for every power of two up to ``n``."""
+        k = n.bit_length() - 1
+        if 2 ** k != n:
+            raise ValueError(f"large-size search needs a power of two, got {n}")
+        size = self.max_codelet * 2
+        while size <= n:
+            if size not in self.best:
+                self._search_size(size)
+            size *= 2
+
+    def _search_size(self, n: int) -> None:
+        kept: list[LargeCandidate] = []
+        index = 0
+        for a in self.radix_log2_range:
+            r = 2 ** a
+            if r > self.max_codelet or n // r < 2:
+                continue
+            if r not in self.codelet_sizes:
+                continue
+            s = n // r
+            if s > self.max_codelet and s not in self.best:
+                self._search_size(s)
+            for right in self._right_formulas(s):
+                formula = self._right_factored(r, right, s)
+                measured = measure_formula(
+                    self.compiler, formula, f"spl_fft{n}_r{r}_v{index}",
+                    min_time=self.min_time,
+                )
+                index += 1
+                kept.append(LargeCandidate(
+                    n=n, radix=r, formula=formula,
+                    seconds=measured.seconds, mflops=measured.mflops,
+                ))
+        kept.sort(key=lambda cand: cand.seconds)
+        self.best[n] = kept[: self.keep]
+        if self.verbose and kept:
+            top = kept[0]
+            print(
+                f"F_{n}: best radix {top.radix}, {top.mflops:.1f} "
+                f"pseudo-MFlops ({index} candidates)"
+            )
+
+    def best_candidate(self, n: int) -> LargeCandidate:
+        self.search_up_to(n)
+        if n <= self.max_codelet:
+            raise ValueError("use the small-size search below the codelet cap")
+        return self.best[n][0]
+
+    def best_measurement(self, n: int) -> Measurement:
+        """Re-measure the winning plan for ``n`` (fresh executable)."""
+        candidate = self.best_candidate(n)
+        return measure_formula(
+            self.compiler, candidate.formula, f"spl_fft{n}_best",
+            min_time=self.min_time,
+        )

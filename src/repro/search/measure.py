@@ -1,0 +1,42 @@
+"""Compile-and-time one formula candidate.
+
+The measurement path is: SPL compiler (straight-line or looped code)
+-> C backend -> host C compiler at -O3 -> ctypes -> best-of timing.
+When no C compiler is available the Python backend is timed instead
+(relative comparisons between candidates remain meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledRoutine, SplCompiler
+from repro.core.nodes import Formula
+from repro.perfeval.runner import ExecutableRoutine, build_executable
+from repro.perfeval.timing import pseudo_mflops, time_callable
+
+
+@dataclass
+class Measurement:
+    """One timed candidate."""
+
+    formula: Formula
+    routine: CompiledRoutine
+    executable: ExecutableRoutine
+    seconds: float
+
+    @property
+    def mflops(self) -> float:
+        return pseudo_mflops(self.routine.in_size, self.seconds)
+
+
+def measure_formula(compiler: SplCompiler, formula: Formula, name: str, *,
+                    min_time: float = 0.005,
+                    repeats: int = 2) -> Measurement:
+    """Compile ``formula`` with ``compiler`` and time it."""
+    routine = compiler.compile_formula(formula, name, language="c")
+    executable = build_executable(routine)
+    seconds = time_callable(executable.timer_closure(),
+                            min_time=min_time, repeats=repeats)
+    return Measurement(formula=formula, routine=routine,
+                       executable=executable, seconds=seconds)

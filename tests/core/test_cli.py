@@ -1,0 +1,61 @@
+"""Tests for the spl-compile command-line interface."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+@pytest.fixture
+def spl_file(tmp_path):
+    path = tmp_path / "prog.spl"
+    path.write_text("#subname fft4\n"
+                    "(compose (tensor (F 2) (I 2)) (T 4 2) "
+                    "(tensor (I 2) (F 2)) (L 4 2))\n")
+    return path
+
+
+class TestCli:
+    def test_default_fortran_output(self, spl_file, capsys):
+        assert main([str(spl_file)]) == 0
+        out = capsys.readouterr().out
+        assert "subroutine fft4 (y,x)" in out
+
+    def test_c_output(self, spl_file, capsys):
+        assert main([str(spl_file), "--language", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "void fft4(" in out
+
+    def test_python_output(self, spl_file, capsys):
+        assert main([str(spl_file), "--language", "python"]) == 0
+        assert "def fft4(" in capsys.readouterr().out
+
+    def test_unroll_threshold_flag(self, spl_file, capsys):
+        assert main([str(spl_file), "-B", "32", "--language", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "for (" not in out  # fully unrolled
+
+    def test_stats_flag(self, spl_file, capsys):
+        assert main([str(spl_file), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "flops=" in err
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/file.spl"]) == 2
+
+    def test_bad_program_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.spl"
+        path.write_text("(compose (F 2) (F 4))\n")  # size mismatch
+        assert main([str(path)]) == 1
+        assert "spl-compile:" in capsys.readouterr().err
+
+    def test_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("(I 2)\n"))
+        assert main(["-"]) == 0
+        assert "subroutine" in capsys.readouterr().out
+
+    def test_optimize_none(self, spl_file, capsys):
+        assert main([str(spl_file), "--optimize", "none", "--unroll"]) == 0
+        out = capsys.readouterr().out
+        assert "t0(" in out  # temp arrays survive without scalarization

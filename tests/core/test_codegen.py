@@ -1,0 +1,169 @@
+"""Unit tests for intermediate code generation (Section 3.2)."""
+
+import pytest
+
+from repro.core.codegen import CodeGenerator
+from repro.core.compiler import SplCompiler
+from repro.core.errors import SplTemplateError
+from repro.core.icode import Loop, Op, VecRef, iter_ops
+from repro.core.parser import parse_formula_text
+from tests.conftest import assert_program_matches_matrix
+
+
+def generate(text: str, *, strided=False, unroll_all=False, threshold=None):
+    compiler = SplCompiler()
+    gen = CodeGenerator(compiler.templates, unroll_all=unroll_all,
+                        unroll_threshold=threshold)
+    formula = parse_formula_text(text)
+    return gen.generate(formula, "test", "complex", strided=strided)
+
+
+class TestBasicExpansion:
+    def test_identity_copy_loop(self):
+        program = generate("(I 4)")
+        loops = [i for i in program.body if isinstance(i, Loop)]
+        assert len(loops) == 1
+        assert loops[0].count == 4
+
+    def test_f2_straight_line(self):
+        program = generate("(F 2)")
+        assert all(isinstance(i, Op) for i in program.body)
+        assert_program_matches_matrix(program, "(F 2)")
+
+    def test_general_f_uses_nested_loops(self):
+        program = generate("(F 3)")
+        outer = [i for i in program.body if isinstance(i, Loop)]
+        assert len(outer) == 1
+        inner = [i for i in outer[0].body if isinstance(i, Loop)]
+        assert len(inner) == 1
+        assert_program_matches_matrix(program, "(F 3)")
+
+    def test_compose_allocates_temp(self):
+        program = generate("(compose (F 2) (F 2))")
+        temps = program.temp_vectors()
+        assert len(temps) == 1
+        assert temps[0].size == 2
+
+    def test_tensor_i_left_no_temp(self):
+        program = generate("(tensor (I 4) (F 2))")
+        assert program.temp_vectors() == []
+        assert_program_matches_matrix(program, "(tensor (I 4) (F 2))")
+
+    def test_tensor_i_right_strides(self):
+        program = generate("(tensor (F 2) (I 4))")
+        assert program.temp_vectors() == []
+        assert_program_matches_matrix(program, "(tensor (F 2) (I 4))")
+
+    def test_general_tensor_uses_temp(self):
+        program = generate("(tensor (F 2) (F 3))")
+        assert len(program.temp_vectors()) == 1
+        assert_program_matches_matrix(program, "(tensor (F 2) (F 3))")
+
+    def test_direct_sum(self):
+        program = generate("(direct-sum (F 2) (I 3))")
+        assert_program_matches_matrix(program, "(direct-sum (F 2) (I 3))")
+
+    def test_stride_permutation(self):
+        assert_program_matches_matrix(generate("(L 8 2)"), "(L 8 2)")
+        assert_program_matches_matrix(generate("(L 8 4)"), "(L 8 4)")
+
+    def test_twiddle(self):
+        assert_program_matches_matrix(generate("(T 8 4)"), "(T 8 4)")
+
+    def test_reversal(self):
+        assert_program_matches_matrix(generate("(J 5)"), "(J 5)")
+
+    def test_no_template_error(self):
+        with pytest.raises(SplTemplateError):
+            generate("(ZZZ 3)")
+
+
+class TestLiterals:
+    def test_diagonal(self):
+        assert_program_matches_matrix(
+            generate("(diagonal (2 -1 0.5))"), "(diagonal (2 -1 0.5))"
+        )
+
+    def test_permutation(self):
+        assert_program_matches_matrix(
+            generate("(permutation (3 1 2))"), "(permutation (3 1 2))"
+        )
+
+    def test_dense_matrix(self):
+        text = "(matrix (1 2) (3 4))"
+        assert_program_matches_matrix(generate(text), text)
+
+    def test_matrix_with_zero_row(self):
+        text = "(matrix (0 0) (1 1))"
+        assert_program_matches_matrix(generate(text), text)
+
+    def test_matrix_with_complex_entries(self):
+        text = "(matrix (1 i) (1 -i))"
+        assert_program_matches_matrix(generate(text), text)
+
+
+class TestUnrollMarking:
+    def test_unroll_all_marks_loops(self):
+        program = generate("(I 8)", unroll_all=True)
+        assert all(loop.unroll for loop in program.body
+                   if isinstance(loop, Loop))
+
+    def test_threshold_marks_small_only(self):
+        # (tensor (I 8) (F 4)): the outer formula has input 32, the
+        # inner F 4 has input 4; with -B 4 only F-loops are marked.
+        program = generate("(tensor (I 8) (F 4))", threshold=4)
+
+        def collect(body, depth=0):
+            marks = []
+            for inst in body:
+                if isinstance(inst, Loop):
+                    marks.append((depth, inst.unroll))
+                    marks.extend(collect(inst.body, depth + 1))
+            return marks
+
+        marks = collect(program.body)
+        assert (0, False) in marks  # outer loop not unrolled
+        assert any(flag for depth, flag in marks if depth > 0)
+
+    def test_per_formula_unroll_flag(self):
+        formula = parse_formula_text("(tensor (I 8) (F 4))")
+        inner = formula.right.with_unroll(True)
+        formula = type(formula)(left=formula.left, right=inner)
+        compiler = SplCompiler()
+        gen = CodeGenerator(compiler.templates)
+        program = gen.generate(formula, "test", "complex")
+        outer = [i for i in program.body if isinstance(i, Loop)][0]
+        assert not outer.unroll
+        assert all(loop.unroll for loop in outer.body
+                   if isinstance(loop, Loop))
+
+
+class TestStridedGeneration:
+    def test_strided_program_runs(self):
+        from repro.core.interpreter import run_program
+
+        program = generate("(F 2)", strided=True)
+        assert program.strided
+        # x = [_, a, _, b] with stride 2 offset 1 -> y = [a+b, a-b]
+        out = run_program(program, [0, 10, 0, 20], istride=2, iofs=1,
+                          ostride=1, oofs=0)
+        assert out[:2] == [30, -10]
+
+    def test_strided_output(self):
+        from repro.core.interpreter import run_program
+
+        program = generate("(F 2)", strided=True)
+        out = run_program(program, [1, 2], ostride=2, oofs=1)
+        assert out[1] == 3 and out[3] == -1
+
+
+class TestTempSizing:
+    def test_temp_size_covers_loops(self):
+        program = generate("(tensor (F 3) (F 2))")
+        temp = program.temp_vectors()[0]
+        assert temp.size == 6
+
+    def test_nested_compose_temps(self):
+        program = generate("(compose (F 2) (F 2) (F 2))")
+        sizes = sorted(t.size for t in program.temp_vectors())
+        assert sizes == [2, 2]

@@ -1,0 +1,227 @@
+"""Unit tests for the i-code mini-language parser."""
+
+import pytest
+
+from repro.core import icode_parser, lexer
+from repro.core.errors import SplSyntaxError
+from repro.core.lexer import TokenStream, tokenize
+from repro.core.templates import (
+    CondAnd,
+    CondCompare,
+    CondOr,
+    TAssign,
+    TBinop,
+    TCall,
+    TConst,
+    TIndexVar,
+    TIntrinsic,
+    TLoop,
+    TNumber,
+    TPatVar,
+    TProperty,
+    TRAssign,
+    TScalar,
+    TVecElem,
+    TemplateEnv,
+    eval_condition,
+    eval_texpr,
+    eval_texpr_const,
+)
+from repro.core.icode import IExpr
+
+
+def texpr(text: str):
+    return icode_parser.parse_texpr(TokenStream(tokenize(text)))
+
+
+def cond(text: str):
+    return icode_parser.parse_condition(TokenStream(tokenize(text)))
+
+
+def block(text: str):
+    return icode_parser.parse_icode_block(TokenStream(tokenize(text)))
+
+
+class TestTexprParsing:
+    def test_constants_and_vars(self):
+        assert texpr("5") == TConst(5)
+        assert texpr("n_") == TPatVar("n_")
+        assert texpr("$i0") == TIndexVar("i0")
+        assert texpr("$r3") == TIndexVar("r3")
+
+    def test_property(self):
+        assert texpr("A_.in_size") == TProperty("A_", "in_size")
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            texpr("A_.cols")
+
+    def test_precedence(self):
+        parsed = texpr("$i0 * 2 + 1")
+        assert isinstance(parsed, TBinop) and parsed.op == "+"
+
+    def test_division(self):
+        parsed = texpr("nn_ / s_")
+        assert isinstance(parsed, TBinop) and parsed.op == "/"
+
+    def test_float_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            texpr("1.5")
+
+    def test_reserved_names(self):
+        assert texpr("$in_size") == TIndexVar("in_size")
+        assert texpr("$out_stride") == TIndexVar("out_stride")
+
+
+class TestTexprEvaluation:
+    def env(self, **ints):
+        env = TemplateEnv(ints)
+        env.index_vars["i0"] = IExpr.var("k")
+        return env
+
+    def test_patvar_substitution(self):
+        value = eval_texpr(texpr("n_ - 1"), self.env(n_=8))
+        assert value.as_const() == 7
+
+    def test_property_lookup(self):
+        env = TemplateEnv({"A_.in_size": 4})
+        assert eval_texpr_const(texpr("A_.in_size"), env) == 4
+
+    def test_loop_var_symbolic(self):
+        value = eval_texpr(texpr("$i0 * n_"), self.env(n_=4))
+        assert value == IExpr.var("k") * 4
+
+    def test_exact_division(self):
+        assert eval_texpr_const(texpr("nn_ / s_"),
+                                TemplateEnv({"nn_": 12, "s_": 3})) == 4
+
+    def test_inexact_division_raises(self):
+        from repro.core.errors import SplTemplateError
+
+        with pytest.raises(SplTemplateError):
+            eval_texpr(texpr("nn_ / s_"), TemplateEnv({"nn_": 10, "s_": 3}))
+
+    def test_unbound_patvar_raises(self):
+        from repro.core.errors import SplTemplateError
+
+        with pytest.raises(SplTemplateError):
+            eval_texpr(texpr("n_"), TemplateEnv({}))
+
+
+class TestConditions:
+    def test_paper_example(self):
+        parsed = cond("[ m_ == 2*n_ ]")
+        env = TemplateEnv({"m_": 4, "n_": 2})
+        assert eval_condition(parsed, env)
+        assert not eval_condition(parsed, TemplateEnv({"m_": 4, "n_": 1}))
+
+    def test_and_or(self):
+        parsed = cond("[ n_ > 0 && n_ < 10 || n_ == 42 ]")
+        assert eval_condition(parsed, TemplateEnv({"n_": 5}))
+        assert eval_condition(parsed, TemplateEnv({"n_": 42}))
+        assert not eval_condition(parsed, TemplateEnv({"n_": 11}))
+
+    def test_not(self):
+        parsed = cond("[ ! n_ == 3 ]")
+        assert eval_condition(parsed, TemplateEnv({"n_": 4}))
+
+    def test_all_comparators(self):
+        for op, a, b, expected in [
+            ("==", 2, 2, True), ("!=", 2, 3, True), ("<", 2, 3, True),
+            ("<=", 3, 3, True), (">", 4, 3, True), (">=", 2, 3, False),
+        ]:
+            parsed = cond(f"[ {a} {op} {b} ]")
+            assert eval_condition(parsed, TemplateEnv({})) is expected
+
+
+class TestStatements:
+    def test_loop_with_body(self):
+        (loop,) = block("""(
+          do $i0 = 0, n_ - 1
+            $out($i0) = $in($i0)
+          end
+        )""")
+        assert isinstance(loop, TLoop)
+        assert loop.var == "i0"
+        assert len(loop.body) == 1
+
+    def test_end_do_accepted(self):
+        (loop,) = block("""(
+          do $i0 = 0, 3
+            $out($i0) = $in($i0)
+          end do
+        )""")
+        assert isinstance(loop, TLoop)
+
+    def test_rassign(self):
+        stmts = block("""(
+          $r0 = $i0 * $i1
+        )""")
+        assert stmts == [TRAssign(name="r0",
+                                  value=TBinop("*", TIndexVar("i0"),
+                                               TIndexVar("i1")))]
+
+    def test_four_tuple_forms(self):
+        stmts = block("""(
+          $f0 = $in(0) + $in(1)
+          $f1 = $f0
+          $f2 = -$f0
+          $out(0) = 2.0 * $f2
+        )""")
+        assert [s.op for s in stmts] == ["+", "=", "neg", "*"]
+
+    def test_intrinsic_operand(self):
+        (stmt,) = block("""(
+          $f0 = W(n_, $r0) * $in($i1)
+        )""")
+        assert isinstance(stmt.a, TIntrinsic)
+        assert stmt.a.name == "W"
+
+    def test_complex_pair_operand(self):
+        (stmt,) = block("""(
+          $out(0) = (0.7,-0.7) * $in(0)
+        )""")
+        assert stmt.a == TNumber(complex(0.7, -0.7))
+
+    def test_call_statement(self):
+        (call,) = block("""(
+          B_($in, $t0, 0, 0, 1, 1)
+        )""")
+        assert isinstance(call, TCall)
+        assert call.var == "B_"
+        assert call.in_vec == "in"
+        assert call.out_vec == "t0"
+
+    def test_two_operators_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            block("""(
+              $f0 = $in(0) + $in(1) + $in(2)
+            )""")
+
+    def test_unbalanced_do_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            block("""(
+              do $i0 = 0, 3
+                $out($i0) = $in($i0)
+            )""")
+
+    def test_stray_end_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            block("""(
+              end
+            )""")
+
+    def test_assignment_to_input_allowed_shape(self):
+        # $in(k) as destination is syntactically valid per the grammar
+        # (some templates permute in place); just check it parses.
+        (stmt,) = block("""(
+          $in(0) = $in(1)
+        )""")
+        assert isinstance(stmt.dest, TVecElem)
+
+    def test_non_loop_var_in_do_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            block("""(
+              do $f0 = 0, 3
+              end
+            )""")

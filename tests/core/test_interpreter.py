@@ -1,0 +1,143 @@
+"""Unit tests for the i-code reference interpreter."""
+
+import pytest
+
+from repro.core.errors import SplSemanticError
+from repro.core.icode import (
+    FConst,
+    FVar,
+    IExpr,
+    Intrinsic,
+    Loop,
+    Op,
+    Program,
+    VEC_INPUT,
+    VEC_OUTPUT,
+    VEC_TEMP,
+    VecInfo,
+    VecRef,
+)
+from repro.core.interpreter import run_program
+
+
+def program_with(body, *, in_size=2, out_size=2, temps=(), tables=None,
+                 strided=False):
+    program = Program(name="p", in_size=in_size, out_size=out_size,
+                      datatype="real", body=body, strided=strided)
+    program.vectors["x"] = VecInfo("x", in_size, VEC_INPUT)
+    program.vectors["y"] = VecInfo("y", out_size, VEC_OUTPUT)
+    for name, size in temps:
+        program.vectors[name] = VecInfo(name, size, VEC_TEMP)
+    program.tables.update(tables or {})
+    return program
+
+
+class TestBasics:
+    def test_copy(self):
+        p = program_with([Op("=", VecRef("y", IExpr.const(0)),
+                             VecRef("x", IExpr.const(1)))])
+        assert run_program(p, [1.0, 2.0]) == [2.0, 0.0]
+
+    def test_arithmetic_ops(self):
+        x0 = VecRef("x", IExpr.const(0))
+        x1 = VecRef("x", IExpr.const(1))
+        p = program_with([
+            Op("+", VecRef("y", IExpr.const(0)), x0, x1),
+            Op("-", VecRef("y", IExpr.const(1)), x0, x1),
+        ])
+        assert run_program(p, [5.0, 3.0]) == [8.0, 2.0]
+
+    def test_neg_and_div(self):
+        x0 = VecRef("x", IExpr.const(0))
+        p = program_with([
+            Op("neg", VecRef("y", IExpr.const(0)), x0),
+            Op("/", VecRef("y", IExpr.const(1)), x0, FConst(2.0)),
+        ])
+        assert run_program(p, [6.0, 0.0]) == [-6.0, 3.0]
+
+    def test_loop_executes_count_times(self):
+        i = IExpr.var("i0")
+        p = program_with(
+            [Loop("i0", 4, [Op("=", VecRef("y", i), VecRef("x", i))])],
+            in_size=4, out_size=4,
+        )
+        assert run_program(p, [1.0, 2.0, 3.0, 4.0]) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scalars(self):
+        p = program_with([
+            Op("=", FVar("f0"), VecRef("x", IExpr.const(0))),
+            Op("*", VecRef("y", IExpr.const(0)), FVar("f0"), FVar("f0")),
+        ])
+        assert run_program(p, [3.0, 0.0]) == [9.0, 0.0]
+
+    def test_intrinsic_operand(self):
+        p = program_with([
+            Op("*", VecRef("y", IExpr.const(0)),
+               Intrinsic("W", (IExpr.const(2), IExpr.const(1))),
+               VecRef("x", IExpr.const(0))),
+        ])
+        out = run_program(p, [2.0, 0.0])
+        assert out[0] == pytest.approx(-2.0)
+
+    def test_table_lookup(self):
+        i = IExpr.var("i0")
+        p = program_with(
+            [Loop("i0", 2, [
+                Op("*", VecRef("y", i), VecRef("d0", i), VecRef("x", i)),
+            ])],
+            tables={"d0": (2.0, 3.0)},
+        )
+        assert run_program(p, [1.0, 1.0]) == [2.0, 3.0]
+
+
+class TestErrors:
+    def test_wrong_input_length(self):
+        p = program_with([])
+        with pytest.raises(SplSemanticError):
+            run_program(p, [1.0])
+
+    def test_unset_scalar_read(self):
+        p = program_with([Op("=", VecRef("y", IExpr.const(0)), FVar("f9"))])
+        with pytest.raises(SplSemanticError):
+            run_program(p, [0.0, 0.0])
+
+    def test_out_of_range_subscript(self):
+        p = program_with([Op("=", VecRef("y", IExpr.const(5)),
+                             VecRef("x", IExpr.const(0)))])
+        with pytest.raises(SplSemanticError):
+            run_program(p, [0.0, 0.0])
+
+    def test_unbound_index_variable(self):
+        p = program_with([Op("=", VecRef("y", IExpr.var("i9")),
+                             VecRef("x", IExpr.const(0)))])
+        with pytest.raises(SplSemanticError):
+            run_program(p, [0.0, 0.0])
+
+    def test_unknown_vector(self):
+        p = program_with([Op("=", VecRef("zz", IExpr.const(0)),
+                             VecRef("x", IExpr.const(0)))])
+        with pytest.raises(SplSemanticError):
+            run_program(p, [0.0, 0.0])
+
+
+class TestStrided:
+    def make(self):
+        # y[oofs + k*ostride] = x[iofs + k*istride], k < 2
+        k = IExpr.var("i0")
+        body = [Loop("i0", 2, [
+            Op("=",
+               VecRef("y", IExpr.var("oofs") + k * IExpr.var("ostride")),
+               VecRef("x", IExpr.var("iofs") + k * IExpr.var("istride"))),
+        ])]
+        return program_with(body, strided=True)
+
+    def test_default_strides(self):
+        assert run_program(self.make(), [7.0, 8.0]) == [7.0, 8.0]
+
+    def test_input_stride(self):
+        out = run_program(self.make(), [1.0, 0.0, 2.0, 0.0], istride=2)
+        assert out[:2] == [1.0, 2.0]
+
+    def test_output_offset(self):
+        out = run_program(self.make(), [1.0, 2.0], oofs=1, ostride=1)
+        assert out == [0.0, 1.0, 2.0]

@@ -1,0 +1,122 @@
+"""Unit tests for the SPL tokenizer."""
+
+import pytest
+
+from repro.core import lexer
+from repro.core.errors import SplSyntaxError
+from repro.core.lexer import Token, TokenStream, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source) if t.kind != lexer.NEWLINE][:-1]
+
+
+def values(source: str) -> list[str]:
+    return [
+        t.value for t in tokenize(source)
+        if t.kind not in (lexer.NEWLINE, lexer.EOF)
+    ]
+
+
+class TestBasicTokens:
+    def test_parens_and_names(self):
+        assert kinds("(F 2)") == [lexer.LPAREN, lexer.NAME, lexer.NUMBER,
+                                  lexer.RPAREN]
+
+    def test_numbers(self):
+        assert values("12 1.23 .5 2e3 1.5e-2") == \
+            ["12", "1.23", ".5", "2e3", "1.5e-2"]
+
+    def test_number_kinds(self):
+        assert all(k == lexer.NUMBER for k in kinds("12 1.23 2e3"))
+
+    def test_dollar_variables(self):
+        assert values("$in $out $i0 $f12 $r0 $in_stride") == \
+            ["$in", "$out", "$i0", "$f12", "$r0", "$in_stride"]
+
+    def test_operators(self):
+        assert values("+ - * / == != <= >= < > && || =") == \
+            ["+", "-", "*", "/", "==", "!=", "<=", ">=", "<", ">",
+             "&&", "||", "="]
+
+    def test_brackets_and_commas(self):
+        assert kinds("[x_ , 1]") == [lexer.LBRACKET, lexer.NAME, lexer.COMMA,
+                                     lexer.NUMBER, lexer.RBRACKET]
+
+    def test_dot_for_properties(self):
+        toks = values("A_.in_size")
+        assert toks == ["A_", ".", "in_size"]
+
+
+class TestCommentsAndDirectives:
+    def test_semicolon_comment_stripped(self):
+        assert values("(F 2) ; the Fourier transform") == ["(", "F", "2", ")"]
+
+    def test_full_line_comment(self):
+        assert values("; nothing here\n(I 1)") == ["(", "I", "1", ")"]
+
+    def test_directive_token(self):
+        toks = tokenize("#subname fft16")
+        assert toks[0].kind == lexer.DIRECTIVE
+        assert toks[0].value == "subname fft16"
+
+    def test_directive_with_leading_space(self):
+        toks = tokenize("   #unroll on")
+        assert toks[0].kind == lexer.DIRECTIVE
+        assert toks[0].value == "unroll on"
+
+    def test_directive_comment_stripped(self):
+        toks = tokenize("#datatype real ; use doubles")
+        assert toks[0].value == "datatype real"
+
+
+class TestLineTracking:
+    def test_line_numbers(self):
+        toks = tokenize("(I 1)\n(F 2)")
+        f_tok = [t for t in toks if t.value == "F"][0]
+        assert f_tok.line == 2
+
+    def test_error_has_line(self):
+        with pytest.raises(SplSyntaxError) as err:
+            tokenize("(I 1)\n(F @)")
+        assert "line 2" in str(err.value)
+
+
+class TestTokenStream:
+    def test_peek_does_not_advance(self):
+        ts = TokenStream(tokenize("(F 2)"))
+        assert ts.peek().kind == lexer.LPAREN
+        assert ts.peek().kind == lexer.LPAREN
+
+    def test_next_advances(self):
+        ts = TokenStream(tokenize("(F 2)"))
+        ts.next()
+        assert ts.peek().kind == lexer.NAME
+
+    def test_expect_success_and_failure(self):
+        ts = TokenStream(tokenize("(F"))
+        ts.expect(lexer.LPAREN)
+        with pytest.raises(SplSyntaxError):
+            ts.expect(lexer.NUMBER)
+
+    def test_match_restores_position_on_failure(self):
+        ts = TokenStream(tokenize("(F"))
+        assert ts.match(lexer.NUMBER) is None
+        assert ts.peek().kind == lexer.LPAREN
+
+    def test_skip_newlines(self):
+        ts = TokenStream(tokenize("\n\n(I 1)"))
+        assert ts.peek(skip_newlines=True).kind == lexer.LPAREN
+
+    def test_eof_is_sticky(self):
+        ts = TokenStream(tokenize(""))
+        assert ts.next(skip_newlines=True).kind == lexer.EOF
+        assert ts.next(skip_newlines=True).kind == lexer.EOF
+        assert ts.at_eof()
+
+    def test_seek(self):
+        ts = TokenStream(tokenize("(F 2)"))
+        pos = ts.position
+        ts.next()
+        ts.seek(pos)
+        assert ts.peek().kind == lexer.LPAREN

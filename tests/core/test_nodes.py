@@ -1,0 +1,123 @@
+"""Unit tests for the formula AST node types."""
+
+import pytest
+
+from repro.core.errors import SplSemanticError
+from repro.core.nodes import (
+    Compose,
+    DiagonalLit,
+    DirectSum,
+    MatrixLit,
+    Param,
+    PermutationLit,
+    Tensor,
+    compose,
+    default_param_sizes,
+    direct_sum,
+    fourier,
+    identity,
+    reversal,
+    stride,
+    tensor,
+    twiddle,
+)
+
+
+def sizes(formula):
+    return formula.size(default_param_sizes)
+
+
+class TestBuilders:
+    def test_helpers_build_params(self):
+        assert identity(4) == Param(name="I", params=(4,))
+        assert fourier(8) == Param(name="F", params=(8,))
+        assert stride(16, 4) == Param(name="L", params=(16, 4))
+        assert twiddle(16, 4) == Param(name="T", params=(16, 4))
+        assert reversal(3) == Param(name="J", params=(3,))
+
+    def test_nary_compose_right_associates(self):
+        f = compose(identity(2), identity(2), identity(2))
+        assert isinstance(f, Compose)
+        assert isinstance(f.right, Compose)
+
+    def test_nary_single_operand(self):
+        assert compose(identity(2)) == identity(2)
+
+    def test_nary_empty_rejected(self):
+        with pytest.raises(SplSemanticError):
+            tensor()
+
+
+class TestSizes:
+    def test_param_sizes(self):
+        assert sizes(fourier(8)) == (8, 8)
+        assert sizes(stride(12, 3)) == (12, 12)
+
+    def test_compose_checks_inner_sizes(self):
+        good = compose(fourier(4), stride(4, 2))
+        assert sizes(good) == (4, 4)
+        bad = compose(fourier(4), fourier(2))
+        with pytest.raises(SplSemanticError):
+            sizes(bad)
+
+    def test_tensor_multiplies(self):
+        assert sizes(tensor(fourier(4), identity(3))) == (12, 12)
+
+    def test_direct_sum_adds(self):
+        assert sizes(direct_sum(fourier(4), identity(3))) == (7, 7)
+
+    def test_rectangular_literal(self):
+        m = MatrixLit(rows=((1, 2, 3), (4, 5, 6)))
+        assert sizes(m) == (3, 2)
+
+    def test_stride_param_validation(self):
+        with pytest.raises(SplSemanticError):
+            sizes(stride(10, 3))
+
+    def test_wht_power_of_two(self):
+        with pytest.raises(SplSemanticError):
+            sizes(Param(name="WHT", params=(12,)))
+
+
+class TestLiteralsValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(SplSemanticError):
+            MatrixLit(rows=())
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(SplSemanticError):
+            MatrixLit(rows=((1, 2), (3,)))
+
+    def test_empty_diagonal_rejected(self):
+        with pytest.raises(SplSemanticError):
+            DiagonalLit(values=())
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(SplSemanticError):
+            PermutationLit(perm=(0, 1))
+
+
+class TestUnrollFlag:
+    def test_with_unroll_round_trip(self):
+        f = fourier(4)
+        assert f.unroll is None
+        assert f.with_unroll(True).unroll is True
+
+    def test_unroll_excluded_from_equality(self):
+        assert fourier(4).with_unroll(True) == fourier(4)
+
+    def test_unroll_excluded_from_hash(self):
+        assert hash(fourier(4).with_unroll(True)) == hash(fourier(4))
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        f = compose(tensor(fourier(2), identity(2)), stride(4, 2))
+        nodes = list(f.walk())
+        assert nodes[0] is f
+        assert fourier(2) in nodes
+        assert stride(4, 2) in nodes
+        assert len(nodes) == 5
+
+    def test_str_is_spl(self):
+        assert str(fourier(2)) == "(F 2)"

@@ -1,0 +1,292 @@
+"""Unit tests for the value-numbering optimizer (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.icode import (
+    FConst,
+    FVar,
+    IExpr,
+    Loop,
+    Op,
+    Program,
+    VEC_INPUT,
+    VEC_OUTPUT,
+    VEC_TEMP,
+    VecInfo,
+    VecRef,
+    iter_ops,
+)
+from repro.core.interpreter import run_program
+from repro.core.optimizer import optimize
+from tests.conftest import assert_routine_matches_matrix
+
+
+def make_program(body, *, in_size=4, out_size=4, temps=()):
+    program = Program(name="p", in_size=in_size, out_size=out_size,
+                      datatype="real", body=body)
+    program.vectors["x"] = VecInfo("x", in_size, VEC_INPUT)
+    program.vectors["y"] = VecInfo("y", out_size, VEC_OUTPUT)
+    for name, size in temps:
+        program.vectors[name] = VecInfo(name, size, VEC_TEMP)
+    return program
+
+
+def x(i):
+    return VecRef("x", IExpr.const(i))
+
+
+def y(i):
+    return VecRef("y", IExpr.const(i))
+
+
+class TestConstantFolding:
+    def test_add_consts(self):
+        program = make_program([
+            Op("+", FVar("f0"), FConst(2.0), FConst(3.0)),
+            Op("=", y(0), FVar("f0")),
+        ])
+        optimize(program)
+        assert program.body[-1].a == FConst(5.0)
+
+    def test_folding_chains(self):
+        program = make_program([
+            Op("*", FVar("f0"), FConst(2.0), FConst(3.0)),
+            Op("+", FVar("f1"), FVar("f0"), FConst(1.0)),
+            Op("=", y(0), FVar("f1")),
+        ])
+        optimize(program)
+        assert program.body[-1].a == FConst(7.0)
+
+    def test_neg_const(self):
+        program = make_program([
+            Op("neg", FVar("f0"), FConst(2.5)),
+            Op("=", y(0), FVar("f0")),
+        ])
+        optimize(program)
+        assert program.body[-1].a == FConst(-2.5)
+
+
+class TestAlgebraicIdentities:
+    @pytest.mark.parametrize("op,a,b,expect_kind", [
+        ("*", FConst(1.0), None, "copy"),   # 1*x = x
+        ("*", None, FConst(1.0), "copy"),   # x*1 = x
+        ("+", FConst(0.0), None, "copy"),   # 0+x = x
+        ("+", None, FConst(0.0), "copy"),   # x+0 = x
+        ("-", None, FConst(0.0), "copy"),   # x-0 = x
+        ("*", None, FConst(0.0), "zero"),   # x*0 = 0
+        ("*", FConst(-1.0), None, "neg"),   # -1*x = -x
+        ("-", FConst(0.0), None, "neg"),    # 0-x = -x
+        ("/", None, FConst(1.0), "copy"),   # x/1 = x
+    ])
+    def test_identity(self, op, a, b, expect_kind):
+        operand_a = a if a is not None else x(0)
+        operand_b = b if b is not None else x(0)
+        program = make_program([
+            Op(op, FVar("f0"), operand_a, operand_b),
+            Op("=", y(0), FVar("f0")),
+        ])
+        optimize(program)
+        kinds = [op_.op for op_ in iter_ops(program.body)]
+        if expect_kind == "copy":
+            # The identity reduces to pure copies: no arithmetic left.
+            assert set(kinds) <= {"="}
+            result = run_program(program, [9.0, 0.0, 0.0, 0.0])
+            assert result[0] == 9.0
+        elif expect_kind == "zero":
+            assert program.body[-1].a == FConst(0.0)
+        else:
+            assert "neg" in kinds
+            assert not ({"+", "-", "*", "/"} & set(kinds))
+
+    def test_x_minus_x_is_zero(self):
+        program = make_program([
+            Op("-", FVar("f0"), x(1), x(1)),
+            Op("=", y(0), FVar("f0")),
+        ])
+        optimize(program)
+        assert program.body[-1].a == FConst(0.0)
+
+
+class TestCopyPropagation:
+    def test_copy_chain_collapses(self):
+        program = make_program([
+            Op("=", FVar("f0"), x(0)),
+            Op("=", FVar("f1"), FVar("f0")),
+            Op("=", FVar("f2"), FVar("f1")),
+            Op("=", y(0), FVar("f2")),
+        ])
+        optimize(program)
+        assert program.body == [Op("=", y(0), x(0))]
+
+    def test_array_element_propagates_to_scalar(self):
+        """Array elements participate in value numbering too."""
+        program = make_program([
+            Op("=", FVar("f0"), x(0)),
+            Op("+", y(0), FVar("f0"), x(1)),
+            Op("+", y(1), x(0), x(1)),  # same value as y(0)
+        ])
+        optimize(program)
+        # CSE should turn the second add into a copy of the first.
+        adds = [op for op in program.body if op.op == "+"]
+        assert len(adds) == 1
+
+
+class TestCSE:
+    def test_common_subexpression_reused(self):
+        program = make_program([
+            Op("+", FVar("f0"), x(0), x(1)),
+            Op("+", FVar("f1"), x(0), x(1)),
+            Op("*", y(0), FVar("f0"), FVar("f1")),
+        ])
+        optimize(program)
+        adds = [op for op in program.body if op.op == "+"]
+        assert len(adds) == 1
+
+    def test_commutative_matching(self):
+        program = make_program([
+            Op("+", FVar("f0"), x(0), x(1)),
+            Op("+", FVar("f1"), x(1), x(0)),
+            Op("*", y(0), FVar("f0"), FVar("f1")),
+        ])
+        optimize(program)
+        adds = [op for op in program.body if op.op == "+"]
+        assert len(adds) == 1
+
+    def test_noncommutative_not_merged(self):
+        program = make_program([
+            Op("-", FVar("f0"), x(0), x(1)),
+            Op("-", FVar("f1"), x(1), x(0)),
+            Op("*", y(0), FVar("f0"), FVar("f1")),
+        ])
+        optimize(program)
+        subs = [op for op in program.body if op.op == "-"]
+        assert len(subs) == 2
+
+    def test_invalidation_on_overwrite(self):
+        program = make_program([
+            Op("+", FVar("f0"), x(0), x(1)),
+            Op("=", y(0), FVar("f0")),
+            Op("+", FVar("f0"), x(2), x(3)),   # overwrite holder
+            Op("+", FVar("f1"), x(0), x(1)),   # must recompute or copy y(0)
+            Op("=", y(1), FVar("f1")),
+            Op("=", y(2), FVar("f0")),
+        ])
+        optimize(program)
+        result = run_program(program, [1.0, 2.0, 3.0, 4.0])
+        assert result[:3] == [3.0, 3.0, 7.0]
+
+
+class TestDeadCodeElimination:
+    def test_unused_scalar_removed(self):
+        program = make_program([
+            Op("+", FVar("f0"), x(0), x(1)),
+            Op("+", FVar("f1"), x(2), x(3)),  # dead
+            Op("=", y(0), FVar("f0")),
+        ])
+        optimize(program)
+        assert all(
+            op.dest != FVar("f1") for op in iter_ops(program.body)
+        )
+
+    def test_overwritten_output_removed(self):
+        program = make_program([
+            Op("=", y(0), x(0)),
+            Op("=", y(0), x(1)),
+        ])
+        optimize(program)
+        assert len(program.body) == 1
+        assert program.body[0].a == x(1)
+
+    def test_dead_temp_array_removed(self):
+        program = make_program(
+            [
+                Op("=", VecRef("t0", IExpr.const(0)), x(0)),  # never read
+                Op("=", y(0), x(1)),
+            ],
+            temps=(("t0", 1),),
+        )
+        optimize(program)
+        assert len(program.body) == 1
+
+    def test_loop_carried_values_kept(self):
+        i = IExpr.var("i0")
+        program = make_program([
+            Op("=", FVar("f0"), x(0)),
+            Loop("i0", 4, [
+                Op("+", VecRef("y", i), VecRef("x", i), FVar("f0")),
+            ]),
+        ])
+        optimize(program)
+        result = run_program(program, [1.0, 2.0, 3.0, 4.0])
+        assert result == [2.0, 3.0, 4.0, 5.0]
+
+    def test_empty_loop_removed(self):
+        program = make_program([
+            Loop("i0", 4, [
+                Op("=", FVar("f0"), VecRef("x", IExpr.var("i0"))),  # dead
+            ]),
+            Op("=", y(0), x(0)),
+        ])
+        optimize(program)
+        assert not any(isinstance(inst, Loop) for inst in program.body)
+
+
+class TestLoopSafety:
+    def test_values_killed_by_loop_writes(self):
+        i = IExpr.var("i0")
+        program = make_program([
+            Op("=", FVar("f0"), x(0)),
+            Loop("i0", 3, [
+                Op("+", FVar("f0"), FVar("f0"), FConst(1.0)),
+                Op("=", VecRef("y", i), FVar("f0")),
+            ]),
+            Op("=", y(3), FVar("f0")),  # must see the post-loop value
+        ])
+        optimize(program)
+        result = run_program(program, [10.0, 0.0, 0.0, 0.0])
+        assert result == [11.0, 12.0, 13.0, 13.0]
+
+    def test_aliasing_array_writes_conservative(self):
+        i = IExpr.var("i0")
+        program = make_program([
+            Op("=", y(0), x(0)),
+            Loop("i0", 4, [
+                Op("=", VecRef("y", i), VecRef("x", i)),
+            ]),
+            # y(0) may have been overwritten by the loop: reading it
+            # afterwards must not propagate the pre-loop value.
+            Op("+", y(1), y(0), FConst(0.0)),
+        ])
+        optimize(program)
+        result = run_program(program, [5.0, 6.0, 7.0, 8.0])
+        assert result[1] == 5.0  # x(0), via the loop's write of y(0)
+
+
+class TestEndToEndEquivalence:
+    """Optimized and unoptimized pipelines agree on real FFT formulas."""
+
+    FORMULAS = [
+        "(F 4)",
+        "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+        "(compose (tensor (F 4) (I 4)) (T 16 4) (tensor (I 4) (F 4)) (L 16 4))",
+    ]
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    @pytest.mark.parametrize("unroll", [False, True])
+    def test_optimized_matches_matrix(self, text, unroll):
+        compiler = SplCompiler(CompilerOptions(optimize="default",
+                                               unroll=unroll))
+        routine = compiler.compile_formula(text, "t", language="python")
+        assert_routine_matches_matrix(routine)
+
+    def test_optimization_reduces_flops(self):
+        text = self.FORMULAS[2]
+        base = SplCompiler(CompilerOptions(optimize="none", unroll=True))
+        opt = SplCompiler(CompilerOptions(optimize="default", unroll=True))
+        flops_base = base.compile_formula(text, "a",
+                                          language="python").flop_count
+        flops_opt = opt.compile_formula(text, "b",
+                                        language="python").flop_count
+        assert flops_opt < flops_base

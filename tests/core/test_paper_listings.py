@@ -1,0 +1,177 @@
+"""Tests pinning the concrete examples printed in the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.parser import parse_formula_text
+from repro.formulas import dft_matrix, to_matrix
+from tests.conftest import assert_routine_matches_matrix, random_complex
+
+F4_DEFINE = (
+    "(define F4 (compose (tensor (F 2) (I 2)) (T 4 2) "
+    "(tensor (I 2) (F 2)) (L 4 2)))"
+)
+
+
+class TestSection2Factorizations:
+    def test_f4_equals_its_factorization(self):
+        """Equation 1 / the F4 example of Section 2.1."""
+        factored = parse_formula_text(
+            "(compose (tensor (F 2) (I 2)) (T 4 2) "
+            "(tensor (I 2) (F 2)) (L 4 2))"
+        )
+        np.testing.assert_allclose(to_matrix(factored), dft_matrix(4),
+                                   atol=1e-12)
+
+    def test_f4_explicit_matrix(self):
+        """The dense F4 printed at the start of Section 2.1."""
+        expected = np.array([
+            [1, 1, 1, 1],
+            [1, -1j, -1, 1j],
+            [1, -1, 1, -1],
+            [1, 1j, -1, -1j],
+        ])
+        np.testing.assert_allclose(dft_matrix(4), expected, atol=1e-12)
+
+    def test_fft16_program_from_section_2_2(self):
+        source = f"""
+        {F4_DEFINE}
+        #subname fft16
+        (compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+        """
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        (routine,) = compiler.compile_text(source)
+        assert routine.name == "fft16"
+        x = random_complex(16)
+        np.testing.assert_allclose(routine.run(list(x)),
+                                   dft_matrix(16) @ x, atol=1e-9)
+
+
+class TestI64F2Listing:
+    """Section 3.3.1: the selective-unroll example and its Fortran shape."""
+
+    SOURCE = """
+    #datatype real
+    #unroll on
+    (define I2F2 (tensor (I 2) (F 2)))
+    #unroll off
+    #subname I64F2
+    (tensor (I 32) I2F2)
+    """
+
+    def compile(self):
+        compiler = SplCompiler(CompilerOptions(language="fortran"))
+        (routine,) = compiler.compile_text(self.SOURCE)
+        return routine
+
+    def test_structure_matches_paper(self):
+        routine = self.compile()
+        source = routine.source
+        assert "subroutine I64F2 (y,x)" in source
+        assert "implicit real*8 (f)" in source
+        assert "real*8 y(128),x(128)" in source
+        assert "do i0 = 0, 31" in source
+        # The unrolled I2F2 body: four strided butterfly statements.
+        assert "y(4*i0 + 1) = x(4*i0 + 1) + x(4*i0 + 2)" in source
+        assert "y(4*i0 + 2) = x(4*i0 + 1) - x(4*i0 + 2)" in source
+        assert "y(4*i0 + 3) = x(4*i0 + 3) + x(4*i0 + 4)" in source
+        assert "y(4*i0 + 4) = x(4*i0 + 3) - x(4*i0 + 4)" in source
+
+    def test_single_rolled_outer_loop(self):
+        routine = self.compile()
+        from repro.core.icode import Loop
+
+        loops = [i for i in routine.program.body if isinstance(i, Loop)]
+        assert len(loops) == 1
+        assert loops[0].count == 32
+        assert not any(isinstance(i, Loop) for i in loops[0].body)
+
+    def test_semantics(self):
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        (routine,) = compiler.compile_text(self.SOURCE)
+        x = np.arange(128, dtype=float)
+        got = np.asarray(routine.run(list(x)))
+        expected = to_matrix(
+            parse_formula_text("(tensor (I 64) (F 2))")
+        ).real @ x
+        np.testing.assert_allclose(got, expected)
+
+
+class TestSection41Formulas:
+    """The two F8 factorizations whose computation orders differ."""
+
+    FORMULA_1 = (
+        "(compose (tensor (F 2) (I 4)) (T 8 4) (tensor (I 2) F4) (L 8 2))"
+    )
+    FORMULA_2 = (
+        "(compose (tensor F4 (I 2)) (T 8 2) (tensor (I 4) (F 2)) (L 8 4))"
+    )
+
+    def compile(self, text):
+        compiler = SplCompiler(CompilerOptions(unroll=True,
+                                               language="python"))
+        compiler.compile_text(F4_DEFINE)
+        return compiler.compile_formula(text, "f8", language="python")
+
+    @pytest.mark.parametrize("text", [FORMULA_1, FORMULA_2])
+    def test_both_compute_f8(self, text):
+        routine = self.compile(text)
+        x = random_complex(8)
+        np.testing.assert_allclose(routine.run(list(x)),
+                                   dft_matrix(8) @ x, atol=1e-9)
+
+    def test_computation_orders_differ(self):
+        r1 = self.compile(self.FORMULA_1)
+        r2 = self.compile(self.FORMULA_2)
+        assert r1.source != r2.source
+
+    def test_straight_line(self):
+        from repro.core.icode import Loop
+
+        r1 = self.compile(self.FORMULA_1)
+        assert not any(isinstance(i, Loop) for i in r1.program.body)
+
+
+class TestStrideOffsetExample:
+    """Section 3.5: input stride 2, output stride 4, both offsets 1."""
+
+    def test_i2_with_strides(self):
+        from repro.core.interpreter import run_program
+        from repro.core.codegen import CodeGenerator
+
+        compiler = SplCompiler()
+        gen = CodeGenerator(compiler.templates)
+        program = gen.generate(parse_formula_text("(I 2)"), "t", "real",
+                               strided=True)
+        x = [0.0, 10.0, 0.0, 20.0, 0.0]
+        out = run_program(program, x, istride=2, ostride=4, iofs=1, oofs=1)
+        # x(1), x(3) copied to y(1), y(5) — subscripts start from 0.
+        assert out[1] == 10.0
+        assert out[5] == 20.0
+
+
+class TestComplexCodetypeListing:
+    """The complex-arithmetic F4 of Section 4.1's listings: twiddling by
+    -i appears as a (0,-1) complex constant."""
+
+    def test_f4_complex_fortran(self):
+        compiler = SplCompiler(CompilerOptions(
+            unroll=True, codetype="complex", language="fortran"))
+        routine = compiler.compile_formula(
+            "(compose (tensor (F 2) (I 2)) (T 4 2) "
+            "(tensor (I 2) (F 2)) (L 4 2))", "f4c")
+        assert "(0.0d0,-1.0d0) *" in routine.source
+        assert "implicit complex*16 (f)" in routine.source
+
+    def test_swap_negate_in_real_code(self):
+        """With codetype real the same multiply is a swap + negation."""
+        from repro.core.icode import iter_ops
+
+        compiler = SplCompiler(CompilerOptions(
+            unroll=True, codetype="real", language="c"))
+        routine = compiler.compile_formula(
+            "(compose (tensor (F 2) (I 2)) (T 4 2) "
+            "(tensor (I 2) (F 2)) (L 4 2))", "f4r")
+        # A 4-point FFT needs no multiplications at all.
+        assert all(op.op != "*" for op in iter_ops(routine.program.body))

@@ -1,0 +1,187 @@
+"""Unit tests for the program-level parser (Section 3.1)."""
+
+import pytest
+
+from repro.core import nodes
+from repro.core.errors import SplNameError, SplSyntaxError
+from repro.core.parser import parse_formula_text, parse_program
+
+
+class TestFormulaParsing:
+    def test_parameterized_matrix(self):
+        f = parse_formula_text("(F 8)")
+        assert f == nodes.Param(name="F", params=(8,))
+
+    def test_two_parameter_matrix(self):
+        f = parse_formula_text("(L 16 4)")
+        assert f == nodes.Param(name="L", params=(16, 4))
+
+    def test_case_insensitive_param_names(self):
+        assert parse_formula_text("(f 4)") == parse_formula_text("(F 4)")
+
+    def test_compose_binary(self):
+        f = parse_formula_text("(compose (I 2) (F 2))")
+        assert isinstance(f, nodes.Compose)
+        assert f.left == nodes.identity(2)
+        assert f.right == nodes.fourier(2)
+
+    def test_nary_compose_right_associates(self):
+        f = parse_formula_text("(compose (I 2) (F 2) (L 4 2))")
+        assert isinstance(f, nodes.Compose)
+        assert isinstance(f.right, nodes.Compose)
+        assert f.left == nodes.identity(2)
+
+    def test_tensor(self):
+        f = parse_formula_text("(tensor (I 2) (F 2))")
+        assert isinstance(f, nodes.Tensor)
+
+    def test_direct_sum(self):
+        f = parse_formula_text("(direct-sum (I 2) (F 2))")
+        assert isinstance(f, nodes.DirectSum)
+
+    def test_matrix_literal(self):
+        f = parse_formula_text("(matrix (1 0) (0 1))")
+        assert f == nodes.MatrixLit(rows=((1, 0), (0, 1)))
+
+    def test_matrix_literal_with_complex(self):
+        f = parse_formula_text("(matrix (1 i) (1 -i))")
+        assert f.rows == ((1, 1j), (1, -1j))
+
+    def test_diagonal_literal(self):
+        f = parse_formula_text("(diagonal (1 -1 2.5))")
+        assert f == nodes.DiagonalLit(values=(1, -1, 2.5))
+
+    def test_permutation_literal(self):
+        f = parse_formula_text("(permutation (2 1 3))")
+        assert f == nodes.PermutationLit(perm=(2, 1, 3))
+
+    def test_permutation_rejects_non_bijection(self):
+        with pytest.raises(Exception):
+            parse_formula_text("(permutation (1 1 3))")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(SplNameError):
+            parse_formula_text("UndefinedThing")
+
+    def test_float_param_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            parse_formula_text("(F 2.5)")
+
+    def test_unary_op_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            parse_formula_text("(compose (I 2))")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            parse_formula_text("(I 2) (F 2)")
+
+
+class TestRoundTrip:
+    CASES = [
+        "(F 8)",
+        "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+        "(direct-sum (I 3) (J 3))",
+        "(diagonal (1 2 3))",
+        "(permutation (3 1 2))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_to_spl_round_trips(self, text):
+        f = parse_formula_text(text)
+        again = parse_formula_text(f.to_spl())
+        assert again == f
+
+
+class TestDefines:
+    def test_define_and_use(self):
+        program = parse_program(
+            "(define F4 (compose (tensor (F 2) (I 2)) (T 4 2)"
+            " (tensor (I 2) (F 2)) (L 4 2)))\n"
+            "(tensor F4 (I 4))"
+        )
+        unit = program.units[0]
+        assert isinstance(unit.formula, nodes.Tensor)
+        assert isinstance(unit.formula.left, nodes.Compose)
+
+    def test_paper_fft16_program(self):
+        source = """
+        (define F4 (compose (tensor (F 2) (I 2)) (T 4 2)
+                            (tensor (I 2) (F 2)) (L 4 2)))
+        #subname fft16
+        (compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+        """
+        program = parse_program(source)
+        assert program.units[0].name == "fft16"
+
+
+class TestDirectives:
+    def test_subname_applies_once(self):
+        program = parse_program("#subname foo\n(I 2)\n(I 3)")
+        assert program.units[0].name == "foo"
+        assert program.units[1].name != "foo"
+
+    def test_datatype_persists(self):
+        program = parse_program("#datatype real\n(I 2)\n(I 3)")
+        assert all(u.datatype == "real" for u in program.units)
+
+    def test_codetype(self):
+        program = parse_program("#datatype complex\n#codetype real\n(I 2)")
+        assert program.units[0].codetype == "real"
+
+    def test_language(self):
+        program = parse_program("#language c\n(I 2)")
+        assert program.units[0].language == "c"
+
+    def test_default_datatype_complex(self):
+        program = parse_program("(I 2)")
+        assert program.units[0].datatype == "complex"
+
+    def test_unknown_directive(self):
+        with pytest.raises(SplNameError):
+            parse_program("#frobnicate on\n(I 2)")
+
+    def test_bad_directive_arg(self):
+        with pytest.raises(SplSyntaxError):
+            parse_program("#datatype float\n(I 2)")
+
+    def test_unroll_flag_attaches_to_define(self):
+        source = """
+        #unroll on
+        (define I2F2 (tensor (I 2) (F 2)))
+        #unroll off
+        (tensor (I 32) I2F2)
+        """
+        program = parse_program(source)
+        formula = program.units[0].formula
+        assert formula.unroll is not True  # outer formula not unrolled
+        assert formula.right.unroll is True  # the define carries its flag
+
+    def test_unroll_on_top_level_formula(self):
+        program = parse_program("#unroll on\n(tensor (I 4) (F 2))")
+        assert program.units[0].formula.unroll is True
+
+
+class TestTemplatesInPrograms:
+    def test_template_parsed_and_stored(self):
+        source = """
+        (template (I n_) [n_ > 0]
+          (
+            do $i0 = 0, n_ - 1
+              $out($i0) = $in($i0)
+            end
+          ))
+        """
+        program = parse_program(source)
+        assert len(program.templates) == 1
+        assert program.templates[0].condition is not None
+
+    def test_template_without_condition(self):
+        source = """
+        (template (F 2)
+          (
+            $out(0) = $in(0) + $in(1)
+            $out(1) = $in(0) - $in(1)
+          ))
+        """
+        program = parse_program(source)
+        assert program.templates[0].condition is None

@@ -1,0 +1,123 @@
+"""Unit tests for pattern matching (Section 3.2)."""
+
+import pytest
+
+from repro.core import nodes
+from repro.core.icode_parser import parse_pattern
+from repro.core.lexer import TokenStream, tokenize
+from repro.core.parser import parse_formula_text
+from repro.core.pattern import (
+    PatFormula,
+    PatInt,
+    PatOp,
+    PatParam,
+    is_formula_var,
+    is_int_var,
+    match,
+    pattern_to_spl,
+)
+
+
+def pattern(text: str):
+    return parse_pattern(TokenStream(tokenize(text)))
+
+
+def formula(text: str):
+    return parse_formula_text(text)
+
+
+class TestVariableNaming:
+    def test_lowercase_is_int_var(self):
+        assert is_int_var("n_")
+        assert is_int_var("mn_")
+
+    def test_uppercase_is_formula_var(self):
+        assert is_formula_var("A_")
+        assert is_formula_var("Xyz_")
+
+    def test_plain_names_are_neither(self):
+        assert not is_int_var("n")
+        assert not is_formula_var("A")
+
+
+class TestParamPatterns:
+    def test_matches_any_int(self):
+        bindings = match(pattern("(I n_)"), formula("(I 2)"))
+        assert bindings == {"n_": 2}
+
+    def test_literal_param_must_equal(self):
+        assert match(pattern("(F 2)"), formula("(F 2)")) == {}
+        assert match(pattern("(F 2)"), formula("(F 4)")) is None
+
+    def test_wrong_name_fails(self):
+        assert match(pattern("(I n_)"), formula("(F 2)")) is None
+
+    def test_wrong_arity_fails(self):
+        assert match(pattern("(L mn_ n_)"), formula("(F 2)")) is None
+
+    def test_two_params(self):
+        bindings = match(pattern("(L mn_ n_)"), formula("(L 4 2)"))
+        assert bindings == {"mn_": 4, "n_": 2}
+
+
+class TestOperationPatterns:
+    def test_compose_binds_formulas(self):
+        bindings = match(pattern("(compose A_ B_)"),
+                         formula("(compose (F 2) (I 3))"))
+        assert bindings["A_"] == nodes.fourier(2)
+        assert bindings["B_"] == nodes.identity(3)
+
+    def test_nested_pattern(self):
+        bindings = match(pattern("(tensor (I m_) B_)"),
+                         formula("(tensor (I 8) (F 2))"))
+        assert bindings == {"m_": 8, "B_": nodes.fourier(2)}
+
+    def test_nested_pattern_rejects_mismatch(self):
+        assert match(pattern("(tensor (I m_) B_)"),
+                     formula("(tensor (F 8) (F 2))")) is None
+
+    def test_matches_composite_subformulas(self):
+        # From the paper: (compose X_ Y_) matches
+        # (compose (compose A B) (tensor (I 2) C)).
+        target = formula(
+            "(compose (compose (F 2) (F 2)) (tensor (I 2) (F 2)))"
+        )
+        bindings = match(pattern("(compose X_ Y_)"), target)
+        assert isinstance(bindings["X_"], nodes.Compose)
+        assert isinstance(bindings["Y_"], nodes.Tensor)
+
+    def test_direct_sum_pattern(self):
+        bindings = match(pattern("(direct-sum A_ B_)"),
+                         formula("(direct-sum (I 2) (J 2))"))
+        assert bindings["A_"] == nodes.identity(2)
+
+    def test_nary_pattern_right_associates(self):
+        pat = pattern("(compose A_ B_ C_)")
+        target = formula("(compose (F 2) (I 2) (L 4 2))")
+        bindings = match(pat, target)
+        assert bindings["A_"] == nodes.fourier(2)
+        assert bindings["C_"] == nodes.stride(4, 2)
+
+
+class TestConsistentBinding:
+    def test_repeated_int_var_must_agree(self):
+        pat = pattern("(tensor (I n_) (F n_))")
+        assert match(pat, formula("(tensor (I 2) (F 2))")) == {"n_": 2}
+        assert match(pat, formula("(tensor (I 2) (F 4))")) is None
+
+    def test_repeated_formula_var_must_agree(self):
+        pat = pattern("(compose A_ A_)")
+        assert match(pat, formula("(compose (F 2) (F 2))")) is not None
+        assert match(pat, formula("(compose (F 2) (I 2))")) is None
+
+
+class TestRendering:
+    @pytest.mark.parametrize("text", [
+        "(F n_)",
+        "(compose A_ B_)",
+        "(tensor (I m_) B_)",
+        "(direct-sum A_ B_)",
+    ])
+    def test_pattern_to_spl_round_trips(self, text):
+        p = pattern(text)
+        assert pattern(pattern_to_spl(p)) == p

@@ -1,0 +1,72 @@
+"""Unit tests for the machine-dependent peephole pass (Section 3.4)."""
+
+from repro.core.icode import (
+    FConst,
+    FVar,
+    IExpr,
+    Loop,
+    Op,
+    Program,
+    VEC_INPUT,
+    VEC_OUTPUT,
+    VecInfo,
+    VecRef,
+    iter_ops,
+)
+from repro.core.interpreter import run_program
+from repro.core.peephole import avoid_unary_minus
+
+
+def make(body):
+    program = Program(name="p", in_size=2, out_size=2, datatype="real",
+                      body=body)
+    program.vectors["x"] = VecInfo("x", 2, VEC_INPUT)
+    program.vectors["y"] = VecInfo("y", 2, VEC_OUTPUT)
+    return program
+
+
+class TestUnaryMinusRewrite:
+    def test_neg_becomes_subtraction_from_zero(self):
+        program = make([
+            Op("neg", VecRef("y", IExpr.const(0)),
+               VecRef("x", IExpr.const(0))),
+        ])
+        avoid_unary_minus(program)
+        (op,) = program.body
+        assert op.op == "-"
+        assert op.a == FConst(0.0)
+
+    def test_neg_constant_folds(self):
+        program = make([Op("neg", VecRef("y", IExpr.const(0)), FConst(7.0))])
+        avoid_unary_minus(program)
+        (op,) = program.body
+        assert op.op == "="
+        assert op.a == FConst(-7.0)
+
+    def test_inside_loops(self):
+        i = IExpr.var("i0")
+        program = make([
+            Loop("i0", 2, [Op("neg", VecRef("y", i), VecRef("x", i))]),
+        ])
+        avoid_unary_minus(program)
+        assert all(op.op != "neg" for op in iter_ops(program.body))
+
+    def test_semantics_preserved(self):
+        program = make([
+            Op("neg", FVar("f0"), VecRef("x", IExpr.const(0))),
+            Op("neg", VecRef("y", IExpr.const(0)), FVar("f0")),
+            Op("neg", VecRef("y", IExpr.const(1)), FConst(3.0)),
+        ])
+        before = run_program(make(list(program.body)), [4.0, 0.0])
+        avoid_unary_minus(program)
+        after = run_program(program, [4.0, 0.0])
+        assert before == after == [4.0, -3.0]
+
+    def test_other_ops_untouched(self):
+        body = [
+            Op("+", VecRef("y", IExpr.const(0)),
+               VecRef("x", IExpr.const(0)), VecRef("x", IExpr.const(1))),
+        ]
+        program = make(body)
+        avoid_unary_minus(program)
+        assert program.body[0].op == "+"

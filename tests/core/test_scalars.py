@@ -1,0 +1,133 @@
+"""Unit tests for compile-time scalar constant evaluation (Section 2.2)."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.core.errors import SplSyntaxError
+from repro.core.lexer import TokenStream, tokenize
+from repro.core.scalars import (
+    omega,
+    parse_scalar_element,
+    parse_scalar_text,
+    simplify_number,
+)
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert parse_scalar_text("12") == 12
+
+    def test_float(self):
+        assert parse_scalar_text("1.23") == 1.23
+
+    def test_negative(self):
+        assert parse_scalar_text("-4") == -4
+
+    def test_complex_pair(self):
+        assert parse_scalar_text("(0.7,-0.7)") == complex(0.7, -0.7)
+
+    def test_imaginary_unit(self):
+        assert parse_scalar_text("i") == 1j
+        assert parse_scalar_text("-i") == -1j
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert parse_scalar_text("2+3*4") == 14
+
+    def test_parens(self):
+        assert parse_scalar_text("(2+3)*4") == 20
+
+    def test_division(self):
+        assert parse_scalar_text("1/4") == 0.25
+
+    def test_paper_example(self):
+        value = parse_scalar_text("(cos(2*pi/3.0),sin(2*pi/3.0))")
+        expected = complex(math.cos(2 * math.pi / 3), math.sin(2 * math.pi / 3))
+        assert value == pytest.approx(expected)
+
+
+class TestFunctions:
+    def test_sqrt(self):
+        assert parse_scalar_text("sqrt(2)") == pytest.approx(math.sqrt(2))
+
+    def test_sqrt_negative_is_complex(self):
+        assert parse_scalar_text("sqrt(-4)") == pytest.approx(2j)
+
+    def test_pi(self):
+        assert parse_scalar_text("pi") == math.pi
+
+    def test_cos_sin(self):
+        assert parse_scalar_text("cos(0)") == 1
+        assert parse_scalar_text("sin(0)") == 0
+
+    def test_w_intrinsic(self):
+        assert parse_scalar_text("w(4, 1)") == pytest.approx(-1j)
+
+    def test_w_space_separated_args(self):
+        assert parse_scalar_text("w(4 2)") == pytest.approx(-1)
+
+    def test_unknown_function(self):
+        with pytest.raises(SplSyntaxError):
+            parse_scalar_text("frobnicate(2)")
+
+    def test_unknown_constant(self):
+        with pytest.raises(SplSyntaxError):
+            parse_scalar_text("tau")
+
+
+class TestOmega:
+    def test_unit_root_power(self):
+        assert omega(8, 2) == pytest.approx(cmath.exp(-1j * math.pi / 2))
+
+    def test_wraps_mod_n(self):
+        assert omega(4, 5) == pytest.approx(omega(4, 1))
+
+    def test_zero_order_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            omega(0, 1)
+
+
+class TestSimplify:
+    def test_real_complex_collapses(self):
+        assert simplify_number(complex(2.0, 0.0)) == 2
+        assert isinstance(simplify_number(complex(2.0, 0.0)), int)
+
+    def test_integral_float_collapses(self):
+        assert simplify_number(3.0) == 3
+
+    def test_true_complex_survives(self):
+        assert simplify_number(1 + 2j) == 1 + 2j
+
+    def test_non_integral_float_survives(self):
+        assert simplify_number(2.5) == 2.5
+
+
+class TestElementParsing:
+    """Matrix-literal elements parse at term level (no bare +/-)."""
+
+    def parse_row(self, text: str) -> list:
+        stream = TokenStream(tokenize(text))
+        values = []
+        import repro.core.lexer as lx
+        while stream.peek().kind not in (lx.EOF, lx.NEWLINE):
+            values.append(parse_scalar_element(stream))
+        return values
+
+    def test_space_separated_negatives(self):
+        assert self.parse_row("1 -1 1 -1") == [1, -1, 1, -1]
+
+    def test_imaginary_elements(self):
+        assert self.parse_row("1 -i -1 i") == [1, -1j, -1, 1j]
+
+    def test_products_allowed(self):
+        assert self.parse_row("2*3 4") == [6, 4]
+
+    def test_sum_requires_parens(self):
+        assert self.parse_row("(1+2) 4") == [3, 4]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SplSyntaxError):
+            parse_scalar_text("1 2")

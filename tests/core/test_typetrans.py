@@ -1,0 +1,136 @@
+"""Unit tests for the complex-to-real type transformation (Section 3.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import CodeGenerator
+from repro.core.compiler import SplCompiler
+from repro.core.errors import SplSemanticError
+from repro.core.icode import FConst, Op, iter_ops
+from repro.core.interpreter import run_program
+from repro.core.intrinsics import evaluate_intrinsics
+from repro.core.parser import parse_formula_text
+from repro.core.typetrans import complex_to_real
+from repro.core.unroll import unroll_loops
+from tests.conftest import (
+    assert_program_matches_matrix,
+    deinterleave,
+    interleave,
+    random_complex,
+)
+from repro.formulas import to_matrix
+
+
+def lowered(text: str, *, unroll_all=True):
+    compiler = SplCompiler()
+    gen = CodeGenerator(compiler.templates, unroll_all=unroll_all)
+    program = gen.generate(parse_formula_text(text), "test", "complex")
+    unroll_loops(program)
+    evaluate_intrinsics(program)
+    complex_to_real(program)
+    return program
+
+
+class TestStructure:
+    def test_element_width_doubles(self):
+        program = lowered("(F 2)")
+        assert program.element_width == 2
+        assert program.vectors["x"].size == 4
+        assert program.vectors["y"].size == 4
+
+    def test_no_complex_constants_remain(self):
+        program = lowered("(T 8 4)")
+        for op in iter_ops(program.body):
+            for operand in op.operands():
+                if isinstance(operand, FConst):
+                    assert not isinstance(operand.value, complex)
+
+    def test_tables_interleaved(self):
+        program = lowered("(T 16 4)", unroll_all=False)
+        (values,) = program.tables.values()
+        assert len(values) == 32  # 16 complex -> 32 reals
+
+    def test_idempotent(self):
+        program = lowered("(F 2)")
+        body_before = str(program)
+        complex_to_real(program)
+        assert str(program) == body_before
+
+    def test_real_datatype_untouched(self):
+        compiler = SplCompiler()
+        gen = CodeGenerator(compiler.templates)
+        program = gen.generate(parse_formula_text("(I 2)"), "t", "real")
+        complex_to_real(program)
+        assert program.element_width == 1
+
+    def test_intrinsics_must_be_evaluated_first(self):
+        compiler = SplCompiler()
+        gen = CodeGenerator(compiler.templates)
+        program = gen.generate(parse_formula_text("(F 5)"), "t", "complex")
+        with pytest.raises(SplSemanticError):
+            complex_to_real(program)
+
+
+class TestSemantics:
+    CASES = [
+        "(F 2)",
+        "(F 4)",
+        "(T 8 4)",
+        "(L 8 2)",
+        "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+        "(matrix (1 i) (1 -i))",
+        "(diagonal ((0,1) (0,-1)))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_matches_dense_semantics(self, text):
+        assert_program_matches_matrix(lowered(text), text)
+
+    @pytest.mark.parametrize("text", CASES[:5])
+    def test_looped_code_matches(self, text):
+        assert_program_matches_matrix(lowered(text, unroll_all=False), text)
+
+
+class TestMultiplyByI:
+    """The paper's optimization: x*(0,-1) becomes a swap and a negation."""
+
+    def test_mult_by_minus_i_has_no_multiplies(self):
+        program = lowered("(diagonal ((0,-1) (0,-1)))")
+        muls = [op for op in iter_ops(program.body) if op.op == "*"]
+        assert muls == []
+
+    def test_mult_by_i_has_no_multiplies(self):
+        program = lowered("(diagonal ((0,1) (0,1)))")
+        muls = [op for op in iter_ops(program.body) if op.op == "*"]
+        assert muls == []
+
+    def test_mult_by_real_uses_two_multiplies(self):
+        program = lowered("(diagonal (3 1))")
+        muls = [op for op in iter_ops(program.body) if op.op == "*"]
+        assert len(muls) == 2  # only the first diagonal entry (3) costs
+
+    def test_general_complex_uses_four_multiplies(self):
+        program = lowered("(diagonal ((0.7,-0.7) 1))")
+        muls = [op for op in iter_ops(program.body) if op.op == "*"]
+        assert len(muls) == 4
+
+    def test_pure_imaginary_uses_two_multiplies(self):
+        program = lowered("(diagonal ((0,0.5) 1))")
+        muls = [op for op in iter_ops(program.body) if op.op == "*"]
+        assert len(muls) == 2
+
+
+class TestDivision:
+    def test_division_by_constant(self):
+        compiler = SplCompiler()
+        compiler.parse("""
+        (template (HALVE n_) [n_ > 0]
+          (
+            do $i0 = 0, n_ - 1
+              $out($i0) = $in($i0) / 2.0
+            end
+          ))
+        """)
+        routine = compiler.compile_formula("(HALVE 2)", "halve",
+                                           language="python")
+        assert routine.run([2 + 4j, 6 + 0j]) == [1 + 2j, 3 + 0j]

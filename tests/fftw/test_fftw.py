@@ -1,0 +1,179 @@
+"""Tests for the FFTW-substitute library (codelets, planner, executor)."""
+
+import numpy as np
+import pytest
+
+from repro.fftw.codelets import CodeletSet, default_codelet_formula
+from repro.formulas import to_matrix
+from repro.formulas.transforms import dft_matrix
+from tests.conftest import HAS_CC, requires_cc
+
+
+class TestCodeletFormulas:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_formulas_compute_dft(self, n):
+        np.testing.assert_allclose(to_matrix(default_codelet_formula(n)),
+                                   dft_matrix(n), atol=1e-9)
+
+    def test_codelet_set_builds(self):
+        codelets = CodeletSet.build(sizes=(2, 4))
+        assert codelets.sizes == (2, 4)
+        assert "spl_cod2" in codelets.c_source()
+        assert codelets.flops(4) > 0
+
+    def test_codelets_are_strided(self):
+        codelets = CodeletSet.build(sizes=(2,))
+        assert codelets.routines[2].program.strided
+
+    def test_codelet_python_semantics_with_strides(self):
+        from repro.core.interpreter import run_program
+
+        codelets = CodeletSet.build(sizes=(4,))
+        program = codelets.routines[4].program
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        buf = np.zeros(16)
+        buf[0::4] = x.real  # complex stride 2: re at 4k, im at 4k+1
+        buf[1::4] = x.imag
+        out = run_program(program, list(buf), istride=2, ostride=1)
+        got = np.array(out[0:8:2]) + 1j * np.array(out[1:8:2])
+        np.testing.assert_allclose(got, np.fft.fft(x), atol=1e-10)
+
+
+@pytest.fixture(scope="module")
+def library():
+    if not HAS_CC:
+        pytest.skip("no C compiler")
+    from repro.fftw import FftwLibrary
+
+    return FftwLibrary(CodeletSet.build(sizes=(2, 4, 8, 16)))
+
+
+@requires_cc
+class TestExecutor:
+    @pytest.mark.parametrize("n", [32, 64, 128, 256])
+    def test_estimate_plans_correct(self, library, n):
+        from repro.fftw import Planner
+
+        planner = Planner(library)
+        plan = planner.plan_estimate(n)
+        transform = library.transform(plan)
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(transform.apply(x), np.fft.fft(x),
+                                   atol=1e-8)
+
+    def test_codelet_leaf_plan(self, library):
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(16, (), library.codelet_sizes)
+        transform = library.transform(plan)
+        x = np.random.default_rng(0).standard_normal(16) * (1 + 0.5j)
+        np.testing.assert_allclose(transform.apply(x), np.fft.fft(x),
+                                   atol=1e-9)
+
+    def test_deep_plan(self, library):
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(256, (4, 4), library.codelet_sizes)
+        transform = library.transform(plan)
+        x = np.random.default_rng(1).standard_normal(256) * (1 - 1j)
+        np.testing.assert_allclose(transform.apply(x), np.fft.fft(x),
+                                   atol=1e-8)
+
+    def test_apply_rejects_wrong_length(self, library):
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(16, (), library.codelet_sizes)
+        with pytest.raises(ValueError):
+            library.transform(plan).apply(np.zeros(8))
+
+
+@requires_cc
+class TestPlanner:
+    def test_measure_mode_returns_valid_plan(self, library):
+        from repro.fftw import Planner
+
+        planner = Planner(library, min_time=0.001)
+        plan = planner.plan_measure(64)
+        assert plan.n == 64
+        x = np.random.default_rng(2).standard_normal(64) * (1 + 1j)
+        np.testing.assert_allclose(library.transform(plan).apply(x),
+                                   np.fft.fft(x), atol=1e-8)
+
+    def test_measure_mode_caches(self, library):
+        from repro.fftw import Planner
+
+        planner = Planner(library, min_time=0.001)
+        assert planner.plan_measure(64) is planner.plan_measure(64)
+
+    def test_planning_memory_tracked(self, library):
+        from repro.fftw import Planner
+
+        planner = Planner(library, min_time=0.001)
+        planner.plan_measure(64)
+        assert planner.planning_bytes > 0
+
+    def test_estimate_uses_no_planning_memory(self, library):
+        from repro.fftw import Planner
+
+        planner = Planner(library)
+        planner.plan_estimate(256)
+        assert planner.planning_bytes == 0
+
+    def test_unfactorable_size_rejected(self, library):
+        from repro.fftw import Planner
+
+        planner = Planner(library)
+        with pytest.raises(ValueError):
+            planner.plan_estimate(24 * 5)
+
+
+class TestPlanStructure:
+    def test_radices_and_leaf(self):
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(128, (4, 4), (2, 4, 8, 16, 32, 64))
+        assert plan.radices == (4, 4)
+        assert plan.leaf == 8
+        assert plan.work_len == 2 * 128 + 2 * 32
+
+    def test_twiddle_layout(self):
+        import cmath
+        import math
+
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(8, (4,), (2, 4, 8))
+        # Level-0 table: w_8^(i*j) at complex index i*2 + j, i<4, j<2.
+        for i in range(4):
+            for j in range(2):
+                expected = cmath.exp(-2j * math.pi * i * j / 8)
+                k = i * 2 + j
+                got = complex(plan.twiddles[2 * k], plan.twiddles[2 * k + 1])
+                assert abs(got - expected) < 1e-12
+
+    def test_invalid_radix_rejected(self):
+        from repro.fftw import Plan
+
+        with pytest.raises(ValueError):
+            Plan.from_radices(64, (5,), (2, 4, 8))
+
+    def test_missing_codelet_rejected(self):
+        from repro.fftw import Plan
+
+        with pytest.raises(ValueError):
+            Plan.from_radices(64, (2,), (2, 4, 8))  # leaf 32 missing
+
+    def test_describe(self):
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(64, (4,), (2, 4, 8, 16))
+        assert "r4" in plan.describe()
+        assert "cod16" in plan.describe()
+
+    def test_memory_bytes(self):
+        from repro.fftw import Plan
+
+        plan = Plan.from_radices(64, (4,), (2, 4, 8, 16))
+        assert plan.memory_bytes() == plan.twiddles.nbytes + 8 * plan.work_len

@@ -1,0 +1,151 @@
+"""Every factorization rule must reproduce its transform exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SplSemanticError
+from repro.formulas import factorization as fac
+from repro.formulas import to_matrix
+from repro.formulas.transforms import (
+    dct2_matrix,
+    dct4_matrix,
+    dft_matrix,
+    wht_matrix,
+)
+
+SPLITS = [(2, 2), (2, 4), (4, 2), (4, 4), (2, 8), (8, 4), (3, 4), (6, 6)]
+
+
+class TestBinaryRules:
+    @pytest.mark.parametrize("r,s", SPLITS)
+    def test_dit(self, r, s):
+        np.testing.assert_allclose(to_matrix(fac.ct_dit(r, s)),
+                                   dft_matrix(r * s), atol=1e-9)
+
+    @pytest.mark.parametrize("r,s", SPLITS)
+    def test_dif(self, r, s):
+        np.testing.assert_allclose(to_matrix(fac.ct_dif(r, s)),
+                                   dft_matrix(r * s), atol=1e-9)
+
+    @pytest.mark.parametrize("r,s", SPLITS)
+    def test_parallel(self, r, s):
+        np.testing.assert_allclose(to_matrix(fac.ct_parallel(r, s)),
+                                   dft_matrix(r * s), atol=1e-9)
+
+    @pytest.mark.parametrize("r,s", SPLITS)
+    def test_vector(self, r, s):
+        np.testing.assert_allclose(to_matrix(fac.ct_vector(r, s)),
+                                   dft_matrix(r * s), atol=1e-9)
+
+    def test_invalid_split(self):
+        with pytest.raises(SplSemanticError):
+            fac.ct_dit(1, 8)
+
+    def test_parallel_compute_stages_all_i_tensor(self):
+        """Equation 8's point: every non-permutation stage is I (x) A."""
+        from repro.core import nodes
+
+        formula = fac.ct_parallel(4, 4)
+        stages = []
+        node = formula
+        while isinstance(node, nodes.Compose):
+            stages.append(node.left)
+            node = node.right
+        stages.append(node)
+        tensors = [s for s in stages if isinstance(s, nodes.Tensor)]
+        assert tensors
+        assert all(isinstance(t.left, nodes.Param) and t.left.name == "I"
+                   for t in tensors)
+
+
+class TestEquation6:
+    @pytest.mark.parametrize("m,n", [(2, 3), (3, 2), (4, 4), (2, 8)])
+    def test_tensor_flip(self, m, n):
+        rng = np.random.default_rng(m * 100 + n)
+        a_vals = rng.integers(-3, 4, (m, m))
+        b_vals = rng.integers(-3, 4, (n, n))
+        from repro.core.nodes import MatrixLit
+
+        a = MatrixLit(rows=tuple(tuple(float(v) for v in row)
+                                 for row in a_vals))
+        b = MatrixLit(rows=tuple(tuple(float(v) for v in row)
+                                 for row in b_vals))
+        flipped = fac.tensor_flip(a, b, m, n)
+        np.testing.assert_allclose(to_matrix(flipped),
+                                   np.kron(a_vals, b_vals), atol=1e-9)
+
+
+class TestEquation10:
+    CASES = [
+        [2, 2],
+        [2, 4],
+        [4, 2],
+        [2, 2, 2],
+        [2, 2, 2, 2],
+        [4, 4, 2],
+        [2, 3, 4],
+        [3, 3],
+    ]
+
+    @pytest.mark.parametrize("factors", CASES)
+    def test_multi(self, factors):
+        n = int(np.prod(factors))
+        np.testing.assert_allclose(to_matrix(fac.ct_multi(factors)),
+                                   dft_matrix(n), atol=1e-9)
+
+    def test_single_factor_is_leaf(self):
+        assert fac.ct_multi([8]).to_spl() == "(F 8)"
+
+    def test_radix2_iterative(self):
+        np.testing.assert_allclose(to_matrix(fac.ct_multi([2] * 5)),
+                                   dft_matrix(32), atol=1e-9)
+
+    def test_custom_leaf(self):
+        calls = []
+
+        def leaf(n):
+            calls.append(n)
+            return fac.fourier(n)
+
+        fac.ct_multi([4, 8], leaf=leaf)
+        assert sorted(calls) == [4, 8]
+
+    def test_invalid_factors(self):
+        with pytest.raises(SplSemanticError):
+            fac.ct_multi([1, 8])
+
+
+class TestWht:
+    @pytest.mark.parametrize("exponents", [[1], [1, 1], [2, 1], [1, 2, 1],
+                                           [3], [2, 3]])
+    def test_wht_multi(self, exponents):
+        n = 2 ** sum(exponents)
+        np.testing.assert_allclose(to_matrix(fac.wht_multi(exponents)),
+                                   wht_matrix(n), atol=1e-9)
+
+    def test_invalid_exponents(self):
+        with pytest.raises(SplSemanticError):
+            fac.wht_multi([0, 1])
+
+
+class TestDct:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_dct2_split(self, n):
+        np.testing.assert_allclose(to_matrix(fac.dct2_split(n)),
+                                   dct2_matrix(n), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_dct4_via_dct2(self, n):
+        np.testing.assert_allclose(to_matrix(fac.dct4_via_dct2(n)),
+                                   dct4_matrix(n), atol=1e-9)
+
+    def test_dct2_split_needs_even(self):
+        with pytest.raises(SplSemanticError):
+            fac.dct2_split(6 + 1)
+
+    def test_recursive_dct(self):
+        from repro.generator.dct_rules import dct2_recursive
+
+        formula = dct2_recursive(16)
+        np.testing.assert_allclose(to_matrix(formula), dct2_matrix(16),
+                                   atol=1e-9)

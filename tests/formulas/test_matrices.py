@@ -1,0 +1,80 @@
+"""Unit tests for the dense interpretation of formula ASTs."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SplSemanticError
+from repro.core.nodes import Param
+from repro.core.parser import parse_formula_text
+from repro.formulas import to_matrix
+from repro.formulas.transforms import dft_matrix
+
+
+def mat(text: str) -> np.ndarray:
+    return to_matrix(parse_formula_text(text))
+
+
+class TestLeaves:
+    def test_identity(self):
+        np.testing.assert_array_equal(mat("(I 3)"), np.eye(3))
+
+    def test_fourier(self):
+        np.testing.assert_allclose(mat("(F 4)"), dft_matrix(4))
+
+    def test_matrix_literal(self):
+        np.testing.assert_array_equal(mat("(matrix (1 2) (3 4))"),
+                                      [[1, 2], [3, 4]])
+
+    def test_diagonal_literal(self):
+        np.testing.assert_array_equal(mat("(diagonal (1 2))"),
+                                      [[1, 0], [0, 2]])
+
+    def test_permutation_literal(self):
+        x = np.array([10.0, 20.0, 30.0])
+        np.testing.assert_array_equal(mat("(permutation (2 3 1))") @ x,
+                                      [20, 30, 10])
+
+    def test_unknown_param(self):
+        with pytest.raises(SplSemanticError):
+            to_matrix(Param(name="XYZ", params=(3,)))
+
+
+class TestOperators:
+    def test_compose_order(self):
+        """(compose A B) means A @ B: B is applied to the input first."""
+        a = mat("(compose (diagonal (2 2)) (matrix (0 1) (1 0)))")
+        x = np.array([1.0, 3.0])
+        np.testing.assert_array_equal(a @ x, [6, 2])
+
+    def test_tensor_is_kron(self):
+        np.testing.assert_array_equal(
+            mat("(tensor (matrix (1 2) (3 4)) (I 2))"),
+            np.kron([[1, 2], [3, 4]], np.eye(2)),
+        )
+
+    def test_direct_sum_blocks(self):
+        m = mat("(direct-sum (diagonal (2)) (diagonal (3)))")
+        np.testing.assert_array_equal(m, [[2, 0], [0, 3]])
+
+    def test_direct_sum_rectangular(self):
+        m = to_matrix(parse_formula_text(
+            "(direct-sum (matrix (1 2)) (I 2))"
+        ))
+        assert m.shape == (3, 4)
+
+
+class TestTensorInterpretations:
+    """Section 2.1's reading of I (x) A and A (x) I."""
+
+    def test_i_tensor_a_block_diagonal(self):
+        a = np.array([[1, 2], [3, 4]], dtype=complex)
+        m = mat("(tensor (I 2) (matrix (1 2) (3 4)))")
+        np.testing.assert_array_equal(m[:2, :2], a)
+        np.testing.assert_array_equal(m[2:, 2:], a)
+        np.testing.assert_array_equal(m[:2, 2:], np.zeros((2, 2)))
+
+    def test_a_tensor_i_strided(self):
+        m = mat("(tensor (matrix (1 2) (3 4)) (I 2))")
+        x = np.array([1.0, 10.0, 2.0, 20.0])
+        # Acts on the stride-2 subvectors (1,2) and (10,20).
+        np.testing.assert_array_equal(m @ x, [5, 50, 11, 110])

@@ -1,0 +1,115 @@
+"""Tests for multidimensional and derived transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplSemanticError
+from repro.formulas import to_matrix
+from repro.formulas.multidim import (
+    cyclic_convolution_with_taps,
+    dft2d,
+    dft3d,
+    index_reversal,
+    inverse_dft,
+)
+from tests.conftest import random_complex
+
+
+class TestDft2d:
+    @pytest.mark.parametrize("m,n", [(2, 2), (4, 4), (2, 8), (4, 3)])
+    def test_matches_numpy_fft2(self, m, n):
+        formula = dft2d(m, n)
+        x = random_complex(m * n).reshape(m, n)
+        got = (to_matrix(formula) @ x.reshape(-1)).reshape(m, n)
+        np.testing.assert_allclose(got, np.fft.fft2(x), atol=1e-9)
+
+    def test_compiles_and_runs(self):
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        routine = compiler.compile_formula(dft2d(4, 4), "dft2d_4x4")
+        x = random_complex(16)
+        got = np.asarray(routine.run(list(x))).reshape(4, 4)
+        np.testing.assert_allclose(got, np.fft.fft2(x.reshape(4, 4)),
+                                   atol=1e-9)
+
+    def test_factored_leaves(self):
+        from repro.formulas.factorization import ct_dit
+
+        formula = dft2d(4, 4, leaf=lambda k: ct_dit(2, 2))
+        x = random_complex(16).reshape(4, 4)
+        got = (to_matrix(formula) @ x.reshape(-1)).reshape(4, 4)
+        np.testing.assert_allclose(got, np.fft.fft2(x), atol=1e-9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(SplSemanticError):
+            dft2d(0, 4)
+
+
+class TestDft3d:
+    def test_matches_numpy_fftn(self):
+        formula = dft3d(2, 4, 2)
+        x = random_complex(16).reshape(2, 4, 2)
+        got = (to_matrix(formula) @ x.reshape(-1)).reshape(2, 4, 2)
+        np.testing.assert_allclose(got, np.fft.fftn(x), atol=1e-9)
+
+
+class TestInverseDft:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 12])
+    def test_matches_numpy_ifft(self, n):
+        formula = inverse_dft(n)
+        x = random_complex(n)
+        np.testing.assert_allclose(to_matrix(formula) @ x, np.fft.ifft(x),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_inverse_composes_to_identity(self, n):
+        from repro.core.nodes import compose, fourier
+
+        round_trip = compose(inverse_dft(n), fourier(n))
+        np.testing.assert_allclose(to_matrix(round_trip), np.eye(n),
+                                   atol=1e-9)
+
+    def test_index_reversal_structure(self):
+        p = index_reversal(4)
+        x = np.array([10.0, 11.0, 12.0, 13.0])
+        np.testing.assert_array_equal(to_matrix(p).real @ x,
+                                      [10, 13, 12, 11])
+
+    def test_compiles(self):
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        routine = compiler.compile_formula(inverse_dft(8), "ifft8")
+        x = random_complex(8)
+        np.testing.assert_allclose(np.asarray(routine.run(list(x))),
+                                   np.fft.ifft(x), atol=1e-9)
+
+
+class TestCyclicConvolution:
+    def test_convolution_theorem(self):
+        n = 8
+        rng = np.random.default_rng(0)
+        taps = rng.standard_normal(n)
+        spectrum = np.fft.fft(taps)
+        formula = cyclic_convolution_with_taps(n, spectrum)
+        x = random_complex(n)
+        expected = np.fft.ifft(np.fft.fft(x) * spectrum)
+        np.testing.assert_allclose(to_matrix(formula) @ x, expected,
+                                   atol=1e-9)
+
+    def test_compiled_convolution(self):
+        n = 16
+        rng = np.random.default_rng(1)
+        taps = np.zeros(n)
+        taps[:3] = [0.5, 0.3, 0.2]
+        spectrum = np.fft.fft(taps)
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        routine = compiler.compile_formula(
+            cyclic_convolution_with_taps(n, spectrum), "conv16"
+        )
+        x = rng.standard_normal(n) + 0j
+        got = np.asarray(routine.run(list(x)))
+        expected = np.fft.ifft(np.fft.fft(x) * spectrum)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_wrong_spectrum_length(self):
+        with pytest.raises(SplSemanticError):
+            cyclic_convolution_with_taps(8, [1.0] * 4)

@@ -1,0 +1,128 @@
+"""Tests for the non-Cooley-Tukey FFT formulas (Good-Thomas, Rader,
+Bluestein)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplSemanticError
+from repro.formulas import to_matrix
+from repro.formulas.prime import (
+    _primitive_root,
+    bluestein,
+    good_thomas,
+    rader,
+)
+from repro.formulas.transforms import dft_matrix
+from tests.conftest import random_complex
+
+
+class TestGoodThomas:
+    @pytest.mark.parametrize("m,k", [(3, 4), (4, 3), (3, 5), (5, 8),
+                                     (4, 9), (7, 8)])
+    def test_matches_dft(self, m, k):
+        np.testing.assert_allclose(to_matrix(good_thomas(m, k)),
+                                   dft_matrix(m * k), atol=1e-9)
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(SplSemanticError):
+            good_thomas(4, 6)
+
+    def test_no_twiddles_in_formula(self):
+        """The prime-factor algorithm's point: no T matrices appear."""
+        from repro.core.nodes import Param
+
+        formula = good_thomas(3, 4)
+        assert not any(
+            isinstance(node, Param) and node.name == "T"
+            for node in formula.walk()
+        )
+
+    def test_compiles_and_runs(self):
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        routine = compiler.compile_formula(good_thomas(3, 4), "gt12")
+        x = random_complex(12)
+        np.testing.assert_allclose(np.asarray(routine.run(list(x))),
+                                   np.fft.fft(x), atol=1e-9)
+
+    def test_factored_leaves(self):
+        from repro.formulas.factorization import ct_dit
+        from repro.core.nodes import fourier
+
+        formula = good_thomas(
+            4, 9, leaf=lambda n: ct_dit(2, 2) if n == 4 else fourier(n)
+        )
+        np.testing.assert_allclose(to_matrix(formula), dft_matrix(36),
+                                   atol=1e-9)
+
+
+class TestRader:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 13, 17, 19])
+    def test_matches_dft(self, p):
+        np.testing.assert_allclose(to_matrix(rader(p)), dft_matrix(p),
+                                   atol=1e-8)
+
+    def test_rejects_composite(self):
+        with pytest.raises(SplSemanticError):
+            rader(9)
+
+    def test_rejects_two(self):
+        with pytest.raises(SplSemanticError):
+            rader(2)
+
+    def test_primitive_roots(self):
+        assert _primitive_root(5) == 2
+        assert _primitive_root(7) == 3
+        for p in (11, 13, 17):
+            g = _primitive_root(p)
+            assert sorted(pow(g, t, p) for t in range(p - 1)) == \
+                list(range(1, p))
+
+    def test_compiles_and_runs(self):
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        routine = compiler.compile_formula(rader(7), "rader7")
+        x = random_complex(7)
+        np.testing.assert_allclose(np.asarray(routine.run(list(x))),
+                                   np.fft.fft(x), atol=1e-8)
+
+    def test_inner_fft_is_fast_for_mersenne_like(self):
+        """p=17: the convolution is a power-of-two FFT of size 16,
+        which the CT machinery factors."""
+        from repro.formulas.factorization import ct_multi
+        from repro.core.nodes import fourier
+
+        formula = rader(
+            17, leaf=lambda n: ct_multi([2] * 4) if n == 16 else fourier(n)
+        )
+        np.testing.assert_allclose(to_matrix(formula), dft_matrix(17),
+                                   atol=1e-8)
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 11, 12, 15])
+    def test_matches_dft(self, n):
+        np.testing.assert_allclose(to_matrix(bluestein(n)), dft_matrix(n),
+                                   atol=1e-8)
+
+    def test_padded_size_is_power_of_two(self):
+        formula = bluestein(5)
+        from repro.core.nodes import Param
+
+        fs = [node.params[0] for node in formula.walk()
+              if isinstance(node, Param) and node.name == "F"]
+        assert fs and all(m & (m - 1) == 0 for m in fs)
+
+    def test_explicit_padding(self):
+        np.testing.assert_allclose(to_matrix(bluestein(5, padded=16)),
+                                   dft_matrix(5), atol=1e-8)
+
+    def test_too_small_padding_rejected(self):
+        with pytest.raises(SplSemanticError):
+            bluestein(5, padded=8)
+
+    def test_compiles_and_runs(self):
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        routine = compiler.compile_formula(bluestein(6), "blu6")
+        x = random_complex(6)
+        np.testing.assert_allclose(np.asarray(routine.run(list(x))),
+                                   np.fft.fft(x), atol=1e-8)

@@ -1,0 +1,161 @@
+"""Unit tests for the dense transform definitions (Section 2.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SplSemanticError
+from repro.formulas.transforms import (
+    dct2_matrix,
+    dct4_matrix,
+    dft_matrix,
+    reversal_matrix,
+    stride_perm_matrix,
+    twiddle_matrix,
+    wht_matrix,
+)
+
+
+class TestDft:
+    def test_matches_numpy(self):
+        for n in (1, 2, 3, 4, 8, 12):
+            x = np.random.default_rng(n).standard_normal(n) * (1 + 1j)
+            np.testing.assert_allclose(dft_matrix(n) @ x, np.fft.fft(x),
+                                       atol=1e-10)
+
+    def test_symmetric(self):
+        f = dft_matrix(8)
+        np.testing.assert_allclose(f, f.T)
+
+    def test_unitary_up_to_scale(self):
+        f = dft_matrix(16)
+        np.testing.assert_allclose(f @ f.conj().T, 16 * np.eye(16),
+                                   atol=1e-10)
+
+    def test_invalid_size(self):
+        with pytest.raises(SplSemanticError):
+            dft_matrix(0)
+
+
+class TestStridePermutation:
+    def test_is_permutation(self):
+        p = stride_perm_matrix(12, 3)
+        assert (p.sum(axis=0) == 1).all()
+        assert (p.sum(axis=1) == 1).all()
+
+    def test_gathers_with_stride(self):
+        p = stride_perm_matrix(8, 4)
+        x = np.arange(8.0)
+        np.testing.assert_array_equal(p @ x,
+                                      [0, 4, 1, 5, 2, 6, 3, 7])
+
+    def test_l_4_2(self):
+        x = np.arange(4.0)
+        np.testing.assert_array_equal(stride_perm_matrix(4, 2) @ x,
+                                      [0, 2, 1, 3])
+
+    def test_inverse_is_opposite_stride(self):
+        n, s = 24, 4
+        p = stride_perm_matrix(n, s)
+        q = stride_perm_matrix(n, n // s)
+        np.testing.assert_allclose(p @ q, np.eye(n), atol=0)
+
+    def test_transpose_is_inverse(self):
+        p = stride_perm_matrix(12, 3)
+        np.testing.assert_allclose(p @ p.T, np.eye(12), atol=0)
+
+    def test_must_divide(self):
+        with pytest.raises(SplSemanticError):
+            stride_perm_matrix(10, 3)
+
+
+class TestTwiddle:
+    def test_t_4_2_values(self):
+        t = np.diag(twiddle_matrix(4, 2))
+        np.testing.assert_allclose(t, [1, 1, 1, -1j], atol=1e-12)
+
+    def test_diagonal(self):
+        t = twiddle_matrix(16, 4)
+        np.testing.assert_allclose(t, np.diag(np.diag(t)))
+
+    def test_unit_modulus(self):
+        t = np.diag(twiddle_matrix(32, 8))
+        np.testing.assert_allclose(np.abs(t), 1.0)
+
+
+class TestCooleyTukeyIdentity:
+    """The fundamental check: Equation 5 as dense matrices."""
+
+    @pytest.mark.parametrize("r,s", [(2, 2), (2, 4), (4, 2), (4, 4),
+                                     (2, 8), (8, 8), (3, 4), (6, 2)])
+    def test_dit(self, r, s):
+        n = r * s
+        lhs = dft_matrix(n)
+        rhs = (
+            np.kron(dft_matrix(r), np.eye(s))
+            @ twiddle_matrix(n, s)
+            @ np.kron(np.eye(r), dft_matrix(s))
+            @ stride_perm_matrix(n, r)
+        )
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+
+class TestWht:
+    def test_wht2_is_f2(self):
+        np.testing.assert_array_equal(wht_matrix(2), [[1, 1], [1, -1]])
+
+    def test_entries_pm1(self):
+        w = wht_matrix(16)
+        assert set(np.unique(w)) == {-1.0, 1.0}
+
+    def test_orthogonal(self):
+        w = wht_matrix(8)
+        np.testing.assert_allclose(w @ w.T, 8 * np.eye(8))
+
+    def test_power_of_two_required(self):
+        with pytest.raises(SplSemanticError):
+            wht_matrix(6)
+
+
+class TestDct:
+    def test_dct2_2_matches_paper(self):
+        """DCTII_2 = diag(1, 1/sqrt(2)) . F_2 (Section 2.1)."""
+        expected = np.diag([1, 1 / math.sqrt(2)]) @ np.array(
+            [[1, 1], [1, -1]]
+        )
+        np.testing.assert_allclose(dct2_matrix(2), expected, atol=1e-12)
+
+    def test_dct2_first_row_ones(self):
+        np.testing.assert_allclose(dct2_matrix(8)[0], np.ones(8))
+
+    def test_dct2_matches_scipy_convention(self):
+        import scipy.fft
+
+        x = np.random.default_rng(3).standard_normal(8)
+        # scipy's unnormalized DCT-II is 2x ours.
+        np.testing.assert_allclose(2 * dct2_matrix(8) @ x,
+                                   scipy.fft.dct(x, type=2, norm=None),
+                                   atol=1e-10)
+
+    def test_dct4_matches_scipy_convention(self):
+        import scipy.fft
+
+        x = np.random.default_rng(4).standard_normal(8)
+        np.testing.assert_allclose(2 * dct4_matrix(8) @ x,
+                                   scipy.fft.dct(x, type=4, norm=None),
+                                   atol=1e-10)
+
+    def test_dct4_symmetric(self):
+        c4 = dct4_matrix(16)
+        np.testing.assert_allclose(c4, c4.T, atol=1e-12)
+
+
+class TestReversal:
+    def test_reverses(self):
+        x = np.arange(5.0)
+        np.testing.assert_array_equal(reversal_matrix(5) @ x, x[::-1])
+
+    def test_involution(self):
+        j = reversal_matrix(6)
+        np.testing.assert_array_equal(j @ j, np.eye(6))

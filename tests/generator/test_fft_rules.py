@@ -1,0 +1,103 @@
+"""Unit tests for the FFT formula generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodes import fourier
+from repro.formulas import to_matrix
+from repro.formulas.transforms import dft_matrix
+from repro.generator.fft_rules import (
+    all_binary_splits,
+    count_factorizations,
+    enumerate_ct_formulas,
+    ordered_factorizations,
+)
+
+
+class TestOrderedFactorizations:
+    def test_eight(self):
+        found = sorted(tuple(f) for f in ordered_factorizations(8))
+        assert found == [(2, 2, 2), (2, 4), (4, 2)]
+
+    def test_count_is_power_related(self):
+        # For n = 2^k the count of ordered factorizations is 2^(k-1) - 1
+        # proper multi-factor ones plus the leaf.
+        assert count_factorizations(16) == 8
+        assert count_factorizations(32) == 16
+
+    def test_prime_has_only_leaf(self):
+        assert list(ordered_factorizations(7)) == []
+
+    def test_products_correct(self):
+        for factors in ordered_factorizations(24):
+            assert int(np.prod(factors)) == 24
+            assert all(f >= 2 for f in factors)
+
+
+class TestBinarySplits:
+    def test_sixteen(self):
+        assert list(all_binary_splits(16)) == [(2, 8), (4, 4), (8, 2)]
+
+    def test_prime(self):
+        assert list(all_binary_splits(13)) == []
+
+
+class TestEnumeration:
+    def test_leaf_always_first(self):
+        formulas = enumerate_ct_formulas(8)
+        assert formulas[0] == fourier(8)
+
+    def test_all_candidates_compute_dft(self):
+        for formula in enumerate_ct_formulas(8):
+            np.testing.assert_allclose(to_matrix(formula), dft_matrix(8),
+                                       atol=1e-9)
+
+    def test_no_duplicates(self):
+        formulas = enumerate_ct_formulas(16)
+        texts = [f.to_spl() for f in formulas]
+        assert len(texts) == len(set(texts))
+
+    def test_limit_respected(self):
+        formulas = enumerate_ct_formulas(32, limit=5)
+        assert len(formulas) == 5
+
+    def test_binary_rules_add_candidates(self):
+        multi_only = enumerate_ct_formulas(16, rules=("multi",))
+        widened = enumerate_ct_formulas(
+            16, rules=("multi", "dif", "parallel", "vector")
+        )
+        assert len(widened) > len(multi_only)
+
+    def test_widened_candidates_still_correct(self):
+        for formula in enumerate_ct_formulas(
+            8, rules=("dif", "parallel", "vector")
+        ):
+            np.testing.assert_allclose(to_matrix(formula), dft_matrix(8),
+                                       atol=1e-9)
+
+    def test_enough_formulas_for_figure2(self):
+        """Figure 2 needs 45 SPL formulas for FFT N=32; the recursive
+        breakdown-tree space has 51."""
+        from repro.generator.fft_rules import enumerate_breakdown_trees
+
+        trees = enumerate_breakdown_trees(32)
+        assert len(trees) == 51
+        texts = [t.to_spl() for t in trees]
+        assert len(set(texts)) == 51
+
+    def test_breakdown_trees_all_correct(self):
+        from repro.generator.fft_rules import enumerate_breakdown_trees
+
+        for tree in enumerate_breakdown_trees(16):
+            np.testing.assert_allclose(to_matrix(tree), dft_matrix(16),
+                                       atol=1e-9)
+
+    def test_custom_leaf_substitution(self):
+        best4 = enumerate_ct_formulas(4)[1]  # a factored F4
+
+        def leaf(m):
+            return best4 if m == 4 else fourier(m)
+
+        formulas = enumerate_ct_formulas(8, leaf=leaf)
+        rendered = " ".join(f.to_spl() for f in formulas)
+        assert best4.to_spl() in rendered

@@ -1,0 +1,69 @@
+"""Unit tests for the WHT and DCT generator rules."""
+
+import numpy as np
+import pytest
+
+from repro.formulas import to_matrix
+from repro.formulas.transforms import dct2_matrix, dct4_matrix, wht_matrix
+from repro.generator.dct_rules import dct2_recursive, dct4_recursive
+from repro.generator.wht_rules import compositions, enumerate_wht_formulas
+
+
+class TestCompositions:
+    def test_three(self):
+        found = sorted(tuple(c) for c in compositions(3))
+        assert found == [(1, 1, 1), (1, 2), (2, 1), (3,)]
+
+    def test_count_is_power_of_two(self):
+        assert sum(1 for _ in compositions(5)) == 16
+
+    def test_max_part(self):
+        assert all(max(c) <= 2 for c in compositions(4, max_part=2))
+
+
+class TestWhtEnumeration:
+    def test_all_formulas_correct(self):
+        for formula in enumerate_wht_formulas(16):
+            np.testing.assert_allclose(to_matrix(formula), wht_matrix(16),
+                                       atol=1e-9)
+
+    def test_limit(self):
+        assert len(enumerate_wht_formulas(32, limit=3)) == 3
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_wht_formulas(12)
+
+
+class TestDctRecursion:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_dct2_recursive_correct(self, n):
+        np.testing.assert_allclose(to_matrix(dct2_recursive(n)),
+                                   dct2_matrix(n), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_dct4_recursive_correct(self, n):
+        np.testing.assert_allclose(to_matrix(dct4_recursive(n)),
+                                   dct4_matrix(n), atol=1e-8)
+
+    def test_recursion_bottoms_out(self):
+        from repro.core import nodes
+
+        formula = dct2_recursive(8, min_size=4)
+        leaves = [
+            node for node in formula.walk()
+            if isinstance(node, nodes.Param) and node.name.startswith("DCT")
+        ]
+        assert leaves
+        assert all(node.params[0] <= 4 for node in leaves)
+
+    def test_compiles_and_runs(self):
+        from repro.core.compiler import CompilerOptions, SplCompiler
+
+        compiler = SplCompiler(CompilerOptions(datatype="real",
+                                               language="python"))
+        formula = dct2_recursive(8)
+        routine = compiler.compile_formula(formula, "dct8")
+        x = np.random.default_rng(0).standard_normal(8)
+        np.testing.assert_allclose(routine.run(list(x)),
+                                   dct2_matrix(8) @ x, atol=1e-9)

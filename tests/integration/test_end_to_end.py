@@ -1,0 +1,147 @@
+"""End-to-end integration: every pipeline configuration against the oracle.
+
+For each formula in a broad corpus and each combination of optimization
+level, unrolling, and backend, the generated code must compute
+``to_matrix(formula) @ x``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.parser import parse_formula_text
+from repro.formulas import to_matrix
+from repro.formulas.factorization import (
+    ct_dif,
+    ct_dit,
+    ct_multi,
+    ct_parallel,
+    ct_vector,
+    dct2_split,
+    wht_multi,
+)
+from repro.generator.dct_rules import dct2_recursive
+from repro.perfeval.runner import build_executable
+from tests.conftest import random_complex, requires_cc
+
+CORPUS = [
+    "(F 2)",
+    "(F 4)",
+    "(F 6)",
+    "(F 8)",
+    "(L 16 4)",
+    "(T 16 2)",
+    "(WHT 8)",
+    "(tensor (F 2) (F 2))",
+    "(compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))",
+    "(direct-sum (F 2) (compose (F 2) (diagonal (1 -1))))",
+    "(compose (permutation (2 1 4 3)) (tensor (I 2) (F 2)))",
+]
+
+FACTORED = [
+    ct_dit(2, 8),
+    ct_dif(4, 4),
+    ct_parallel(2, 4),
+    ct_vector(4, 2),
+    ct_multi([2, 2, 2, 2]),
+    wht_multi([1, 2, 1]),
+    dct2_split(8),
+    dct2_recursive(16),
+]
+
+
+def check(formula, options: CompilerOptions, language: str) -> None:
+    compiler = SplCompiler(options)
+    if isinstance(formula, str):
+        formula = parse_formula_text(formula)
+    routine = compiler.compile_formula(formula, "e2e", language=language)
+    matrix = to_matrix(formula)
+    x = random_complex(matrix.shape[1])
+    got = np.asarray(routine.run(list(x)))
+    np.testing.assert_allclose(got, matrix @ x, atol=1e-8)
+
+
+class TestPythonBackendMatrix:
+    @pytest.mark.parametrize("text", CORPUS)
+    @pytest.mark.parametrize("optimize", ["none", "scalars", "default"])
+    def test_opt_levels(self, text, optimize):
+        check(text, CompilerOptions(optimize=optimize), "python")
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_unrolled(self, text):
+        check(text, CompilerOptions(unroll=True), "python")
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_lowered_to_real(self, text):
+        check(text, CompilerOptions(codetype="real", unroll=True), "python")
+
+    @pytest.mark.parametrize("index", range(len(FACTORED)))
+    def test_factored_formulas(self, index):
+        check(FACTORED[index],
+              CompilerOptions(optimize="default", unroll=True), "python")
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_peephole(self, text):
+        check(text, CompilerOptions(peephole=True, unroll=True), "python")
+
+    @pytest.mark.parametrize("text", CORPUS[:6])
+    def test_threshold(self, text):
+        check(text, CompilerOptions(unroll_threshold=8), "python")
+
+
+@requires_cc
+class TestCompiledCMatrix:
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_compiled_c(self, text):
+        compiler = SplCompiler(CompilerOptions(unroll=True))
+        formula = parse_formula_text(text)
+        routine = compiler.compile_formula(formula, "e2ec", language="c")
+        executable = build_executable(routine)
+        matrix = to_matrix(formula)
+        x = random_complex(matrix.shape[1])
+        np.testing.assert_allclose(executable.apply(x), matrix @ x,
+                                   atol=1e-8)
+
+    @pytest.mark.parametrize("index", range(len(FACTORED)))
+    def test_compiled_c_factored(self, index):
+        compiler = SplCompiler(CompilerOptions(optimize="default"))
+        formula = FACTORED[index]
+        routine = compiler.compile_formula(formula, "e2ecf", language="c")
+        executable = build_executable(routine)
+        matrix = to_matrix(formula)
+        x = random_complex(matrix.shape[1])
+        np.testing.assert_allclose(executable.apply(x), matrix @ x,
+                                   atol=1e-8)
+
+
+class TestLargerSizes:
+    @pytest.mark.parametrize("n", [32, 64, 128])
+    def test_recursive_fft_python(self, n):
+        factors = []
+        m = n
+        while m > 1:
+            factors.append(2)
+            m //= 2
+        formula = ct_multi(factors)
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula(formula, f"fft{n}",
+                                           language="python")
+        x = random_complex(n)
+        np.testing.assert_allclose(np.asarray(routine.run(list(x))),
+                                   np.fft.fft(x), atol=1e-8)
+
+    def test_interpreter_backend_agreement(self):
+        """The i-code interpreter and the Python backend see the same
+        program and must agree exactly (bitwise)."""
+        from repro.core.interpreter import run_program
+        from tests.conftest import interleave
+
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula(ct_dit(4, 8), "ag",
+                                           language="python")
+        x = random_complex(32)
+        buf = interleave(x)
+        via_interp = run_program(routine.program, list(buf))
+        y = [0.0] * len(via_interp)
+        routine.callable()(y, list(buf))
+        assert y == via_interp

@@ -1,0 +1,150 @@
+"""Tests for the performance-evaluation substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.perfeval.accuracy import relative_error
+from repro.perfeval.ccompile import (
+    CCompileError,
+    compile_shared_object,
+    have_c_compiler,
+)
+from repro.perfeval.memory import routine_memory
+from repro.perfeval.platform import format_table, host_platform
+from repro.perfeval.runner import build_executable
+from repro.perfeval.timing import pseudo_mflops, time_callable
+from tests.conftest import requires_cc
+
+
+class TestTiming:
+    def test_time_callable_positive(self):
+        t = time_callable(lambda: None, min_time=0.001, repeats=2)
+        assert t >= 0
+
+    def test_time_scales_with_work(self):
+        def light():
+            sum(range(10))
+
+        def heavy():
+            sum(range(10000))
+
+        t_light = time_callable(light, min_time=0.005)
+        t_heavy = time_callable(heavy, min_time=0.005)
+        assert t_heavy > t_light * 5
+
+    def test_pseudo_mflops_formula(self):
+        # 5 N log2 N / t(us): N=1024, t=1ms -> 51.2 pMFlops.
+        assert pseudo_mflops(1024, 1e-3) == pytest.approx(51.2)
+
+    def test_pseudo_mflops_zero_time(self):
+        assert pseudo_mflops(8, 0.0) == float("inf")
+
+
+class TestPlatform:
+    def test_host_row_fields(self):
+        row = host_platform()
+        data = row.as_table_row()
+        assert set(data) == {"CPU", "L1 cache", "L2 cache", "Memory",
+                             "OS", "Compiler"}
+        assert data["CPU"]
+
+    def test_format_table(self):
+        text = format_table([host_platform()])
+        assert "Table 1" in text
+        assert "CPU" in text
+
+
+@requires_cc
+class TestCCompile:
+    def test_compile_and_cache(self, tmp_path):
+        source = "void five(double *restrict y, const double *restrict x)" \
+                 "{ y[0] = x[0] + 5.0; }\n"
+        path1 = compile_shared_object(source, build_dir=tmp_path)
+        path2 = compile_shared_object(source, build_dir=tmp_path)
+        assert path1 == path2
+        assert path1.exists()
+
+    def test_compile_error_reported(self, tmp_path):
+        with pytest.raises(CCompileError) as err:
+            compile_shared_object("this is not C;", build_dir=tmp_path)
+        assert "compilation failed" in str(err.value)
+
+    def test_load_and_call(self, tmp_path):
+        from repro.perfeval.ccompile import load_function
+        import ctypes
+
+        source = ("void addone(double *restrict y, "
+                  "const double *restrict x) { y[0] = x[0] + 1.0; }\n")
+        path = compile_shared_object(source, build_dir=tmp_path)
+        fn = load_function(path, "addone")
+        x = np.array([41.0])
+        y = np.zeros(1)
+        dp = ctypes.POINTER(ctypes.c_double)
+        fn(y.ctypes.data_as(dp), x.ctypes.data_as(dp))
+        assert y[0] == 42.0
+
+
+class TestRunner:
+    def test_python_fallback(self):
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula("(F 2)", "t", language="python")
+        executable = build_executable(routine, prefer="python")
+        assert executable.backend == "python"
+        x = np.array([1 + 2j, 3 - 1j])
+        np.testing.assert_allclose(executable.apply(x), np.fft.fft(x),
+                                   atol=1e-12)
+
+    @requires_cc
+    def test_c_and_python_agree(self):
+        compiler = SplCompiler(CompilerOptions(unroll=True,
+                                               codetype="real"))
+        routine = compiler.compile_formula("(F 8)", "agree8", language="c")
+        c_exec = build_executable(routine, prefer="c")
+        py_exec = build_executable(routine, prefer="python")
+        x = np.random.default_rng(0).standard_normal(8) * (1 + 1j)
+        np.testing.assert_allclose(c_exec.apply(x), py_exec.apply(x),
+                                   atol=1e-12)
+
+    def test_timer_closure_runs(self):
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula("(F 2)", "t2", language="python")
+        executable = build_executable(routine, prefer="python")
+        closure = executable.timer_closure()
+        closure()  # must not raise
+
+
+class TestMemory:
+    def test_accounting(self):
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula("(T 16 4)", "m", language="c")
+        report = routine_memory(routine)
+        assert report.table_bytes == 32 * 8  # 16 complex -> 32 reals
+        assert report.io_bytes == (16 + 16) * 2 * 8
+        assert report.total_bytes == sum(
+            (report.code_bytes, report.table_bytes, report.temp_bytes,
+             report.io_bytes)
+        )
+
+    def test_as_dict(self):
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula("(I 4)", "m2", language="c")
+        data = routine_memory(routine).as_dict()
+        assert set(data) == {"code", "tables", "temps", "io", "total"}
+
+
+class TestAccuracy:
+    def test_exact_fft_has_tiny_error(self):
+        err = relative_error(np.fft.fft, 64)
+        assert err < 1e-14
+
+    def test_wrong_fft_detected(self):
+        err = relative_error(lambda x: np.fft.fft(x) * 1.001, 64)
+        assert err > 1e-4
+
+    def test_error_grows_slowly_with_size(self):
+        e_small = relative_error(np.fft.fft, 8)
+        e_large = relative_error(np.fft.fft, 4096)
+        assert e_large < 100 * max(e_small, 1e-17)

@@ -1,0 +1,131 @@
+"""Property-based tests over random formulas: the pipeline is semantics-
+preserving at every configuration, and the factorization identities
+hold for arbitrary shapes."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import nodes
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.formulas import to_matrix
+from repro.formulas.factorization import ct_dif, ct_dit, ct_multi
+from repro.formulas.transforms import dft_matrix
+
+
+@st.composite
+def leaf_formulas(draw):
+    kind = draw(st.sampled_from(["I", "F", "J", "L", "T", "diag", "perm"]))
+    if kind in ("I", "F", "J"):
+        n = draw(st.integers(1, 4))
+        return nodes.Param(name=kind, params=(n,))
+    if kind in ("L", "T"):
+        s = draw(st.integers(1, 3))
+        m = draw(st.integers(1, 3))
+        return nodes.Param(name=kind, params=(m * s, s))
+    if kind == "diag":
+        values = draw(st.lists(
+            st.integers(-3, 3).map(float), min_size=1, max_size=4))
+        return nodes.DiagonalLit(values=tuple(values))
+    n = draw(st.integers(1, 4))
+    perm = draw(st.permutations(list(range(1, n + 1))))
+    return nodes.PermutationLit(perm=tuple(perm))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return draw(leaf_formulas())
+    kind = draw(st.sampled_from(["leaf", "tensor", "direct-sum", "compose"]))
+    if kind == "leaf":
+        return draw(leaf_formulas())
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    if kind == "tensor":
+        return nodes.Tensor(left=left, right=right)
+    if kind == "direct-sum":
+        return nodes.DirectSum(left=left, right=right)
+    # compose: square sizes here, so wrap mismatches in a direct sum of
+    # identities to align them.
+    left_n = to_matrix(left).shape[1]
+    right_n = to_matrix(right).shape[0]
+    if left_n != right_n:
+        if left_n < right_n:
+            left = nodes.DirectSum(
+                left=left, right=nodes.identity(right_n - left_n))
+        else:
+            right = nodes.DirectSum(
+                left=right, right=nodes.identity(left_n - right_n))
+    return nodes.Compose(left=left, right=right)
+
+
+def run_and_compare(formula, options, seed=0):
+    compiler = SplCompiler(options)
+    routine = compiler.compile_formula(formula, "prop", language="python")
+    matrix = to_matrix(formula)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(matrix.shape[1]) \
+        + 1j * rng.standard_normal(matrix.shape[1])
+    got = np.asarray(routine.run(list(x)))
+    np.testing.assert_allclose(got, matrix @ x, atol=1e-8)
+
+
+class TestPipelinePreservesSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(formulas())
+    def test_default_options(self, formula):
+        run_and_compare(formula, CompilerOptions())
+
+    @settings(max_examples=30, deadline=None)
+    @given(formulas())
+    def test_unrolled_and_optimized(self, formula):
+        run_and_compare(formula, CompilerOptions(unroll=True,
+                                                 optimize="default"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(formulas())
+    def test_no_optimization_agrees(self, formula):
+        run_and_compare(formula, CompilerOptions(optimize="none"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(formulas())
+    def test_lowered_real_code(self, formula):
+        run_and_compare(formula, CompilerOptions(codetype="real",
+                                                 unroll=True))
+
+
+class TestParserRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(formulas(depth=3))
+    def test_to_spl_parses_back(self, formula):
+        from repro.core.parser import parse_formula_text
+
+        again = parse_formula_text(formula.to_spl())
+        assert again == formula
+
+
+class TestFactorizationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.integers(2, 8))
+    def test_dit_and_dif_for_all_splits(self, r, s):
+        np.testing.assert_allclose(to_matrix(ct_dit(r, s)),
+                                   dft_matrix(r * s), atol=1e-8)
+        np.testing.assert_allclose(to_matrix(ct_dif(r, s)),
+                                   dft_matrix(r * s), atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(2, 4), min_size=2, max_size=4))
+    def test_multi_for_any_factors(self, factors):
+        n = int(np.prod(factors))
+        np.testing.assert_allclose(to_matrix(ct_multi(factors)),
+                                   dft_matrix(n), atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_stride_perm_transpose_inverse(self, a, b):
+        from repro.formulas.transforms import stride_perm_matrix
+
+        n = a * b
+        p = stride_perm_matrix(n, a)
+        np.testing.assert_allclose(p @ stride_perm_matrix(n, b), np.eye(n),
+                                   atol=0)

@@ -1,0 +1,118 @@
+"""Tests for the search engine (small-size DP and large-size keep-3 DP).
+
+Search tests use tiny candidate caps and sizes so the suite stays fast;
+timing *quality* is exercised by the benchmarks, correctness here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.nodes import fourier
+from repro.perfeval.runner import build_executable
+from repro.search.dp import search_small_sizes
+from repro.search.large import LargeSearch, register_codelet_template
+from repro.search.measure import measure_formula
+from tests.conftest import HAS_CC, requires_cc
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    sizes = (2, 4, 8) if not HAS_CC else (2, 4, 8, 16)
+    return search_small_sizes(sizes, max_candidates=4, min_time=0.001)
+
+
+class TestMeasure:
+    def test_measurement_has_positive_time(self):
+        compiler = SplCompiler(CompilerOptions(
+            unroll=True, codetype="real", language="c"))
+        measured = measure_formula(compiler, fourier(4), "m4",
+                                   min_time=0.001)
+        assert measured.seconds > 0
+        assert measured.mflops > 0
+
+    def test_measured_code_is_correct(self):
+        compiler = SplCompiler(CompilerOptions(
+            unroll=True, codetype="real", language="c"))
+        measured = measure_formula(compiler, fourier(4), "m4b",
+                                   min_time=0.001)
+        x = np.random.default_rng(1).standard_normal(4) * (1 + 1j)
+        np.testing.assert_allclose(measured.executable.apply(x),
+                                   np.fft.fft(x), atol=1e-10)
+
+
+class TestSmallSearch:
+    def test_results_for_every_size(self, small_results):
+        assert set(small_results) >= {2, 4, 8}
+
+    def test_best_formulas_are_correct(self, small_results):
+        from repro.formulas import to_matrix
+
+        for n, result in small_results.items():
+            np.testing.assert_allclose(
+                to_matrix(result.formula),
+                to_matrix(fourier(n)),
+                atol=1e-9,
+            )
+
+    def test_candidate_counts_recorded(self, small_results):
+        assert small_results[8].candidates_tried >= 2
+
+    def test_describe(self, small_results):
+        assert "pseudo-MFlops" in small_results[8].describe()
+
+
+class TestCodeletTemplates:
+    def test_direct_definition_not_registered(self):
+        compiler = SplCompiler()
+        before = len(compiler.templates)
+        register_codelet_template(compiler, 4, fourier(4))
+        assert len(compiler.templates) == before
+
+    def test_factored_formula_registered_and_used(self):
+        from repro.formulas.factorization import ct_dit
+
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        register_codelet_template(compiler, 4, ct_dit(2, 2))
+        routine = compiler.compile_formula("(F 4)", "f4")
+        x = np.random.default_rng(2).standard_normal(4) * (1 + 1j)
+        np.testing.assert_allclose(routine.run(list(x)), np.fft.fft(x),
+                                   atol=1e-10)
+
+    def test_codelet_expansion_is_unrolled(self):
+        from repro.core.icode import Loop
+        from repro.formulas.factorization import ct_dit
+
+        compiler = SplCompiler(CompilerOptions(language="python"))
+        register_codelet_template(compiler, 4, ct_dit(2, 2))
+        routine = compiler.compile_formula("(tensor (I 2) (F 4))", "t")
+        outer = [i for i in routine.program.body if isinstance(i, Loop)]
+        assert len(outer) == 1
+        assert not any(isinstance(i, Loop) for i in outer[0].body)
+
+
+@requires_cc
+class TestLargeSearch:
+    def test_search_and_correctness(self, small_results):
+        search = LargeSearch(small_results, keep=2, max_codelet=8,
+                             radix_log2_range=(1, 2, 3), min_time=0.001)
+        candidate = search.best_candidate(64)
+        routine = search.compiler.compile_formula(candidate.formula,
+                                                  "check64", language="c")
+        executable = build_executable(routine)
+        x = np.random.default_rng(3).standard_normal(64) * (1 + 1j)
+        np.testing.assert_allclose(executable.apply(x), np.fft.fft(x),
+                                   atol=1e-9)
+
+    def test_keeps_k_best(self, small_results):
+        search = LargeSearch(small_results, keep=2, max_codelet=8,
+                             radix_log2_range=(1, 2, 3), min_time=0.001)
+        search.search_up_to(32)
+        assert 1 <= len(search.best[32]) <= 2
+        times = [c.seconds for c in search.best[32]]
+        assert times == sorted(times)
+
+    def test_rejects_non_power_of_two(self, small_results):
+        search = LargeSearch(small_results, max_codelet=8)
+        with pytest.raises(ValueError):
+            search.search_up_to(48)
