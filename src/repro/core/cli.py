@@ -4,6 +4,11 @@ Mirrors the paper's compiler invocation, including the ``-B`` unrolling
 threshold ('with the command-line option "-B 32", all the loops in
 those sub-formulas whose input vector is smaller than or equal to 32
 are fully unrolled').
+
+Beyond the paper, ``--search-fft SIZES`` runs the §4.1 small-size
+search from the command line, with ``--wisdom FILE`` persisting the
+winners (so a repeat invocation re-measures nothing) and ``--jobs N``
+measuring candidates concurrently.
 """
 
 from __future__ import annotations
@@ -20,7 +25,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="spl-compile",
         description="Compile SPL formulas into Fortran, C or Python.",
     )
-    arg_parser.add_argument("file", help="SPL source file ('-' for stdin)")
+    arg_parser.add_argument(
+        "file", nargs="?", default=None,
+        help="SPL source file ('-' for stdin); optional with --search-fft",
+    )
     arg_parser.add_argument(
         "-B", "--unroll-threshold", type=int, metavar="SIZE", default=None,
         help="fully unroll loops of sub-formulas with input size <= SIZE",
@@ -55,13 +63,80 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     arg_parser.add_argument(
         "--stats", action="store_true",
-        help="print flop/memory statistics for each routine to stderr",
+        help="print flop/memory statistics for each routine to stderr "
+             "(with --wisdom: also the wisdom-cache counters)",
+    )
+    arg_parser.add_argument(
+        "--search-fft", metavar="SIZES", default=None,
+        help="run the small-size FFT search over the comma-separated "
+             "sizes (e.g. 2,4,8) and print the winners",
+    )
+    arg_parser.add_argument(
+        "--wisdom", metavar="FILE", default=None,
+        help="persistent wisdom file: search winners are loaded from / "
+             "saved to it, keyed by platform and options",
+    )
+    arg_parser.add_argument(
+        "--jobs", type=int, metavar="N", default=1,
+        help="measure up to N candidates concurrently (0 = one per CPU)",
+    )
+    arg_parser.add_argument(
+        "--min-time", type=float, metavar="SECONDS", default=0.005,
+        help="minimum timed batch duration per measurement repeat",
+    )
+    arg_parser.add_argument(
+        "--max-candidates", type=int, metavar="N", default=None,
+        help="cap the per-size candidate count during --search-fft",
     )
     return arg_parser
 
 
+def _run_search(args: argparse.Namespace) -> int:
+    from repro.search.dp import search_small_sizes
+    from repro.wisdom.store import WisdomStore
+
+    try:
+        sizes = tuple(
+            int(part) for part in args.search_fft.split(",") if part.strip()
+        )
+    except ValueError:
+        print(f"spl-compile: bad --search-fft value {args.search_fft!r}",
+              file=sys.stderr)
+        return 2
+    if not sizes:
+        print("spl-compile: --search-fft needs at least one size",
+              file=sys.stderr)
+        return 2
+    wisdom = WisdomStore(args.wisdom) if args.wisdom else None
+    try:
+        results = search_small_sizes(
+            sizes,
+            max_candidates=args.max_candidates,
+            min_time=args.min_time,
+            wisdom=wisdom,
+            jobs=args.jobs,
+        )
+    except SplError as exc:
+        print(f"spl-compile: {exc}", file=sys.stderr)
+        return 1
+    for n in sorted(results):
+        print(results[n].describe())
+    if wisdom is not None and wisdom.save_errors:
+        print(f"spl-compile: warning: cannot write wisdom file "
+              f"{wisdom.path} (results not persisted)", file=sys.stderr)
+    if args.stats and wisdom is not None:
+        print(wisdom.describe(), file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if args.search_fft is not None:
+        return _run_search(args)
+    if args.file is None:
+        print("spl-compile: a source file (or --search-fft) is required",
+              file=sys.stderr)
+        return 2
     if args.file == "-":
         source = sys.stdin.read()
     else:

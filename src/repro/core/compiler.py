@@ -37,6 +37,7 @@ from repro.core.peephole import avoid_unary_minus
 from repro.core.templates import TemplateTable
 from repro.core.typetrans import complex_to_real
 from repro.core.unroll import scalarize_temps, unroll_loops
+from repro.wisdom import keys as wisdom_keys
 
 OPT_LEVELS = ("none", "scalars", "default")
 
@@ -128,6 +129,10 @@ class SplCompiler:
         self.options = options or CompilerOptions()
         self.templates = TemplateTable()
         self.defines: dict[str, Formula] = {}
+        # In-process wisdom: compile_formula results memoized per session.
+        self._compile_memo: dict[tuple, CompiledRoutine] = {}
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
         self._load_startup()
 
     def _load_startup(self) -> None:
@@ -171,6 +176,17 @@ class SplCompiler:
         outer loop to the code so the computation changes from A to
         A (x) I_m" — the routine then processes m interleaved signals
         at once.
+
+        Explicit ``datatype=``/``language=`` arguments take precedence
+        over the session's :class:`CompilerOptions` (which in turn
+        override per-unit ``#datatype``/``#language`` directives in
+        :meth:`compile_text`).
+
+        Results are memoized per session, keyed by the formula's SPL
+        text plus every code-shaping knob; a repeat call returns the
+        *same* :class:`CompiledRoutine` (carrying the first call's
+        ``name``).  Registering templates invalidates the memo.  See
+        :meth:`compile_cache_stats` / :meth:`clear_compile_cache`.
         """
         if isinstance(formula, str):
             formula = parser.parse_formula_text(formula, self.defines)
@@ -181,6 +197,17 @@ class SplCompiler:
 
             formula = nodes.Tensor(left=formula,
                                    right=nodes.identity(vectorize))
+        key = wisdom_keys.compile_key(
+            formula.to_spl(), self.options,
+            datatype=datatype, language=language,
+            strided=strided, vectorize=vectorize,
+            template_version=self.templates.version,
+        )
+        cached = self._compile_memo.get(key)
+        if cached is not None:
+            self.compile_cache_hits += 1
+            return cached
+        self.compile_cache_misses += 1
         unit = FormulaUnit(
             formula=formula,
             name=name,
@@ -189,18 +216,39 @@ class SplCompiler:
             or self.options.datatype or "complex",
             language=language or self.options.language or "fortran",
         )
-        return self._compile_unit(unit, strided=strided)
+        routine = self._compile_unit(unit, strided=strided, resolved=True)
+        self._compile_memo[key] = routine
+        return routine
+
+    def compile_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters for the in-process compile memo."""
+        return {
+            "hits": self.compile_cache_hits,
+            "misses": self.compile_cache_misses,
+            "entries": len(self._compile_memo),
+        }
+
+    def clear_compile_cache(self) -> None:
+        self._compile_memo.clear()
 
     # -- the pipeline ----------------------------------------------------------
 
-    def _compile_unit(self, unit: FormulaUnit, *,
-                      strided: bool = False) -> CompiledRoutine:
+    def _compile_unit(self, unit: FormulaUnit, *, strided: bool = False,
+                      resolved: bool = False) -> CompiledRoutine:
         opts = self.options
-        language = opts.language or unit.language
-        datatype = opts.datatype or unit.datatype
-        codetype = opts.codetype or unit.codetype
-        if opts.datatype:
-            codetype = opts.codetype or opts.datatype
+        if resolved:
+            # compile_formula already applied explicit-argument-over-
+            # session-option precedence; do not let session defaults
+            # override an explicit per-call choice again.
+            language = unit.language
+            datatype = unit.datatype
+            codetype = unit.codetype
+        else:
+            language = opts.language or unit.language
+            datatype = opts.datatype or unit.datatype
+            codetype = opts.codetype or unit.codetype
+            if opts.datatype:
+                codetype = opts.codetype or opts.datatype
 
         # Phase 2: intermediate code generation.
         generator = CodeGenerator(

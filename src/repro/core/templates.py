@@ -319,10 +319,13 @@ class TemplateTable:
     def __init__(self) -> None:
         self._templates: list[Template] = []
         self._size_cache: dict[nodes.Formula, tuple[int, int]] = {}
+        # Bumped on every mutation so compile caches can invalidate.
+        self.version = 0
 
     def add(self, template: Template) -> None:
         self._templates.append(template)
         self._size_cache.clear()
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._templates)

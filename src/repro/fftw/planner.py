@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.perfeval.timing import time_callable
+from repro.perfeval.timing import pseudo_mflops, time_callable
+from repro.wisdom.parallel import map_indexed, pick_winner
+from repro.wisdom.store import WisdomStore
+
+MEASURE_TRANSFORM = "fftw-measure"
+ESTIMATE_TRANSFORM = "fftw-estimate"
 
 
 @dataclass(frozen=True)
@@ -109,12 +114,20 @@ def _twiddle_table(n: int, s: int) -> np.ndarray:
 
 
 class Planner:
-    """Dynamic-programming planners in measure and estimate modes."""
+    """Dynamic-programming planners in measure and estimate modes.
 
-    def __init__(self, library, *, min_time: float = 0.005):
+    With a :class:`repro.wisdom.WisdomStore`, previously planned radix
+    chains (measure *and* estimate mode) are replayed without timing a
+    single candidate — FFTW's wisdom mechanism.
+    """
+
+    def __init__(self, library, *, min_time: float = 0.005,
+                 wisdom: WisdomStore | None = None, jobs: int = 1):
         # ``library`` is an FftwLibrary (duck-typed to avoid a cycle).
         self.library = library
         self.min_time = min_time
+        self.wisdom = wisdom
+        self.jobs = jobs
         self._measure_cache: dict[int, Plan] = {}
         self._estimate_cache: dict[int, tuple[float, tuple[int, ...]]] = {}
         # Planning-time memory accounting for Figure 5: bytes allocated
@@ -122,6 +135,13 @@ class Planner:
         # and attributed per planned size.
         self.planning_bytes = 0
         self.planning_bytes_by_n: dict[int, int] = {}
+        # How many candidate plans were actually timed (0 on a warm
+        # wisdom store).
+        self.candidates_timed = 0
+
+    def _wisdom_options(self) -> tuple:
+        """The non-(transform, n) state that determines a plan."""
+        return tuple(self.library.codelet_sizes)
 
     # -- estimate mode ---------------------------------------------------------
 
@@ -161,7 +181,22 @@ class Planner:
         """Choose a plan from the cost model alone (FFTW's estimate mode)."""
         if n in self.library.codelet_sizes:
             return Plan.from_radices(n, (), self.library.codelet_sizes)
-        _, radices = self._estimate_cost(n)
+        if self.wisdom is not None:
+            entry = self.wisdom.lookup(ESTIMATE_TRANSFORM, n,
+                                       self._wisdom_options())
+            if entry is not None:
+                return Plan.from_radices(
+                    n, tuple(int(r) for r in entry.meta["radices"]),
+                    self.library.codelet_sizes,
+                )
+        cost, radices = self._estimate_cost(n)
+        if self.wisdom is not None:
+            self.wisdom.record(
+                ESTIMATE_TRANSFORM, n, self._wisdom_options(),
+                formula=f"radices={','.join(map(str, radices))}",
+                seconds=0.0, mflops=0.0,
+                radices=list(radices), cost=cost,
+            )
         return Plan.from_radices(n, radices, self.library.codelet_sizes)
 
     # -- measure mode ------------------------------------------------------------
@@ -176,9 +211,16 @@ class Planner:
             plan = Plan.from_radices(n, (), sizes)
             self._measure_cache[n] = plan
             return plan
-        bytes_at_start = self.planning_bytes
-        best_plan: Plan | None = None
-        best_time = math.inf
+        if self.wisdom is not None:
+            entry = self.wisdom.lookup(MEASURE_TRANSFORM, n,
+                                       self._wisdom_options())
+            if entry is not None:
+                plan = Plan.from_radices(
+                    n, tuple(int(r) for r in entry.meta["radices"]), sizes
+                )
+                self._measure_cache[n] = plan
+                return plan
+        candidates: list[Plan] = []
         for r in sizes:
             s = n // r
             if n % r or s < 2:
@@ -192,18 +234,36 @@ class Planner:
                     continue
                 child_radices = child.radices
             try:
-                plan = Plan.from_radices(n, (r, *child_radices), sizes)
+                candidates.append(Plan.from_radices(n, (r, *child_radices),
+                                                    sizes))
             except ValueError:
                 continue
-            transform = self.library.transform(plan)
-            self.planning_bytes += plan.memory_bytes()
-            seconds = time_callable(transform.timer_closure(),
-                                    min_time=self.min_time, repeats=2)
-            if seconds < best_time:
-                best_time = seconds
-                best_plan = plan
-        if best_plan is None:
+        if not candidates:
             raise ValueError(f"no factorization of {n} over the codelets")
+
+        def time_one(index: int, plan: Plan) -> float:
+            transform = self.library.transform(plan)
+            return time_callable(transform.timer_closure(),
+                                 min_time=self.min_time, repeats=2)
+
+        timings = map_indexed(candidates, time_one, jobs=self.jobs)
+        self.candidates_timed += len(candidates)
+        best_index, best_time = pick_winner(timings, key=lambda t: t)
+        best_plan = candidates[best_index]
         self._measure_cache[n] = best_plan
-        self.planning_bytes_by_n[n] = self.planning_bytes - bytes_at_start
+        # Only candidates tried *at this level* count towards this
+        # size's planning bytes; recursive plan_measure(s) calls record
+        # their own, so each size is attributed exactly once and
+        # sum(planning_bytes_by_n.values()) == planning_bytes.
+        local_bytes = sum(plan.memory_bytes() for plan in candidates)
+        self.planning_bytes += local_bytes
+        self.planning_bytes_by_n[n] = local_bytes
+        if self.wisdom is not None:
+            self.wisdom.record(
+                MEASURE_TRANSFORM, n, self._wisdom_options(),
+                formula=f"radices={','.join(map(str, best_plan.radices))}",
+                seconds=best_time,
+                mflops=pseudo_mflops(n, best_time),
+                radices=list(best_plan.radices),
+            )
         return best_plan

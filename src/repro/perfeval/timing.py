@@ -20,8 +20,15 @@ def time_callable(fn: Callable[[], None], *, min_time: float = 0.02,
     least ``min_time`` seconds, then the per-call average is taken;
     the minimum over repeats rejects scheduling noise, as the paper's
     (and FFTW's) timing methodology does.
+
+    The calibration batch doubles as warmup and is *discarded*: its
+    first call pays allocator, icache and ctypes cold-start costs, so
+    reusing it as a timed repeat would bias ``best`` upward whenever
+    ``repeats`` is small.  All ``repeats`` timed batches run fresh.
     """
-    # Calibrate the batch size.
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    # Calibrate the batch size (also serves as the warmup run).
     calls = 1
     while True:
         start = time.perf_counter()
@@ -34,8 +41,8 @@ def time_callable(fn: Callable[[], None], *, min_time: float = 0.02,
             16, max(2, int(min_time / max(elapsed, 1e-9)) + 1)
         )
         calls *= growth
-    best = elapsed / calls
-    for _ in range(repeats - 1):
+    best = math.inf
+    for _ in range(repeats):
         start = time.perf_counter()
         for _ in range(calls):
             fn()

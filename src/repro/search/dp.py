@@ -8,6 +8,11 @@ Sizes are processed in increasing order; when a factorization uses a
 sub-transform ``F_m`` for an already-solved ``m``, the best known
 formula for ``m`` is substituted as the leaf, which is what makes this
 dynamic programming rather than exhaustive tree search.
+
+With a :class:`repro.wisdom.WisdomStore` attached, previously found
+winners are replayed without any re-measurement (FFTW's wisdom); with
+``jobs > 1`` cold searches compile and time candidates concurrently
+with a deterministic winner (ties broken on candidate index).
 """
 
 from __future__ import annotations
@@ -15,9 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplError
 from repro.core.nodes import Formula, fourier
+from repro.core.parser import parse_formula_text
 from repro.generator.fft_rules import enumerate_ct_formulas
-from repro.search.measure import Measurement, measure_formula
+from repro.search.measure import measure_formulas
+from repro.wisdom.parallel import pick_winner
+from repro.wisdom.store import WisdomStore
+
+SMALL_TRANSFORM = "fft-small"
 
 
 @dataclass
@@ -29,11 +40,14 @@ class SearchResult:
     seconds: float
     mflops: float
     candidates_tried: int
+    from_wisdom: bool = False
 
     def describe(self) -> str:
+        source = "wisdom" if self.from_wisdom \
+            else f"{self.candidates_tried} candidates"
         return (
             f"F_{self.n}: {self.mflops:8.1f} pseudo-MFlops "
-            f"({self.candidates_tried} candidates) {self.formula.to_spl()}"
+            f"({source}) {self.formula.to_spl()}"
         )
 
 
@@ -50,12 +64,16 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
                        rules: tuple[str, ...] = ("multi",),
                        max_candidates: int | None = None,
                        min_time: float = 0.005,
+                       wisdom: WisdomStore | None = None,
+                       jobs: int = 1,
                        verbose: bool = False) -> dict[int, SearchResult]:
     """Run the paper's small-size dynamic-programming search.
 
     Returns, for each size, the fastest formula found together with
     its measured time.  ``max_candidates`` caps the per-size candidate
-    count for quick runs.
+    count for quick runs; ``wisdom`` replays remembered winners with
+    zero re-measurement; ``jobs`` measures independent candidates
+    concurrently.
     """
     compiler = compiler or default_small_compiler()
     best: dict[int, SearchResult] = {}
@@ -65,17 +83,41 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
         return result.formula if result is not None else fourier(m)
 
     for n in sorted(sizes):
-        candidates = enumerate_ct_formulas(
-            n, leaf=leaf, rules=rules, limit=max_candidates
+        entry = (
+            wisdom.lookup(SMALL_TRANSFORM, n, compiler.options)
+            if wisdom is not None else None
         )
-        winner: Measurement | None = None
-        for index, formula in enumerate(candidates):
-            measured = measure_formula(
-                compiler, formula, f"spl_fft{n}_c{index}", min_time=min_time
+        if entry is not None:
+            best[n] = SearchResult(
+                n=n,
+                formula=parse_formula_text(entry.formula, compiler.defines),
+                seconds=entry.seconds,
+                mflops=entry.mflops,
+                candidates_tried=0,
+                from_wisdom=True,
             )
-            if winner is None or measured.seconds < winner.seconds:
-                winner = measured
-        assert winner is not None
+            if verbose:
+                print(best[n].describe())
+            continue
+        # enumerate_ct_formulas returns a list today, but custom
+        # enumerators may be lazy: materialize before counting.
+        candidates = list(enumerate_ct_formulas(
+            n, leaf=leaf, rules=rules, limit=max_candidates
+        ))
+        if not candidates:
+            # Degenerate spaces (prime sizes under exotic rule sets, a
+            # zero candidate cap) fall back to the direct O(n^2) leaf.
+            candidates = [leaf(n)]
+        measurements = measure_formulas(
+            compiler, candidates, name_prefix=f"spl_fft{n}_c",
+            min_time=min_time, jobs=jobs,
+        )
+        if not measurements:
+            raise SplError(
+                f"small-size search produced no measurable candidate for "
+                f"F_{n} (rules={rules!r}, max_candidates={max_candidates!r})"
+            )
+        _, winner = pick_winner(measurements, key=lambda m: m.seconds)
         best[n] = SearchResult(
             n=n,
             formula=winner.formula,
@@ -83,6 +125,15 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
             mflops=winner.mflops,
             candidates_tried=len(candidates),
         )
+        if wisdom is not None:
+            wisdom.record(
+                SMALL_TRANSFORM, n, compiler.options,
+                formula=winner.formula.to_spl(),
+                seconds=winner.seconds,
+                mflops=winner.mflops,
+                rules=list(rules),
+                candidates_tried=len(candidates),
+            )
         if verbose:
             print(best[n].describe())
     return best

@@ -25,10 +25,15 @@ from repro.core.nodes import (
     tensor,
     twiddle,
 )
+from repro.core.parser import parse_formula_text
 from repro.core.pattern import PatParam
 from repro.core.templates import Template
 from repro.search.dp import SearchResult
-from repro.search.measure import Measurement, measure_formula
+from repro.search.measure import Measurement, measure_formula, \
+    measure_formulas
+from repro.wisdom.store import WisdomStore
+
+LARGE_TRANSFORM = "fft-large"
 
 
 def register_codelet_template(compiler: SplCompiler, n: int,
@@ -79,11 +84,15 @@ class LargeSearch:
                  radix_log2_range: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
                  compiler: SplCompiler | None = None,
                  min_time: float = 0.005,
+                 wisdom: WisdomStore | None = None,
+                 jobs: int = 1,
                  verbose: bool = False):
         self.keep = keep
         self.max_codelet = max_codelet
         self.radix_log2_range = radix_log2_range
         self.min_time = min_time
+        self.wisdom = wisdom
+        self.jobs = jobs
         self.verbose = verbose
         self.compiler = compiler or default_large_compiler()
         self.codelet_sizes: list[int] = []
@@ -113,6 +122,16 @@ class LargeSearch:
 
     # -- the search ------------------------------------------------------------
 
+    def _wisdom_options(self) -> tuple:
+        """Everything (beyond transform and n) that shapes the result.
+
+        Folded into the wisdom key's options hash, so a store produced
+        under different codelets, keep depth or radix range never
+        matches.
+        """
+        return (self.compiler.options, self.keep, self.max_codelet,
+                tuple(self.codelet_sizes), tuple(self.radix_log2_range))
+
     def search_up_to(self, n: int) -> None:
         """Fill the DP table for every power of two up to ``n``."""
         k = n.bit_length() - 1
@@ -125,8 +144,22 @@ class LargeSearch:
             size *= 2
 
     def _search_size(self, n: int) -> None:
-        kept: list[LargeCandidate] = []
-        index = 0
+        if self.wisdom is not None:
+            entry = self.wisdom.lookup(LARGE_TRANSFORM, n,
+                                       self._wisdom_options())
+            if entry is not None:
+                self.best[n] = [
+                    LargeCandidate(
+                        n=n, radix=int(item["radix"]),
+                        formula=parse_formula_text(item["formula"],
+                                                   self.compiler.defines),
+                        seconds=float(item["seconds"]),
+                        mflops=float(item["mflops"]),
+                    )
+                    for item in entry.meta["kept"]
+                ]
+                return
+        pairs: list[tuple[int, Formula]] = []
         for a in self.radix_log2_range:
             r = 2 ** a
             if r > self.max_codelet or n // r < 2:
@@ -137,23 +170,39 @@ class LargeSearch:
             if s > self.max_codelet and s not in self.best:
                 self._search_size(s)
             for right in self._right_formulas(s):
-                formula = self._right_factored(r, right, s)
-                measured = measure_formula(
-                    self.compiler, formula, f"spl_fft{n}_r{r}_v{index}",
-                    min_time=self.min_time,
-                )
-                index += 1
-                kept.append(LargeCandidate(
-                    n=n, radix=r, formula=formula,
-                    seconds=measured.seconds, mflops=measured.mflops,
-                ))
+                pairs.append((r, self._right_factored(r, right, s)))
+        measurements = measure_formulas(
+            self.compiler, [formula for _, formula in pairs],
+            name_prefix=f"spl_fft{n}_v", min_time=self.min_time,
+            jobs=self.jobs,
+        )
+        kept = [
+            LargeCandidate(n=n, radix=r, formula=measured.formula,
+                           seconds=measured.seconds, mflops=measured.mflops)
+            for (r, _), measured in zip(pairs, measurements)
+        ]
+        # Stable sort: equal timings keep candidate (index) order, so
+        # parallel and serial runs agree on the kept set.
         kept.sort(key=lambda cand: cand.seconds)
         self.best[n] = kept[: self.keep]
+        if self.wisdom is not None and kept:
+            top = self.best[n][0]
+            self.wisdom.record(
+                LARGE_TRANSFORM, n, self._wisdom_options(),
+                formula=top.formula.to_spl(),
+                seconds=top.seconds,
+                mflops=top.mflops,
+                kept=[
+                    {"radix": cand.radix, "formula": cand.formula.to_spl(),
+                     "seconds": cand.seconds, "mflops": cand.mflops}
+                    for cand in self.best[n]
+                ],
+            )
         if self.verbose and kept:
             top = kept[0]
             print(
                 f"F_{n}: best radix {top.radix}, {top.mflops:.1f} "
-                f"pseudo-MFlops ({index} candidates)"
+                f"pseudo-MFlops ({len(pairs)} candidates)"
             )
 
     def best_candidate(self, n: int) -> LargeCandidate:

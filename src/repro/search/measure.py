@@ -9,11 +9,14 @@ When no C compiler is available the Python backend is timed instead
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.compiler import CompiledRoutine, SplCompiler
 from repro.core.nodes import Formula
+from repro.perfeval import ccompile
 from repro.perfeval.runner import ExecutableRoutine, build_executable
 from repro.perfeval.timing import pseudo_mflops, time_callable
+from repro.wisdom.parallel import map_indexed, precompile_sources
 
 
 @dataclass
@@ -40,3 +43,39 @@ def measure_formula(compiler: SplCompiler, formula: Formula, name: str, *,
                             min_time=min_time, repeats=repeats)
     return Measurement(formula=formula, routine=routine,
                        executable=executable, seconds=seconds)
+
+
+def measure_formulas(compiler: SplCompiler, formulas: Sequence[Formula], *,
+                     name_prefix: str = "spl_cand",
+                     min_time: float = 0.005,
+                     repeats: int = 2,
+                     jobs: int = 1) -> list[Measurement]:
+    """Compile and time a batch of candidates, optionally in parallel.
+
+    With ``jobs > 1`` the expensive half of the C path — the host
+    compiler subprocess per candidate — is fanned out over a process
+    pool (see :mod:`repro.wisdom.parallel`), after which the timing
+    runs fan out over a thread pool.  Results are returned in candidate
+    order, so selecting the first minimum yields the same winner as a
+    serial run given the same timings.
+    """
+    formulas = list(formulas)
+    routines = [
+        compiler.compile_formula(formula, f"{name_prefix}{index}",
+                                 language="c")
+        for index, formula in enumerate(formulas)
+    ]
+    if jobs > 1 and len(routines) > 1 and ccompile.have_c_compiler():
+        # Warm the shared-object cache concurrently; the build step
+        # below then loads the cached .so without re-invoking cc.
+        precompile_sources([routine.source for routine in routines],
+                           jobs=jobs)
+
+    def measure_one(index: int, routine: CompiledRoutine) -> Measurement:
+        executable = build_executable(routine)
+        seconds = time_callable(executable.timer_closure(),
+                                min_time=min_time, repeats=repeats)
+        return Measurement(formula=formulas[index], routine=routine,
+                           executable=executable, seconds=seconds)
+
+    return map_indexed(routines, measure_one, jobs=jobs)

@@ -1,0 +1,98 @@
+"""Cache keys for the wisdom subsystem.
+
+Two kinds of keys are produced here:
+
+* **compile keys** — in-process memoization keys for
+  :meth:`repro.core.compiler.SplCompiler.compile_formula`: the SPL text
+  of the (already parsed and vectorized) formula plus every knob that
+  changes the generated code;
+* **wisdom keys** — persistent keys for best-found plans, combining
+  the transform name, the size, a hash of the compiler options and a
+  fingerprint of the host platform (FFTW's wisdom is likewise only
+  valid on the machine that produced it).
+
+This module deliberately imports nothing from :mod:`repro.core` so the
+compiler driver can use it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from functools import lru_cache
+
+
+def options_fingerprint(options: object | None) -> str:
+    """A stable, human-readable rendering of a compiler-options object.
+
+    Works on any dataclass (field order is the declaration order, which
+    is stable across runs); ``None`` means "default options".
+    """
+    if options is None:
+        return "default"
+    if is_dataclass(options) and not isinstance(options, type):
+        pairs = ((f.name, getattr(options, f.name)) for f in fields(options))
+        return ";".join(f"{name}={value!r}" for name, value in pairs)
+    return repr(options)
+
+
+def _digest(text: str, length: int = 16) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:length]
+
+
+def options_hash(options: object | None) -> str:
+    """A short stable hash of :func:`options_fingerprint`."""
+    return _digest(options_fingerprint(options))
+
+
+def compile_key(formula_spl: str, options: object | None, *,
+                datatype: str | None, language: str | None,
+                strided: bool, vectorize: int,
+                template_version: int = 0) -> tuple:
+    """The in-process memoization key for one ``compile_formula`` call.
+
+    ``template_version`` folds in the compiler session's template-table
+    version so that registering new templates (e.g. search-generated
+    codelets) correctly invalidates earlier results.
+    """
+    return (
+        formula_spl,
+        options_fingerprint(options),
+        datatype,
+        language,
+        bool(strided),
+        int(vectorize),
+        int(template_version),
+    )
+
+
+@lru_cache(maxsize=1)
+def platform_fingerprint() -> str:
+    """A short hash identifying the host for persistent wisdom.
+
+    Wisdom measured on one machine is meaningless on another, so the
+    fingerprint covers exactly the inventory that determines generated
+    code speed: CPU model, cache sizes, OS and host C compiler (the
+    Table 1 fields, minus total memory which does not affect codelet
+    choice).
+    """
+    return _digest(platform_description())
+
+
+def platform_description() -> str:
+    """The human-readable string behind :func:`platform_fingerprint`."""
+    from repro.perfeval.platform import host_platform
+
+    row = host_platform()
+    return "|".join((row.cpu, row.l1_cache, row.l2_cache,
+                     row.os_name, row.compiler))
+
+
+def wisdom_key(transform: str, n: int, options: object | None = None) -> str:
+    """The persistent-store key: ``transform:n:options-hash``.
+
+    The platform fingerprint is *not* part of the per-entry key — it is
+    checked once per wisdom file (the whole file is discarded on a
+    platform mismatch), exactly like the format version.
+    """
+    return f"{transform}:{n}:{options_hash(options)}"

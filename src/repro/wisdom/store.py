@@ -1,0 +1,256 @@
+"""The persistent wisdom store.
+
+Modeled on FFTW's *wisdom* mechanism (§4.2 of the paper describes the
+planner whose results wisdom caches): best-found formulas and plans are
+kept in a JSON file keyed by ``transform:n:options-hash`` and stamped
+with a format version plus a platform fingerprint.  A store loads
+gracefully — a corrupt, version-mismatched or foreign-platform file is
+*discarded*, never an error — so callers can always pass a path and let
+the store sort out whether its contents are usable.
+
+Counters (hits / misses / stores / bytes written, load failures) are
+surfaced through :meth:`WisdomStore.stats` and
+:meth:`WisdomStore.describe` so benchmarks can report cache
+effectiveness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.wisdom.keys import (
+    platform_description,
+    platform_fingerprint,
+    wisdom_key,
+)
+
+WISDOM_FORMAT = "spl-wisdom"
+WISDOM_VERSION = 1
+
+
+@dataclass
+class WisdomEntry:
+    """One remembered search outcome.
+
+    ``formula`` is the winning formula's SPL text (or a compact plan
+    rendering for planner entries, which reconstruct from ``meta``
+    instead); ``seconds``/``mflops`` are the measurement that crowned
+    it; ``meta`` holds whatever extra state the producer needs to
+    validate or rebuild the result (radices, codelet sizes, rules...).
+    """
+
+    transform: str
+    n: int
+    formula: str
+    seconds: float
+    mflops: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "transform": self.transform,
+            "n": self.n,
+            "formula": self.formula,
+            "seconds": self.seconds,
+            "mflops": self.mflops,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "WisdomEntry":
+        return cls(
+            transform=str(data["transform"]),
+            n=int(data["n"]),
+            formula=str(data["formula"]),
+            seconds=float(data["seconds"]),
+            mflops=float(data["mflops"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+class WisdomStore:
+    """An in-memory wisdom table with optional JSON persistence.
+
+    ``path=None`` gives a purely in-process store (useful for tests and
+    one-shot searches); with a path the file is loaded on construction
+    and — when ``autosave`` is left on — rewritten after every
+    :meth:`record`, so interrupted searches lose at most the candidate
+    in flight.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 platform: str | None = None, autosave: bool = True,
+                 autoload: bool = True):
+        self.path = Path(path) if path is not None else None
+        self.platform = platform or platform_fingerprint()
+        self.autosave = autosave
+        self.entries: dict[str, WisdomEntry] = {}
+        # -- counters ---------------------------------------------------
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.saves = 0
+        self.save_errors = 0
+        self.bytes_written = 0
+        self.load_errors = 0
+        self.version_mismatches = 0
+        self.platform_mismatches = 0
+        self.invalidated = 0
+        if self.path is not None and autoload:
+            self.load()
+
+    # -- persistence ----------------------------------------------------
+
+    def load(self) -> bool:
+        """(Re)load from ``path``; returns True iff entries were usable.
+
+        Every failure mode — missing file, unreadable file, malformed
+        JSON, wrong format/version, foreign platform — leaves the store
+        empty and bumps the matching counter instead of raising.
+        """
+        self.entries = {}
+        if self.path is None or not self.path.exists():
+            return False
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self.load_errors += 1
+            return False
+        if not isinstance(data, dict) or data.get("format") != WISDOM_FORMAT:
+            self.load_errors += 1
+            return False
+        if data.get("version") != WISDOM_VERSION:
+            self.version_mismatches += 1
+            return False
+        if data.get("platform") != self.platform:
+            self.platform_mismatches += 1
+            return False
+        raw = data.get("entries")
+        if not isinstance(raw, dict):
+            self.load_errors += 1
+            return False
+        loaded: dict[str, WisdomEntry] = {}
+        try:
+            for key, value in raw.items():
+                loaded[key] = WisdomEntry.from_json(value)
+        except (KeyError, TypeError, ValueError):
+            self.load_errors += 1
+            return False
+        self.entries = loaded
+        return True
+
+    def save(self) -> bool:
+        """Write the store to ``path`` (atomically, via a temp file).
+
+        An unwritable path (missing permissions, path is a directory)
+        bumps ``save_errors`` and returns False instead of raising —
+        wisdom is an accelerator, and failing to persist it must never
+        kill the search that produced it.
+        """
+        if self.path is None:
+            return False
+        payload = {
+            "format": WISDOM_FORMAT,
+            "version": WISDOM_VERSION,
+            "platform": self.platform,
+            "platform_info": platform_description(),
+            "entries": {
+                key: entry.to_json() for key, entry in self.entries.items()
+            },
+        }
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            self.save_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self.saves += 1
+        self.bytes_written += len(text.encode())
+        return True
+
+    # -- the table ------------------------------------------------------
+
+    def lookup(self, transform: str, n: int,
+               options: object | None = None) -> WisdomEntry | None:
+        """Fetch remembered wisdom; counts a hit or a miss."""
+        entry = self.entries.get(wisdom_key(transform, n, options))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def record(self, transform: str, n: int, options: object | None = None,
+               *, formula: str, seconds: float, mflops: float,
+               **meta: Any) -> WisdomEntry:
+        """Remember a search outcome (and autosave when persistent)."""
+        entry = WisdomEntry(transform=transform, n=n, formula=formula,
+                            seconds=seconds, mflops=mflops, meta=dict(meta))
+        self.entries[wisdom_key(transform, n, options)] = entry
+        self.stores += 1
+        if self.autosave:
+            self.save()
+        return entry
+
+    def invalidate(self, transform: str | None = None,
+                   n: int | None = None) -> int:
+        """Drop entries matching ``transform`` and/or ``n`` (None = all).
+
+        Returns the number of entries removed; the file (if any) is
+        rewritten when autosave is on.
+        """
+        doomed = [
+            key for key, entry in self.entries.items()
+            if (transform is None or entry.transform == transform)
+            and (n is None or entry.n == n)
+        ]
+        for key in doomed:
+            del self.entries[key]
+        self.invalidated += len(doomed)
+        if doomed and self.autosave:
+            self.save()
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[WisdomEntry]:
+        return iter(self.entries.values())
+
+    # -- reporting ------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "path": str(self.path) if self.path else None,
+            "entries": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "saves": self.saves,
+            "save_errors": self.save_errors,
+            "bytes_written": self.bytes_written,
+            "load_errors": self.load_errors,
+            "version_mismatches": self.version_mismatches,
+            "platform_mismatches": self.platform_mismatches,
+            "invalidated": self.invalidated,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        where = s["path"] or "<memory>"
+        return (
+            f"wisdom[{where}]: {s['entries']} entries, "
+            f"{s['hits']} hits / {s['misses']} misses, "
+            f"{s['stores']} stores ({s['bytes_written']} bytes written)"
+        )

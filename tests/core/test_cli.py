@@ -59,3 +59,33 @@ class TestCli:
         assert main([str(spl_file), "--optimize", "none", "--unroll"]) == 0
         out = capsys.readouterr().out
         assert "t0(" in out  # temp arrays survive without scalarization
+
+    def test_no_file_and_no_search_is_an_error(self, capsys):
+        assert main([]) == 2
+        assert "required" in capsys.readouterr().err
+
+
+class TestCliSearch:
+    def test_search_fft_with_wisdom(self, tmp_path, capsys):
+        wisdom_file = tmp_path / "wisdom.json"
+        argv = ["--search-fft", "2,4", "--wisdom", str(wisdom_file),
+                "--min-time", "0.0005", "--max-candidates", "3"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pseudo-MFlops" in out
+        assert wisdom_file.exists()
+        # Warm run: winners replayed from the wisdom file.
+        assert main(argv + ["--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "(wisdom)" in captured.out
+        assert "wisdom[" in captured.err
+        assert "2 hits" in captured.err
+
+    def test_search_fft_parallel_jobs(self, tmp_path, capsys):
+        assert main(["--search-fft", "2,4", "--jobs", "2",
+                     "--min-time", "0.0005", "--max-candidates", "2"]) == 0
+        assert "pseudo-MFlops" in capsys.readouterr().out
+
+    def test_bad_sizes_rejected(self, capsys):
+        assert main(["--search-fft", "two,four"]) == 2
+        assert main(["--search-fft", ","]) == 2

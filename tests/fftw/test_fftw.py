@@ -129,6 +129,53 @@ class TestPlanner:
             planner.plan_estimate(24 * 5)
 
 
+class _CountingLibrary:
+    """Duck-typed FftwLibrary with no-op transforms (no C needed)."""
+
+    codelet_sizes = (2, 4, 8)
+
+    def __init__(self):
+        self.timed = 0
+
+    def codelet_flops(self, n):
+        return 5 * n
+
+    def transform(self, plan):
+        outer = self
+
+        class _Transform:
+            def timer_closure(self):
+                outer.timed += 1
+                return lambda: None
+
+        return _Transform()
+
+
+class TestPlanningMemoryAttribution:
+    def test_bytes_attributed_exactly_once(self):
+        # Regression: recursive plan_measure(s) used to add child bytes
+        # inside the parent's accounting window, so planning_bytes_by_n
+        # attributed them to both the child and every ancestor.
+        from repro.fftw import Planner
+
+        planner = Planner(_CountingLibrary(), min_time=1e-5)
+        planner.plan_measure(64)
+        assert set(planner.planning_bytes_by_n) == {16, 32, 64}
+        assert planner.planning_bytes == sum(
+            planner.planning_bytes_by_n.values()
+        )
+
+    def test_child_bytes_independent_of_entry_point(self):
+        from repro.fftw import Planner
+
+        direct = Planner(_CountingLibrary(), min_time=1e-5)
+        direct.plan_measure(16)
+        nested = Planner(_CountingLibrary(), min_time=1e-5)
+        nested.plan_measure(64)  # plans 16 as a grandchild
+        assert (direct.planning_bytes_by_n[16]
+                == nested.planning_bytes_by_n[16])
+
+
 class TestPlanStructure:
     def test_radices_and_leaf(self):
         from repro.fftw import Plan

@@ -35,6 +35,25 @@ class TestTiming:
         t_heavy = time_callable(heavy, min_time=0.005)
         assert t_heavy > t_light * 5
 
+    def test_calibration_run_is_discarded(self):
+        # The cold calibration batch (first-call warmup: allocator,
+        # icache, ctypes fixups) must not be reused as a timed repeat.
+        import time as _time
+
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                _time.sleep(0.05)
+
+        t = time_callable(fn, min_time=0.001, repeats=1)
+        assert t < 0.025  # reusing the calibration batch would give ~50ms
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
     def test_pseudo_mflops_formula(self):
         # 5 N log2 N / t(us): N=1024, t=1ms -> 51.2 pMFlops.
         assert pseudo_mflops(1024, 1e-3) == pytest.approx(51.2)

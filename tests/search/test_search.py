@@ -91,6 +91,50 @@ class TestCodeletTemplates:
         assert not any(isinstance(i, Loop) for i in outer[0].body)
 
 
+class TestSearchRobustness:
+    """Degenerate candidate spaces must not crash the DP search."""
+
+    @staticmethod
+    def _stub_measure(compiler, formulas, **kwargs):
+        from types import SimpleNamespace
+
+        return [
+            SimpleNamespace(formula=formula, seconds=0.001 * (i + 1),
+                            mflops=1.0)
+            for i, formula in enumerate(formulas)
+        ]
+
+    def test_empty_candidate_space_falls_back_to_direct(self, monkeypatch):
+        import repro.search.dp as dp
+
+        monkeypatch.setattr(dp, "enumerate_ct_formulas",
+                            lambda *args, **kwargs: [])
+        monkeypatch.setattr(dp, "measure_formulas", self._stub_measure)
+        results = dp.search_small_sizes((7,))
+        assert results[7].formula == fourier(7)
+        assert results[7].candidates_tried == 1
+
+    def test_lazy_candidate_iterables_are_counted(self, monkeypatch):
+        import repro.search.dp as dp
+
+        monkeypatch.setattr(
+            dp, "enumerate_ct_formulas",
+            lambda n, **kwargs: iter([fourier(n)]),  # a generator, no len()
+        )
+        monkeypatch.setattr(dp, "measure_formulas", self._stub_measure)
+        results = dp.search_small_sizes((4,))
+        assert results[4].candidates_tried == 1
+
+    def test_unmeasurable_size_raises_descriptive_error(self, monkeypatch):
+        import repro.search.dp as dp
+        from repro.core.errors import SplError
+
+        monkeypatch.setattr(dp, "measure_formulas",
+                            lambda *args, **kwargs: [])
+        with pytest.raises(SplError, match="no measurable candidate"):
+            dp.search_small_sizes((4,))
+
+
 @requires_cc
 class TestLargeSearch:
     def test_search_and_correctness(self, small_results):
