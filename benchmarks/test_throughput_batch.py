@@ -1,0 +1,183 @@
+"""Throughput vs batch size: the batched execution engine.
+
+Beyond the paper: every backend now has an ``apply_many`` path that
+amortizes per-call overhead (Python interpretation, ctypes crossings,
+buffer setup) over a ``(B, n)`` batch.  This benchmark measures
+vectors/sec for per-vector ``apply`` and for ``apply_many`` at several
+batch sizes, for every available backend plus the FFTW-substitute
+executor, and writes ``BENCH_throughput.json`` next to the text report.
+
+Expected shape: batching pays the most where per-call overhead
+dominates — the Python-level backends gain the most, the C batch driver
+still beats per-vector ctypes calls, and the gain shrinks as the
+transform size grows and compute starts to dominate.
+
+Scale knobs: ``SPL_THROUGHPUT_SIZES=8,16`` (comma-separated FFT sizes,
+e.g. for a CI smoke run) overrides the default 8..256 sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.perfeval.ccompile import have_c_compiler
+from repro.perfeval.runner import build_executable
+from repro.perfeval.timing import time_callable
+
+from conftest import RESULTS_DIR, write_results
+
+BATCHES = (1, 8, 64)
+
+MIN_TIME = 0.002
+
+#: Acceptance floors: apply_many at the largest batch must beat
+#: per-vector apply by at least this factor, per backend.  The pure
+#: Python backend is reported but not gated (its apply path reuses
+#: scratch too, so the batch win is smaller and noisier).
+SPEEDUP_FLOORS = {"numpy": 5.0, "c": 1.5}
+
+
+def _sizes() -> tuple[int, ...]:
+    value = os.environ.get("SPL_THROUGHPUT_SIZES")
+    if value:
+        return tuple(int(part) for part in value.split(",") if part.strip())
+    return (8, 64, 256)
+
+
+def _factors(n: int) -> list[int]:
+    """Cooley-Tukey factors with small (unrollable) leaves."""
+    factors = []
+    while n > 8:
+        factors.append(4 if n % 4 == 0 else 2)
+        n //= factors[-1]
+    factors.append(n)
+    return factors
+
+
+def _compile_fft(n: int, language: str):
+    from repro.formulas.factorization import ct_multi
+
+    compiler = SplCompiler(CompilerOptions(codetype="real",
+                                           unroll_threshold=16))
+    return compiler.compile_formula(ct_multi(_factors(n)), f"tp{n}",
+                                    language=language)
+
+
+def _apply_closure(executable, n):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    apply = executable.apply
+
+    def call() -> None:
+        apply(x)
+
+    call._buffers = (x,)
+    return call
+
+
+def _fftw_apply_closure(transform):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(transform.n) \
+        + 1j * rng.standard_normal(transform.n)
+
+    def call() -> None:
+        transform.apply(x)
+
+    call._buffers = (x,)
+    return call
+
+
+def _fftw_batch_closure(transform, batch):
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((batch, transform.n)) \
+        + 1j * rng.standard_normal((batch, transform.n))
+
+    def call() -> None:
+        transform.apply_many(X)
+
+    call._buffers = (X,)
+    return call
+
+
+def _rates_for_executable(executable, n) -> dict:
+    rates = {}
+    t = time_callable(_apply_closure(executable, n), min_time=MIN_TIME)
+    rates["apply"] = 1.0 / t
+    for batch in BATCHES:
+        t = time_callable(executable.timer_closure_many(batch),
+                          min_time=MIN_TIME)
+        rates[f"apply_many[{batch}]"] = batch / t
+    return rates
+
+
+def _rates_for_fftw(transform) -> dict:
+    rates = {}
+    t = time_callable(_fftw_apply_closure(transform), min_time=MIN_TIME)
+    rates["apply"] = 1.0 / t
+    for batch in BATCHES:
+        t = time_callable(_fftw_batch_closure(transform, batch),
+                          min_time=MIN_TIME)
+        rates[f"apply_many[{batch}]"] = batch / t
+    return rates
+
+
+def test_throughput_batch(request):
+    sizes = _sizes()
+    backends = ["python", "numpy"] + (["c"] if have_c_compiler() else [])
+    fftw_planner = (request.getfixturevalue("fftw_planner")
+                    if have_c_compiler() else None)
+    records = []
+    for n in sizes:
+        for backend in backends:
+            executable = build_executable(_compile_fft(n, backend),
+                                          prefer=backend)
+            assert executable.backend == backend
+            records.append({"backend": backend, "n": n,
+                            "rates": _rates_for_executable(executable, n)})
+        if have_c_compiler():
+            transform = fftw_planner.library.transform(
+                fftw_planner.plan_estimate(n))
+            records.append({"backend": "fftw", "n": n,
+                            "rates": _rates_for_fftw(transform)})
+
+    top = BATCHES[-1]
+    lines = [
+        "Throughput vs batch size (vectors/sec)",
+        f"{'N':>5} {'backend':>8} {'apply':>12} "
+        + " ".join(f"{f'B={b}':>12}" for b in BATCHES)
+        + f" {'speedup':>8}",
+    ]
+    for rec in records:
+        rates = rec["rates"]
+        speedup = rates[f"apply_many[{top}]"] / rates["apply"]
+        rec["batch_speedup"] = speedup
+        lines.append(
+            f"{rec['n']:>5} {rec['backend']:>8} {rates['apply']:>12.0f} "
+            + " ".join(f"{rates[f'apply_many[{b}]']:>12.0f}"
+                       for b in BATCHES)
+            + f" {speedup:>7.1f}x"
+        )
+    write_results("throughput_batch", lines)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "sizes": list(sizes),
+        "batches": list(BATCHES),
+        "records": records,
+    }
+    (RESULTS_DIR / "BENCH_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    # Acceptance: batching must beat per-vector apply at the largest
+    # batch size, by the per-backend floor.
+    for rec in records:
+        floor = SPEEDUP_FLOORS.get(rec["backend"])
+        if floor is not None:
+            assert rec["batch_speedup"] >= floor, (
+                f"{rec['backend']} n={rec['n']}: apply_many[{top}] only "
+                f"{rec['batch_speedup']:.2f}x over apply (floor {floor}x)"
+            )

@@ -8,7 +8,10 @@ are fully unrolled').
 Beyond the paper, ``--search-fft SIZES`` runs the §4.1 small-size
 search from the command line, with ``--wisdom FILE`` persisting the
 winners (so a repeat invocation re-measures nothing) and ``--jobs N``
-measuring candidates concurrently.
+measuring candidates concurrently.  ``--language numpy`` targets the
+batch-vectorized NumPy backend, and ``--batch N`` times each compiled
+routine over a random N-vector batch (``apply_many``) and reports
+vectors/sec.
 """
 
 from __future__ import annotations
@@ -38,7 +41,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="fully unroll every loop (straight-line code)",
     )
     arg_parser.add_argument(
-        "--language", choices=("c", "fortran", "python"), default=None,
+        "--language", choices=("c", "fortran", "python", "numpy"),
+        default=None,
         help="target language (overrides #language directives)",
     )
     arg_parser.add_argument(
@@ -65,6 +69,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print flop/memory statistics for each routine to stderr "
              "(with --wisdom: also the wisdom-cache counters)",
+    )
+    arg_parser.add_argument(
+        "--batch", type=int, metavar="N", default=None,
+        help="execute each compiled routine on a random batch of N "
+             "vectors through apply_many and report vectors/sec on "
+             "stderr (backend follows --language: c, numpy or python; "
+             "default: fastest available)",
     )
     arg_parser.add_argument(
         "--search-fft", metavar="SIZES", default=None,
@@ -129,6 +140,37 @@ def _run_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_batch(routines, args: argparse.Namespace) -> int:
+    """Time ``apply_many`` over a random batch for every routine."""
+    import numpy as np
+
+    from repro.perfeval.runner import build_executable
+    from repro.perfeval.timing import time_callable
+
+    if args.batch < 1:
+        print("spl-compile: --batch needs a positive batch size",
+              file=sys.stderr)
+        return 2
+    prefer = {"c": "c", "numpy": "numpy", "python": "python"}.get(
+        args.language, "c"
+    )
+    for routine in routines:
+        try:
+            executable = build_executable(routine, prefer=prefer)
+        except SplError as exc:
+            print(f"spl-compile: {routine.name}: {exc}", file=sys.stderr)
+            return 1
+        closure = executable.timer_closure_many(args.batch)
+        seconds = time_callable(closure, min_time=args.min_time)
+        rate = args.batch / seconds
+        print(
+            f"; {routine.name}: n={routine.in_size} batch={args.batch} "
+            f"backend={executable.backend} {rate:.0f} vectors/sec",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     if args.search_fft is not None:
@@ -161,6 +203,10 @@ def main(argv: list[str] | None = None) -> int:
     except SplError as exc:
         print(f"spl-compile: {exc}", file=sys.stderr)
         return 1
+    if args.batch is not None:
+        status = _run_batch(routines, args)
+        if status:
+            return status
     for routine in routines:
         print(routine.source)
         if args.stats:

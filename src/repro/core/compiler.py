@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from repro.core import parser
 from repro.core.backend_c import emit_c
 from repro.core.backend_fortran import emit_fortran
+from repro.core.backend_numpy import compile_numpy, emit_numpy
 from repro.core.backend_python import compile_python, emit_python
 from repro.core.codegen import CodeGenerator
 from repro.core.errors import SplError, SplSemanticError
@@ -86,9 +87,18 @@ class CompiledRoutine:
         return self.program.flop_count()
 
     def callable(self) -> Callable:
-        """An executable ``fn(y, x)`` built from the Python backend."""
+        """An executable ``fn(y, x)`` for the routine's target language.
+
+        Python-language (and Fortran/C, which cannot be executed
+        in-process) routines get the Python backend's scalar callable;
+        ``language="numpy"`` routines get the batch callable operating
+        on 2-D ``(B, len)`` arrays.
+        """
         if self._callable is None:
-            self._callable = compile_python(self.program)
+            if self.language == "numpy":
+                self._callable = compile_numpy(self.program)
+            else:
+                self._callable = compile_python(self.program)
         return self._callable
 
     def run(self, x: Sequence) -> list:
@@ -109,12 +119,28 @@ class CompiledRoutine:
                 buf.extend((value.real, value.imag))
         else:
             buf = list(x)
-        y = [0.0] * (self.out_size * width)
-        self.callable()(y, buf)
+        if self.language == "numpy":
+            y = self._run_numpy(buf)
+        else:
+            y = [0.0] * (self.out_size * width)
+            self.callable()(y, buf)
         if width == 2:
             return [complex(y[2 * k], y[2 * k + 1])
                     for k in range(self.out_size)]
-        return y
+        return list(y)
+
+    def _run_numpy(self, buf: list) -> list:
+        """Run the batch backend on a single vector (a B=1 batch)."""
+        import numpy as np
+
+        complex_native = (self.program.element_width == 1
+                          and self.program.datatype == "complex")
+        dtype = complex if complex_native else float
+        x2 = np.array([buf], dtype=dtype)
+        y2 = np.zeros((1, self.out_size * self.program.element_width),
+                      dtype=dtype)
+        self.callable()(y2, x2)
+        return y2[0].tolist()
 
 
 class SplCompiler:
@@ -266,6 +292,7 @@ class SplCompiler:
             scalarize_temps(program)
         evaluate_intrinsics(program)
         wants_real = codetype == "real" or language == "c"
+        # The numpy backend, like the Python one, runs complex natively.
         if datatype == "complex" and wants_real:
             complex_to_real(program)
 
@@ -284,6 +311,8 @@ class SplCompiler:
             )
         elif language == "python":
             source = emit_python(program)
+        elif language == "numpy":
+            source = emit_numpy(program)
         else:
             raise SplSemanticError(f"unknown target language {language!r}")
 

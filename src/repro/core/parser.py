@@ -41,7 +41,7 @@ _OPERATOR_CLASSES = {
 _LITERAL_HEADS = ("matrix", "diagonal", "permutation")
 
 DATATYPES = ("real", "complex")
-LANGUAGES = ("c", "fortran", "python")
+LANGUAGES = ("c", "fortran", "python", "numpy")
 
 
 @dataclass

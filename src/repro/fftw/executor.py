@@ -142,7 +142,18 @@ class _PlanArrays:
 
 
 class FftwTransform:
-    """A planned transform with preallocated buffers."""
+    """A planned transform with preallocated buffers.
+
+    Re-entrancy: one transform object owns a single set of input /
+    output / recursion-scratch buffers which ``apply``,
+    ``timer_closure`` and ``apply_many`` all mutate, so **concurrent
+    use of one instance is unsupported** — calls must be serialized
+    (build one transform per thread if needed; plans are shareable).
+    Sequential interleaving of ``apply`` and ``apply_many`` is safe:
+    the batch path keeps its own 2-D workspaces and leaves the
+    single-vector buffers untouched, and bulk work should go through
+    one ``apply_many`` call rather than threads.
+    """
 
     def __init__(self, library: FftwLibrary, plan: Plan):
         self.library = library
@@ -161,6 +172,7 @@ class FftwTransform:
         self._work = np.zeros(max(plan.work_len, 2))
         self._x = np.zeros(2 * plan.n)
         self._y = np.zeros(2 * plan.n)
+        self._batch = None  # (xm, ym, xptrs, yptrs), sized on first use
         c_int_p = ctypes.POINTER(ctypes.c_int)
         c_long_p = ctypes.POINTER(ctypes.c_long)
         c_double_p = ctypes.POINTER(ctypes.c_double)
@@ -182,6 +194,50 @@ class FftwTransform:
         self._x[1::2] = np.imag(x)
         self.library._execute(*self._args)
         return self._y[0::2] + 1j * self._y[1::2]
+
+    def _batch_buffers(self, batch: int):
+        """2-D interleaved workspaces plus per-row pointers, reused
+        across ``apply_many`` calls of the same batch size."""
+        if self._batch is None or self._batch[0].shape[0] != batch:
+            c_double_p = ctypes.POINTER(ctypes.c_double)
+            xm = np.zeros((batch, 2 * self.n))
+            ym = np.zeros((batch, 2 * self.n))
+            xptrs = [
+                ctypes.cast(xm.ctypes.data + b * xm.strides[0], c_double_p)
+                for b in range(batch)
+            ]
+            yptrs = [
+                ctypes.cast(ym.ctypes.data + b * ym.strides[0], c_double_p)
+                for b in range(batch)
+            ]
+            self._batch = (xm, ym, xptrs, yptrs)
+        return self._batch
+
+    def apply_many(self, X: np.ndarray) -> np.ndarray:
+        """Compute the DFT of every row of a ``(B, n)`` complex batch.
+
+        The batch is interleaved into a 2-D work buffer in one
+        vectorized pass and the executor runs once per row on
+        precomputed row pointers; the workspaces (and pointers) are
+        reused whenever the batch size repeats, so a steady-state
+        caller allocates nothing per batch.  The single-vector
+        ``apply`` buffers are not touched.
+        """
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != self.n:
+            raise ValueError(
+                f"expected a (B, {self.n}) batch, got shape {X.shape}"
+            )
+        batch = X.shape[0]
+        xm, ym, xptrs, yptrs = self._batch_buffers(batch)
+        xm[:, 0::2] = X.real
+        xm[:, 1::2] = X.imag
+        execute = self.library._execute
+        logn, logr, tw_ofs, tw = self._args[:4]
+        work = self._args[6]
+        for b in range(batch):
+            execute(logn, logr, tw_ofs, tw, yptrs[b], xptrs[b], work)
+        return ym[:, 0::2] + 1j * ym[:, 1::2]
 
     def timer_closure(self):
         """Zero-argument call on the preallocated buffers."""

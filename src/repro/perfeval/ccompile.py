@@ -103,6 +103,42 @@ def compile_c_program(source: str, name: str, *, strided: bool = False,
     return load_function(so_path, name, strided=strided)
 
 
+def batch_driver_source(name: str, in_len: int, out_len: int) -> str:
+    """A C batch driver looping over the rows of a (B, len) workspace.
+
+    ``spl_batch_<name>(y, x, batch)`` applies ``name`` to ``batch``
+    consecutive vectors with a single Python->native crossing, zeroing
+    each output row first (the per-vector routines assume a zeroed
+    output, matching the interpreter's semantics).
+    """
+    return (
+        f"\nvoid spl_batch_{name}(double *restrict y, "
+        f"const double *restrict x, int batch)\n"
+        "{\n"
+        "    long b;\n"
+        "    int j;\n"
+        "    for (b = 0; b < batch; b++) {\n"
+        f"        double *yrow = y + b * {out_len};\n"
+        f"        const double *xrow = x + b * {in_len};\n"
+        f"        for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
+        f"        {name}(yrow, xrow);\n"
+        "    }\n"
+        "}\n"
+    )
+
+
+def load_batch_function(so_path: Path, name: str):
+    """Load the ``spl_batch_<name>`` driver emitted next to ``name``."""
+    lib = ctypes.CDLL(str(so_path))
+    fn = getattr(lib, f"spl_batch_{name}")
+    fn.argtypes = [ctypes.POINTER(ctypes.c_double),
+                   ctypes.POINTER(ctypes.c_double),
+                   ctypes.c_int]
+    fn.restype = None
+    fn._keepalive_lib = lib
+    return fn
+
+
 def make_numpy_wrapper(fn, out_len: int) -> Callable:
     """Wrap a ctypes routine as ``wrapper(x) -> y`` over float64 arrays."""
     import numpy as np

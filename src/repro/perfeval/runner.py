@@ -3,21 +3,44 @@
 The paper times Fortran compiled by the platform's best compiler; here
 the timed path is the C backend compiled by the host compiler (loaded
 through ctypes with preallocated buffers so the measurement loop has no
-Python allocation overhead).  The pure-Python backend is the fallback
-when no C compiler is available, and the correctness reference in
-tests.
+Python allocation overhead).  Next in preference is the NumPy batch
+backend (:mod:`repro.core.backend_numpy`), which vectorizes over a
+batch axis and lowers affine loops to strided slices; the pure-Python
+backend is the final fallback and the correctness reference in tests.
+
+Batching: :meth:`ExecutableRoutine.apply` transforms one vector per
+call and pays the full per-call crossing; :meth:`ExecutableRoutine.
+apply_many` amortizes it over a ``(B, n)`` batch — through a generated
+``spl_batch_<name>`` C driver (one ctypes crossing per batch), one
+NumPy batch call, or a buffer-reusing Python loop.
+
+Thread-safety: an :class:`ExecutableRoutine` owns preallocated scratch
+buffers that every ``apply``/``apply_many`` call reuses, so one
+instance must not be used from several threads concurrently; build one
+executable per thread (cheap — compiled objects are cached), or batch
+the work through a single ``apply_many`` call instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.core.compiler import CompiledRoutine
 from repro.core.backend_c import emit_c
+from repro.core.backend_numpy import compile_numpy
+from repro.core.compiler import CompiledRoutine
+from repro.core.errors import SplSemanticError
 from repro.perfeval import ccompile
+
+#: Backend preference chains: the requested backend first, then the
+#: fastest available fallback (c > numpy > python).
+_PREFERENCE = {
+    "c": ("c", "numpy", "python"),
+    "numpy": ("numpy", "python"),
+    "python": ("python",),
+}
 
 
 @dataclass
@@ -25,9 +48,13 @@ class ExecutableRoutine:
     """A runnable compiled routine with preallocated I/O buffers."""
 
     routine: CompiledRoutine
-    backend: str  # "c" or "python"
-    raw_call: Callable  # fn(y_buffer, x_buffer) on physical numpy buffers
+    backend: str  # "c", "numpy" or "python"
+    raw_call: Callable  # fn(y_buffer, x_buffer) on 1-D physical buffers
     ctypes_fn: Callable | None = None  # underlying native entry (C backend)
+    batch_fn: Callable | None = None  # spl_batch_* ctypes driver (C backend)
+    batch_call: Callable | None = None  # fn(Y, X) on 2-D buffers (numpy)
+    _scratch: tuple | None = field(default=None, repr=False)
+    _batch_scratch: tuple | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -37,34 +64,109 @@ class ExecutableRoutine:
     def n(self) -> int:
         return self.routine.in_size
 
+    def _dtype(self):
+        program = self.routine.program
+        if program.element_width == 1 and program.datatype == "complex":
+            return np.complex128
+        return np.float64
+
+    def _buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-instance single-vector scratch, allocated once."""
+        if self._scratch is None:
+            program = self.routine.program
+            width = program.element_width
+            dtype = self._dtype()
+            self._scratch = (
+                np.zeros(program.in_size * width, dtype=dtype),
+                np.zeros(program.out_size * width, dtype=dtype),
+            )
+        return self._scratch
+
+    def _batch_buffers(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable (B, len) physical workspaces, reallocated only when
+        the batch size changes."""
+        if self._batch_scratch is None or \
+                self._batch_scratch[0].shape[0] != batch:
+            program = self.routine.program
+            width = program.element_width
+            dtype = self._dtype()
+            self._batch_scratch = (
+                np.zeros((batch, program.in_size * width), dtype=dtype),
+                np.zeros((batch, program.out_size * width), dtype=dtype),
+            )
+        return self._batch_scratch
+
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """Apply to a logical input vector; complex in, complex out."""
+        """Apply to a logical input vector; complex in, complex out.
+
+        Scratch buffers are reused across calls (no per-call
+        allocation); the returned array is a fresh copy.
+        """
         program = self.routine.program
         width = program.element_width
+        buf, y = self._buffers()
         if width == 2:
-            buf = np.empty(2 * len(x))
             buf[0::2] = np.real(x)
             buf[1::2] = np.imag(x)
-            y = np.zeros(program.out_size * 2)
-        elif program.datatype == "complex":
-            # Complex-native program (Python backend, codetype complex).
-            buf = np.asarray(x, dtype=complex).copy()
-            y = np.zeros(program.out_size, dtype=complex)
         else:
-            buf = np.asarray(x, dtype=np.float64).copy()
-            y = np.zeros(program.out_size)
+            buf[:] = x
+        y.fill(0)
         self.raw_call(y, buf)
         if width == 2:
             return y[0::2] + 1j * y[1::2]
-        return y
+        return y.copy()
+
+    def apply_many(self, X: np.ndarray) -> np.ndarray:
+        """Apply to a ``(B, n)`` batch of logical vectors at once.
+
+        The whole batch crosses into the fastest available path with
+        per-batch (not per-vector) overhead: a single ctypes call into
+        the generated ``spl_batch_<name>`` C driver, one call of the
+        NumPy batch function, or a scratch-reusing Python loop.
+        Returns a fresh ``(B, out_size)`` array.
+        """
+        program = self.routine.program
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != program.in_size:
+            raise SplSemanticError(
+                f"{self.name} expects a (B, {program.in_size}) batch, "
+                f"got shape {X.shape}"
+            )
+        width = program.element_width
+        batch = X.shape[0]
+        Xp, Yp = self._batch_buffers(batch)
+        if width == 2:
+            Xp[:, 0::2] = X.real
+            Xp[:, 1::2] = X.imag
+        else:
+            Xp[:, :] = X
+        if self.batch_fn is not None:
+            import ctypes
+
+            c_double_p = ctypes.POINTER(ctypes.c_double)
+            self.batch_fn(Yp.ctypes.data_as(c_double_p),
+                          Xp.ctypes.data_as(c_double_p), batch)
+        elif self.batch_call is not None:
+            Yp.fill(0)
+            self.batch_call(Yp, Xp)
+        else:
+            for b in range(batch):
+                Yp[b].fill(0)
+                self.raw_call(Yp[b], Xp[b])
+        if width == 2:
+            return Yp[:, 0::2] + 1j * Yp[:, 1::2]
+        return Yp.copy()
 
     def timer_closure(self) -> Callable[[], None]:
         """A zero-argument closure suitable for tight timing loops."""
         program = self.routine.program
         width = program.element_width
         rng = np.random.default_rng(0)
-        x = np.ascontiguousarray(rng.standard_normal(program.in_size * width))
-        y = np.zeros(program.out_size * width)
+        x = np.ascontiguousarray(
+            rng.standard_normal(program.in_size * width),
+            dtype=np.float64,
+        ).astype(self._dtype())
+        y = np.zeros(program.out_size * width, dtype=self._dtype())
         if self.backend == "c":
             import ctypes
 
@@ -88,43 +190,113 @@ class ExecutableRoutine:
         call._buffers = (x, y)
         return call
 
+    def timer_closure_many(self, batch: int) -> Callable[[], None]:
+        """A zero-argument closure timing ``apply_many`` on a fixed
+        random batch (buffer filling included — that is the honest
+        per-batch cost a caller pays)."""
+        rng = np.random.default_rng(0)
+        n = self.routine.program.in_size
+        X = rng.standard_normal((batch, n))
+        if self.routine.program.element_width == 2 or \
+                self.routine.program.datatype == "complex":
+            X = X + 1j * rng.standard_normal((batch, n))
+        apply_many = self.apply_many
+
+        def call() -> None:
+            apply_many(X)
+
+        call._buffers = (X,)
+        return call
+
+
+def _build_c(routine: CompiledRoutine,
+             cflags: tuple[str, ...]) -> ExecutableRoutine:
+    program = routine.program
+    source = (
+        routine.source if routine.language == "c" else emit_c(program)
+    )
+    batch_fn = None
+    if not program.strided:
+        source += ccompile.batch_driver_source(
+            routine.name,
+            in_len=program.in_size * program.element_width,
+            out_len=program.out_size * program.element_width,
+        )
+    so_path = ccompile.compile_shared_object(source, cflags=cflags)
+    fn = ccompile.load_function(so_path, routine.name,
+                                strided=program.strided)
+    if not program.strided:
+        batch_fn = ccompile.load_batch_function(so_path, routine.name)
+    import ctypes
+
+    c_double_p = ctypes.POINTER(ctypes.c_double)
+
+    def c_call(y: np.ndarray, x: np.ndarray, *args) -> None:
+        fn(y.ctypes.data_as(c_double_p),
+           np.ascontiguousarray(x).ctypes.data_as(c_double_p), *args)
+
+    return ExecutableRoutine(routine=routine, backend="c", raw_call=c_call,
+                             ctypes_fn=fn, batch_fn=batch_fn)
+
+
+def _build_numpy(routine: CompiledRoutine) -> ExecutableRoutine:
+    batch_call = compile_numpy(routine.program)
+
+    def numpy_call(y: np.ndarray, x: np.ndarray) -> None:
+        # Run the batch function on a degenerate B=1 batch (reshape on
+        # contiguous 1-D buffers is a view, so y is written in place).
+        batch_call(y.reshape(1, -1), x.reshape(1, -1))
+
+    return ExecutableRoutine(routine=routine, backend="numpy",
+                             raw_call=numpy_call, batch_call=batch_call)
+
+
+def _build_python(routine: CompiledRoutine) -> ExecutableRoutine:
+    from repro.core.backend_python import compile_python
+
+    python_fn = compile_python(routine.program)
+
+    # The generated Python mutates any indexable in place: hand it the
+    # numpy buffers directly (no per-call list round-trip).
+    def numpy_call(y: np.ndarray, x: np.ndarray) -> None:
+        y.fill(0)
+        python_fn(y, x)
+
+    return ExecutableRoutine(routine=routine, backend="python",
+                             raw_call=numpy_call)
+
 
 def build_executable(routine: CompiledRoutine,
                      prefer: str = "c",
                      cflags: tuple[str, ...] = ()) -> ExecutableRoutine:
-    """Compile a routine to an executable, preferring the C path.
+    """Compile a routine to an executable, preferring the fastest path.
+
+    ``prefer`` names the first backend to try; remaining candidates
+    follow the ``c > numpy > python`` order (a missing C compiler, or
+    a complex-native program the C backend cannot express, falls
+    through to the NumPy batch backend, then pure Python).
 
     ``cflags`` appends host-compiler flags (e.g. ``("-O0",)`` to model
     a weak back-end compiler in ablation experiments).
     """
-    if prefer == "c" and ccompile.have_c_compiler():
-        source = (
-            routine.source if routine.language == "c"
-            else emit_c(routine.program)
+    chain = _PREFERENCE.get(prefer)
+    if chain is None:
+        raise SplSemanticError(
+            f"prefer must be one of {tuple(_PREFERENCE)}, got {prefer!r}"
         )
-        fn = ccompile.compile_c_program(
-            source, routine.name, strided=routine.program.strided,
-            cflags=cflags,
-        )
-        import ctypes
-
-        c_double_p = ctypes.POINTER(ctypes.c_double)
-
-        def c_call(y: np.ndarray, x: np.ndarray, *args) -> None:
-            fn(y.ctypes.data_as(c_double_p),
-               np.ascontiguousarray(x).ctypes.data_as(c_double_p), *args)
-
-        executable = ExecutableRoutine(routine=routine, backend="c",
-                                       raw_call=c_call)
-        executable.ctypes_fn = fn
-        return executable
-    python_fn = routine.callable()
-
-    # The python backend mutates a list in place; adapt to numpy buffers.
-    def numpy_call(y: np.ndarray, x: np.ndarray) -> None:
-        buf = [0.0] * len(y)
-        python_fn(buf, x.tolist())
-        y[:] = buf
-
-    return ExecutableRoutine(routine=routine, backend="python",
-                             raw_call=numpy_call)
+    last_error: Exception | None = None
+    for backend in chain:
+        if backend == "c":
+            if not ccompile.have_c_compiler():
+                continue
+            try:
+                return _build_c(routine, cflags)
+            except SplSemanticError as exc:
+                last_error = exc  # e.g. complex-native program
+                continue
+        if backend == "numpy":
+            return _build_numpy(routine)
+        return _build_python(routine)
+    raise last_error if last_error is not None else SplSemanticError(
+        f"no executable backend available for {routine.name}"
+    )

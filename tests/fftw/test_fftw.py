@@ -88,6 +88,57 @@ class TestExecutor:
         with pytest.raises(ValueError):
             library.transform(plan).apply(np.zeros(8))
 
+    def test_apply_many_matches_apply(self, library):
+        from repro.fftw import Planner
+
+        transform = library.transform(Planner(library).plan_estimate(64))
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((5, 64)) + 1j * rng.standard_normal((5, 64))
+        Y = transform.apply_many(X)
+        assert Y.shape == (5, 64)
+        np.testing.assert_allclose(Y, np.fft.fft(X, axis=1), atol=1e-8)
+        for b in range(5):
+            np.testing.assert_allclose(Y[b], transform.apply(X[b]),
+                                       atol=1e-8)
+
+    def test_apply_many_leaves_single_buffers_alone(self, library):
+        # apply/apply_many interleave safely: the batch path keeps its
+        # own workspaces (the documented re-entrancy contract).
+        from repro.fftw import Planner
+
+        transform = library.transform(Planner(library).plan_estimate(32))
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        y1 = transform.apply(x)
+        single_x = transform._x.copy()
+        X = rng.standard_normal((3, 32)) + 1j * rng.standard_normal((3, 32))
+        transform.apply_many(X)
+        np.testing.assert_array_equal(transform._x, single_x)
+        np.testing.assert_allclose(transform.apply(x), y1, atol=0)
+
+    def test_apply_many_reuses_workspaces(self, library):
+        from repro.fftw import Planner
+
+        transform = library.transform(Planner(library).plan_estimate(32))
+        rng = np.random.default_rng(9)
+        X = rng.standard_normal((4, 32)) + 1j * rng.standard_normal((4, 32))
+        transform.apply_many(X)
+        first = transform._batch
+        transform.apply_many(X * 2)
+        assert transform._batch is first  # same batch size: no realloc
+        transform.apply_many(X[:2])
+        assert transform._batch is not first  # resized for B=2
+
+    def test_apply_many_rejects_wrong_shape(self, library):
+        from repro.fftw import Plan
+
+        transform = library.transform(
+            Plan.from_radices(16, (), library.codelet_sizes))
+        with pytest.raises(ValueError):
+            transform.apply_many(np.zeros((3, 8)))
+        with pytest.raises(ValueError):
+            transform.apply_many(np.zeros(16))
+
 
 @requires_cc
 class TestPlanner:

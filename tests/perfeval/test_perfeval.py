@@ -134,6 +134,119 @@ class TestRunner:
         closure = executable.timer_closure()
         closure()  # must not raise
 
+    def test_numpy_backend_selected(self):
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula("(F 4)", "t4", language="numpy")
+        executable = build_executable(routine, prefer="numpy")
+        assert executable.backend == "numpy"
+        assert executable.batch_call is not None
+        x = np.array([1 + 2j, 3 - 1j, 0.5j, -2.0])
+        np.testing.assert_allclose(executable.apply(x), np.fft.fft(x),
+                                   atol=1e-12)
+
+    def test_complex_native_falls_back_from_c(self):
+        # codetype complex keeps complex arithmetic the C backend
+        # cannot express; prefer="c" must fall through to numpy.
+        compiler = SplCompiler(CompilerOptions(codetype="complex"))
+        routine = compiler.compile_formula("(F 4)", "cn4",
+                                           language="numpy")
+        executable = build_executable(routine, prefer="c")
+        assert executable.backend in ("numpy", "python")
+        x = np.array([1 + 2j, 3 - 1j, 0.5j, -2.0])
+        np.testing.assert_allclose(executable.apply(x), np.fft.fft(x),
+                                   atol=1e-12)
+
+    def test_bad_prefer_rejected(self):
+        from repro.core.errors import SplSemanticError
+
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        routine = compiler.compile_formula("(F 2)", "bp", language="python")
+        with pytest.raises(SplSemanticError):
+            build_executable(routine, prefer="fortran")
+
+
+class TestBatchExecution:
+    def _routine(self, size=8, language="python"):
+        compiler = SplCompiler(CompilerOptions(codetype="real"))
+        return compiler.compile_formula(
+            f"(F {size})", f"b{size}{language[0]}", language=language)
+
+    def _batch(self, size, rows, seed=0):
+        rng = np.random.default_rng(seed)
+        return (rng.standard_normal((rows, size))
+                + 1j * rng.standard_normal((rows, size)))
+
+    @pytest.mark.parametrize("prefer", ["python", "numpy"])
+    def test_apply_many_matches_apply(self, prefer):
+        executable = build_executable(self._routine(), prefer=prefer)
+        X = self._batch(8, 5)
+        Y = executable.apply_many(X)
+        assert Y.shape == (5, 8)
+        for b in range(5):
+            np.testing.assert_allclose(Y[b], executable.apply(X[b]),
+                                       atol=1e-12)
+
+    @requires_cc
+    def test_apply_many_c_driver(self):
+        executable = build_executable(self._routine(language="c"),
+                                      prefer="c")
+        assert executable.backend == "c"
+        assert executable.batch_fn is not None  # spl_batch_* loaded
+        X = self._batch(8, 7)
+        np.testing.assert_allclose(
+            executable.apply_many(X), np.fft.fft(X, axis=1), atol=1e-12)
+
+    def test_apply_many_reuses_scratch(self):
+        executable = build_executable(self._routine(), prefer="python")
+        X = self._batch(8, 4)
+        executable.apply_many(X)
+        first = executable._batch_scratch
+        executable.apply_many(X + 1)
+        assert executable._batch_scratch is first  # same buffers reused
+        executable.apply_many(self._batch(8, 6))
+        assert executable._batch_scratch is not first  # resized for B=6
+
+    def test_apply_many_rejects_wrong_shape(self):
+        from repro.core.errors import SplSemanticError
+
+        executable = build_executable(self._routine(), prefer="python")
+        with pytest.raises(SplSemanticError):
+            executable.apply_many(np.zeros((3, 5)))
+        with pytest.raises(SplSemanticError):
+            executable.apply_many(np.zeros(8))
+
+    def test_apply_many_batch_of_one(self):
+        executable = build_executable(self._routine(), prefer="numpy")
+        X = self._batch(8, 1)
+        np.testing.assert_allclose(executable.apply_many(X)[0],
+                                   executable.apply(X[0]), atol=1e-12)
+
+    def test_timer_closure_many_runs(self):
+        executable = build_executable(self._routine(size=4),
+                                      prefer="numpy")
+        closure = executable.timer_closure_many(3)
+        closure()  # must not raise
+
+    @requires_cc
+    def test_batch_driver_source_and_load(self, tmp_path):
+        import ctypes
+
+        from repro.perfeval.ccompile import (
+            batch_driver_source,
+            load_batch_function,
+        )
+
+        source = ("void twice(double *restrict y, "
+                  "const double *restrict x) { y[0] = 2.0 * x[0]; }\n")
+        source += batch_driver_source("twice", in_len=1, out_len=1)
+        path = compile_shared_object(source, build_dir=tmp_path)
+        batch_fn = load_batch_function(path, "twice")
+        x = np.array([[1.0], [2.0], [3.0]])
+        y = np.ones((3, 1))  # driver must zero each row before running
+        dp = ctypes.POINTER(ctypes.c_double)
+        batch_fn(y.ctypes.data_as(dp), x.ctypes.data_as(dp), 3)
+        np.testing.assert_allclose(y, [[2.0], [4.0], [6.0]])
+
 
 class TestMemory:
     def test_accounting(self):

@@ -1,0 +1,159 @@
+"""Property tests for the batch execution layer: for random formulas
+the NumPy batch backend agrees elementwise with the i-code interpreter
+and the pure-Python backend — for strided and non-strided programs,
+``#codetype real`` and ``complex``, and batch sizes {1, 7, 64}."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import nodes
+from repro.core.backend_numpy import compile_numpy
+from repro.core.backend_python import compile_python
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.interpreter import run_program
+
+BATCH_SIZES = (1, 7, 64)
+
+ATOL = 1e-10
+
+
+@st.composite
+def leaf_formulas(draw):
+    kind = draw(st.sampled_from(["I", "F", "J", "L", "T"]))
+    if kind in ("I", "F", "J"):
+        n = draw(st.integers(1, 4))
+        return nodes.Param(name=kind, params=(n,))
+    s = draw(st.integers(1, 3))
+    m = draw(st.integers(1, 3))
+    return nodes.Param(name=kind, params=(m * s, s))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return draw(leaf_formulas())
+    kind = draw(st.sampled_from(["leaf", "tensor", "compose"]))
+    if kind == "leaf":
+        return draw(leaf_formulas())
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    if kind == "tensor":
+        return nodes.Tensor(left=left, right=right)
+    from repro.formulas import to_matrix
+
+    left_n = to_matrix(left).shape[1]
+    right_n = to_matrix(right).shape[0]
+    if left_n != right_n:
+        if left_n < right_n:
+            left = nodes.DirectSum(
+                left=left, right=nodes.identity(right_n - left_n))
+        else:
+            right = nodes.DirectSum(
+                left=right, right=nodes.identity(left_n - right_n))
+    return nodes.Compose(left=left, right=right)
+
+
+def _random_physical(batch, length, dtype, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch, length))
+    if dtype is complex:
+        x = x + 1j * rng.standard_normal((batch, length))
+    return x.astype(dtype)
+
+
+def _run_numpy_backend(program, Xp, **strides):
+    fn = compile_numpy(program)
+    out_len = Xp.shape[0], _out_physical_len(program, **strides)
+    y = np.zeros(out_len, dtype=Xp.dtype)
+    fn(y, Xp, **strides)
+    return y
+
+
+def _out_physical_len(program, istride=1, ostride=1, iofs=0, oofs=0):
+    width = program.element_width
+    if program.strided:
+        return (oofs + (program.out_size - 1) * ostride + 1) * width
+    return program.out_size * width
+
+
+def _in_physical_len(program, istride=1, ostride=1, iofs=0, oofs=0):
+    width = program.element_width
+    if program.strided:
+        return (iofs + (program.in_size - 1) * istride + 1) * width
+    return program.in_size * width
+
+
+def _reference_rows(program, Xp, **strides):
+    """Interpreter (row by row) — the ground truth."""
+    return np.array([
+        run_program(program, list(row), **strides) for row in Xp
+    ])
+
+
+def _python_rows(program, Xp, out_len, **strides):
+    """Pure-Python backend, row by row."""
+    fn = compile_python(program)
+    rows = []
+    for row in Xp:
+        y = [0.0] * out_len
+        fn(y, list(row), **strides)
+        rows.append(y)
+    return np.array(rows)
+
+
+def _check_agreement(program, *, seed, strides=None):
+    strides = strides or {}
+    dtype = complex if (program.element_width == 1
+                       and program.datatype == "complex") else float
+    in_len = _in_physical_len(program, **strides)
+    out_len = _out_physical_len(program, **strides)
+    # One reference pass over the largest batch; the smaller batch
+    # sizes reuse its prefix rows (the references are row-independent).
+    X = _random_physical(max(BATCH_SIZES), in_len, dtype, seed)
+    expected = _reference_rows(program, X, **strides)
+    py = _python_rows(program, X, out_len, **strides)
+    np.testing.assert_allclose(py, expected, atol=ATOL)
+    for batch in BATCH_SIZES:
+        got = _run_numpy_backend(program, X[:batch], **strides)
+        np.testing.assert_allclose(got, expected[:batch], atol=ATOL)
+        np.testing.assert_allclose(got, py[:batch], atol=ATOL)
+
+
+class TestNumpyBackendAgreesWithInterpreter:
+    @given(formula=formulas(), codetype=st.sampled_from(["real", "complex"]),
+           data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_non_strided(self, formula, codetype, data):
+        compiler = SplCompiler(CompilerOptions(codetype=codetype))
+        routine = compiler.compile_formula(formula, "prop",
+                                           language="numpy")
+        _check_agreement(routine.program,
+                         seed=data.draw(st.integers(0, 2**32 - 1)))
+
+    @given(formula=formulas(), codetype=st.sampled_from(["real", "complex"]),
+           istride=st.integers(1, 3), ostride=st.integers(1, 3),
+           iofs=st.integers(0, 2), oofs=st.integers(0, 2),
+           data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_strided(self, formula, codetype, istride, ostride, iofs, oofs,
+                     data):
+        compiler = SplCompiler(CompilerOptions(codetype=codetype))
+        routine = compiler.compile_formula(formula, "prop",
+                                           language="numpy", strided=True)
+        _check_agreement(
+            routine.program,
+            seed=data.draw(st.integers(0, 2**32 - 1)),
+            strides=dict(istride=istride, ostride=ostride,
+                         iofs=iofs, oofs=oofs),
+        )
+
+    @given(formula=formulas(depth=1), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_unrolled_straight_line(self, formula, data):
+        compiler = SplCompiler(CompilerOptions(codetype="real",
+                                               unroll=True))
+        routine = compiler.compile_formula(formula, "prop",
+                                           language="numpy")
+        _check_agreement(routine.program,
+                         seed=data.draw(st.integers(0, 2**32 - 1)))
