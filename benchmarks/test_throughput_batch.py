@@ -1,36 +1,47 @@
-"""Throughput vs batch size: the batched execution engine.
+"""Throughput vs batch size and thread count: the execution runtime.
 
-Beyond the paper: every backend now has an ``apply_many`` path that
+Beyond the paper: every backend has an ``apply_many`` path that
 amortizes per-call overhead (Python interpretation, ctypes crossings,
-buffer setup) over a ``(B, n)`` batch.  This benchmark measures
-vectors/sec for per-vector ``apply`` and for ``apply_many`` at several
-batch sizes, for every available backend plus the FFTW-substitute
-executor, and writes ``BENCH_throughput.json`` next to the text report.
+buffer setup) over a ``(B, n)`` batch, and a parallel path that splits
+the batch axis across workers (the OpenMP ``spl_batch_omp_*`` C driver
+or sharded thread-pool dispatch).  This benchmark measures vectors/sec
+for per-vector ``apply``, for ``apply_many`` at several batch sizes,
+and for ``apply_many`` at the largest batch across a thread-count
+sweep, for every available backend plus the FFTW-substitute executor.
+Results land in ``BENCH_throughput.json`` (under ``benchmarks/results``
+and mirrored at the repo root) so the perf trajectory is tracked
+across PRs.
 
 Expected shape: batching pays the most where per-call overhead
-dominates — the Python-level backends gain the most, the C batch driver
-still beats per-vector ctypes calls, and the gain shrinks as the
-transform size grows and compute starts to dominate.
+dominates, and threading pays where per-batch compute dominates —
+small transforms are bandwidth/overhead-bound and may not scale, large
+ones approach the core count.  Machines with one core (or toolchains
+without OpenMP) still record the serial curves.
 
-Scale knobs: ``SPL_THROUGHPUT_SIZES=8,16`` (comma-separated FFT sizes,
-e.g. for a CI smoke run) overrides the default 8..256 sweep.
+The artifact is written *before* any acceptance gate, and missing
+capabilities (no C compiler, no OpenMP, one core) skip their gates
+instead of failing, so minimal CI runners always produce an artifact.
+
+Scale knobs: ``SPL_THROUGHPUT_SIZES=8,16`` (FFT sizes),
+``SPL_THROUGHPUT_BATCHES=1,8,64``, ``SPL_THROUGHPUT_THREADS=1,2``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.core.compiler import CompilerOptions, SplCompiler
-from repro.perfeval.ccompile import have_c_compiler
+from repro.perfeval.ccompile import have_c_compiler, have_openmp
 from repro.perfeval.runner import build_executable
 from repro.perfeval.timing import time_callable
+from repro.runtime.pool import cpu_count
 
 from conftest import RESULTS_DIR, write_results
-
-BATCHES = (1, 8, 64)
 
 MIN_TIME = 0.002
 
@@ -40,12 +51,31 @@ MIN_TIME = 0.002
 #: scratch too, so the batch win is smaller and noisier).
 SPEEDUP_FLOORS = {"numpy": 5.0, "c": 1.5}
 
+#: Non-flaky parallel sanity bound: threaded apply_many wall-time must
+#: not exceed this multiple of serial wall-time (a "threads don't make
+#: it pathologically slower" check, deliberately not a speedup gate —
+#: speedups depend on core count and transform size and are recorded,
+#: not asserted).
+PARALLEL_WALLTIME_BOUND = 1.25
 
-def _sizes() -> tuple[int, ...]:
-    value = os.environ.get("SPL_THROUGHPUT_SIZES")
+
+def _env_ints(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    value = os.environ.get(name)
     if value:
         return tuple(int(part) for part in value.split(",") if part.strip())
-    return (8, 64, 256)
+    return default
+
+
+def _sizes() -> tuple[int, ...]:
+    return _env_ints("SPL_THROUGHPUT_SIZES", (8, 64, 256))
+
+
+def _batches() -> tuple[int, ...]:
+    return _env_ints("SPL_THROUGHPUT_BATCHES", (1, 8, 64))
+
+
+def _threads() -> tuple[int, ...]:
+    return _env_ints("SPL_THROUGHPUT_THREADS", (1, 2))
 
 
 def _factors(n: int) -> list[int]:
@@ -91,42 +121,66 @@ def _fftw_apply_closure(transform):
     return call
 
 
-def _fftw_batch_closure(transform, batch):
+def _fftw_batch_closure(transform, batch, threads=None):
     rng = np.random.default_rng(0)
     X = rng.standard_normal((batch, transform.n)) \
         + 1j * rng.standard_normal((batch, transform.n))
 
     def call() -> None:
-        transform.apply_many(X)
+        transform.apply_many(X, threads=threads)
 
     call._buffers = (X,)
     return call
 
 
-def _rates_for_executable(executable, n) -> dict:
+def _rates_for_executable(executable, n, batches, threads) -> dict:
     rates = {}
     t = time_callable(_apply_closure(executable, n), min_time=MIN_TIME)
     rates["apply"] = 1.0 / t
-    for batch in BATCHES:
+    for batch in batches:
         t = time_callable(executable.timer_closure_many(batch),
                           min_time=MIN_TIME)
         rates[f"apply_many[{batch}]"] = batch / t
+    top = batches[-1]
+    for nthreads in threads:
+        t = time_callable(
+            executable.timer_closure_many(top, threads=nthreads),
+            min_time=MIN_TIME)
+        rates[f"apply_many[{top},threads={nthreads}]"] = top / t
     return rates
 
 
-def _rates_for_fftw(transform) -> dict:
+def _rates_for_fftw(transform, batches, threads) -> dict:
     rates = {}
     t = time_callable(_fftw_apply_closure(transform), min_time=MIN_TIME)
     rates["apply"] = 1.0 / t
-    for batch in BATCHES:
+    for batch in batches:
         t = time_callable(_fftw_batch_closure(transform, batch),
                           min_time=MIN_TIME)
         rates[f"apply_many[{batch}]"] = batch / t
+    top = batches[-1]
+    for nthreads in threads:
+        t = time_callable(_fftw_batch_closure(transform, top, nthreads),
+                          min_time=MIN_TIME)
+        rates[f"apply_many[{top},threads={nthreads}]"] = top / t
     return rates
+
+
+def _write_artifact(payload: dict) -> None:
+    """benchmarks/results/ copy plus a repo-root mirror (the tracked
+    perf-trajectory file)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2) + "\n"
+    (RESULTS_DIR / "BENCH_throughput.json").write_text(text)
+    (Path(__file__).resolve().parent.parent
+     / "BENCH_throughput.json").write_text(text)
 
 
 def test_throughput_batch(request):
     sizes = _sizes()
+    batches = _batches()
+    threads = _threads()
+    top = batches[-1]
     backends = ["python", "numpy"] + (["c"] if have_c_compiler() else [])
     fftw_planner = (request.getfixturevalue("fftw_planner")
                     if have_c_compiler() else None)
@@ -136,41 +190,59 @@ def test_throughput_batch(request):
             executable = build_executable(_compile_fft(n, backend),
                                           prefer=backend)
             assert executable.backend == backend
-            records.append({"backend": backend, "n": n,
-                            "rates": _rates_for_executable(executable, n)})
-        if have_c_compiler():
+            records.append({
+                "backend": backend, "n": n,
+                "parallel_driver": ("openmp" if executable.batch_omp_fn
+                                    is not None else "sharded"),
+                "rates": _rates_for_executable(executable, n,
+                                               batches, threads),
+            })
+        if fftw_planner is not None:
             transform = fftw_planner.library.transform(
                 fftw_planner.plan_estimate(n))
-            records.append({"backend": "fftw", "n": n,
-                            "rates": _rates_for_fftw(transform)})
+            records.append({
+                "backend": "fftw", "n": n,
+                "parallel_driver": "sharded",
+                "rates": _rates_for_fftw(transform, batches, threads),
+            })
 
-    top = BATCHES[-1]
     lines = [
-        "Throughput vs batch size (vectors/sec)",
+        "Throughput vs batch size and thread count (vectors/sec)",
         f"{'N':>5} {'backend':>8} {'apply':>12} "
-        + " ".join(f"{f'B={b}':>12}" for b in BATCHES)
-        + f" {'speedup':>8}",
+        + " ".join(f"{f'B={b}':>12}" for b in batches)
+        + " ".join(f"{f'T={t}':>12}" for t in threads)
+        + f" {'speedup':>8} {'scaling':>8}",
     ]
     for rec in records:
         rates = rec["rates"]
         speedup = rates[f"apply_many[{top}]"] / rates["apply"]
         rec["batch_speedup"] = speedup
+        serial = rates[f"apply_many[{top},threads={threads[0]}]"]
+        best_threads = max(
+            rates[f"apply_many[{top},threads={t}]"] for t in threads)
+        rec["thread_scaling"] = best_threads / serial
         lines.append(
             f"{rec['n']:>5} {rec['backend']:>8} {rates['apply']:>12.0f} "
             + " ".join(f"{rates[f'apply_many[{b}]']:>12.0f}"
-                       for b in BATCHES)
-            + f" {speedup:>7.1f}x"
+                       for b in batches)
+            + " ".join(f"{rates[f'apply_many[{top},threads={t}]']:>12.0f}"
+                       for t in threads)
+            + f" {speedup:>7.1f}x {rec['thread_scaling']:>7.2f}x"
         )
     write_results("throughput_batch", lines)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
+    # The artifact is written before any gate below can fail, so every
+    # runner — including ones without a C compiler or OpenMP — leaves
+    # a record behind.
+    _write_artifact({
         "sizes": list(sizes),
-        "batches": list(BATCHES),
+        "batches": list(batches),
+        "threads": list(threads),
+        "cpu_count": cpu_count(),
+        "c_compiler": have_c_compiler(),
+        "openmp": have_openmp(),
         "records": records,
-    }
-    (RESULTS_DIR / "BENCH_throughput.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    })
 
     # Acceptance: batching must beat per-vector apply at the largest
     # batch size, by the per-backend floor.
@@ -180,4 +252,38 @@ def test_throughput_batch(request):
             assert rec["batch_speedup"] >= floor, (
                 f"{rec['backend']} n={rec['n']}: apply_many[{top}] only "
                 f"{rec['batch_speedup']:.2f}x over apply (floor {floor}x)"
+            )
+
+    if not have_c_compiler():
+        pytest.skip("no C compiler: recorded python/numpy-only results, "
+                    "parallel sanity not applicable")
+    if len(threads) < 2:
+        pytest.skip("single-entry thread sweep: no parallel sanity check")
+    if cpu_count() < 2:
+        pytest.skip("single-core machine: oversubscribed threads can "
+                    "legitimately exceed the wall-time bound "
+                    "(scaling curves recorded, not asserted)")
+
+    # Parallel sanity (non-flaky by design): threading must never make
+    # the C path pathologically slower than serial — bounded wall-time
+    # ratio, not a speedup gate.  One re-measure absorbs scheduler
+    # noise on loaded runners.
+    for rec in records:
+        if rec["backend"] != "c":
+            continue
+        rates = rec["rates"]
+        serial = rates[f"apply_many[{top},threads={threads[0]}]"]
+        for nthreads in threads[1:]:
+            parallel = rates[f"apply_many[{top},threads={nthreads}]"]
+            if serial > parallel * PARALLEL_WALLTIME_BOUND:
+                executable = build_executable(_compile_fft(rec["n"], "c"),
+                                              prefer="c")
+                retry = time_callable(
+                    executable.timer_closure_many(top, threads=nthreads),
+                    min_time=MIN_TIME)
+                parallel = top / retry
+            assert serial <= parallel * PARALLEL_WALLTIME_BOUND, (
+                f"c n={rec['n']}: threads={nthreads} ran "
+                f"{serial / parallel:.2f}x slower than serial "
+                f"(bound {PARALLEL_WALLTIME_BOUND}x)"
             )

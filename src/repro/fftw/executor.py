@@ -151,8 +151,12 @@ class FftwTransform:
     (build one transform per thread if needed; plans are shareable).
     Sequential interleaving of ``apply`` and ``apply_many`` is safe:
     the batch path keeps its own 2-D workspaces and leaves the
-    single-vector buffers untouched, and bulk work should go through
-    one ``apply_many`` call rather than threads.
+    single-vector buffers untouched.  Bulk work goes through one
+    ``apply_many`` call, which parallelizes *internally* when asked:
+    ``apply_many(X, threads=N)`` shards the batch rows across the
+    shared worker pool with one recursion-scratch buffer per shard
+    (the executor is a pure function of its argument buffers, so
+    shards never interfere and results are bit-identical to serial).
     """
 
     def __init__(self, library: FftwLibrary, plan: Plan):
@@ -173,6 +177,7 @@ class FftwTransform:
         self._x = np.zeros(2 * plan.n)
         self._y = np.zeros(2 * plan.n)
         self._batch = None  # (xm, ym, xptrs, yptrs), sized on first use
+        self._shard_work = None  # (ptrs, arrays) per-shard scratch pool
         c_int_p = ctypes.POINTER(ctypes.c_int)
         c_long_p = ctypes.POINTER(ctypes.c_long)
         c_double_p = ctypes.POINTER(ctypes.c_double)
@@ -213,7 +218,20 @@ class FftwTransform:
             self._batch = (xm, ym, xptrs, yptrs)
         return self._batch
 
-    def apply_many(self, X: np.ndarray) -> np.ndarray:
+    def _shard_works(self, count: int) -> list:
+        """Per-shard recursion scratch: ``count`` independent work
+        buffers (as ctypes pointers), grown once and reused."""
+        import ctypes
+
+        c_double_p = ctypes.POINTER(ctypes.c_double)
+        if self._shard_work is None or len(self._shard_work[0]) < count:
+            arrays = [np.zeros_like(self._work) for _ in range(count)]
+            ptrs = [a.ctypes.data_as(c_double_p) for a in arrays]
+            self._shard_work = (ptrs, arrays)
+        return self._shard_work[0]
+
+    def apply_many(self, X: np.ndarray,
+                   threads: int | None = None) -> np.ndarray:
         """Compute the DFT of every row of a ``(B, n)`` complex batch.
 
         The batch is interleaved into a 2-D work buffer in one
@@ -222,7 +240,16 @@ class FftwTransform:
         reused whenever the batch size repeats, so a steady-state
         caller allocates nothing per batch.  The single-vector
         ``apply`` buffers are not touched.
+
+        ``threads=N`` (0 = one per CPU) shards the row loop across the
+        shared worker pool, each shard with its own recursion scratch;
+        the executor releases the GIL inside the native call, so
+        shards run on separate cores.  Small batches fall back to the
+        serial loop (see :func:`repro.runtime.pool.effective_threads`);
+        results are bit-identical for every thread count.
         """
+        from repro.runtime.pool import effective_threads, run_sharded
+
         X = np.asarray(X)
         if X.ndim != 2 or X.shape[1] != self.n:
             raise ValueError(
@@ -234,9 +261,25 @@ class FftwTransform:
         xm[:, 1::2] = X.imag
         execute = self.library._execute
         logn, logr, tw_ofs, tw = self._args[:4]
-        work = self._args[6]
-        for b in range(batch):
-            execute(logn, logr, tw_ofs, tw, yptrs[b], xptrs[b], work)
+        nthreads = effective_threads(threads, batch, 2 * self.n)
+        if nthreads > 1:
+            works = self._shard_works(nthreads)
+            free = list(works)  # one scratch per concurrently live shard
+
+            def shard(lo: int, hi: int) -> None:
+                work = free.pop()  # atomic (GIL); len(works) >= shards
+                try:
+                    for b in range(lo, hi):
+                        execute(logn, logr, tw_ofs, tw,
+                                yptrs[b], xptrs[b], work)
+                finally:
+                    free.append(work)
+
+            run_sharded(shard, batch, nthreads)
+        else:
+            work = self._args[6]
+            for b in range(batch):
+                execute(logn, logr, tw_ofs, tw, yptrs[b], xptrs[b], work)
         return ym[:, 0::2] + 1j * ym[:, 1::2]
 
     def timer_closure(self):

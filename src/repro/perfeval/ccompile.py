@@ -5,7 +5,17 @@ compilers (Workshop 5.0, MIPSpro, egcs): generated routines are
 compiled at maximum optimization and timed as native code.
 
 Shared objects are cached by source hash under a build directory, so
-repeated searches do not recompile identical candidates.
+repeated searches do not recompile identical candidates.  The cache key
+covers the full flag set (defaults + OpenMP + extra flags + caller
+flags) as well as the source, so artifacts never leak across flag sets.
+
+Extra flags: ``SPL_CFLAGS`` (e.g. ``SPL_CFLAGS=-march=native``) appends
+host-compiler flags to every compilation; the CLI exposes the same knob
+as ``--cflags``.  OpenMP: :func:`have_openmp` probes the toolchain once
+(compile a trivial ``#pragma omp`` program), and
+:func:`batch_driver_source` can emit a parallel ``spl_batch_omp_*``
+driver next to the serial one; callers fall back to single-threaded
+drivers when the probe fails.
 """
 
 from __future__ import annotations
@@ -13,13 +23,22 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable
 
 _DEFAULT_CFLAGS = ("-O3", "-fPIC", "-shared", "-fno-math-errno")
+
+_OPENMP_CFLAGS = ("-fopenmp",)
+
+_OPENMP_PROBE = (
+    "#include <omp.h>\n"
+    "int spl_omp_probe(void) { return omp_get_max_threads(); }\n"
+)
 
 
 class CCompileError(RuntimeError):
@@ -38,6 +57,52 @@ def _find_compiler() -> str | None:
     return None
 
 
+def extra_cflags() -> tuple[str, ...]:
+    """Opt-in extra host-compiler flags from ``SPL_CFLAGS``.
+
+    Parsed with shell quoting (``SPL_CFLAGS="-march=native -funroll-loops"``).
+    These participate in the shared-object cache key and in the wisdom
+    platform fingerprint, so changing them never reuses stale artifacts.
+    """
+    value = os.environ.get("SPL_CFLAGS", "")
+    return tuple(shlex.split(value)) if value.strip() else ()
+
+
+@lru_cache(maxsize=None)
+def _probe_openmp(compiler: str, flags: tuple[str, ...]) -> bool:
+    build_dir = default_build_dir()
+    c_path = build_dir / "spl_omp_probe.c"
+    so_path = build_dir / "spl_omp_probe.so"
+    try:
+        c_path.write_text(_OPENMP_PROBE)
+        result = subprocess.run(
+            [compiler, *_DEFAULT_CFLAGS, *flags, *_OPENMP_CFLAGS,
+             str(c_path), "-o", str(so_path)],
+            capture_output=True, text=True, timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return result.returncode == 0
+
+
+def have_openmp() -> bool:
+    """True when the host toolchain compiles ``-fopenmp`` code.
+
+    The probe result is cached per (compiler, extra flags); a missing
+    compiler probes as False so callers can fall back to single-thread
+    drivers unconditionally.
+    """
+    compiler = _find_compiler()
+    if compiler is None:
+        return False
+    return _probe_openmp(compiler, extra_cflags())
+
+
+def openmp_cflags() -> tuple[str, ...]:
+    """The flags enabling OpenMP, empty when the toolchain lacks it."""
+    return _OPENMP_CFLAGS if have_openmp() else ()
+
+
 def default_build_dir() -> Path:
     root = os.environ.get("SPL_BUILD_DIR")
     if root:
@@ -49,13 +114,23 @@ def default_build_dir() -> Path:
 
 
 def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
-                          build_dir: Path | None = None) -> Path:
-    """Compile C ``source`` into a cached shared object, returning its path."""
+                          build_dir: Path | None = None,
+                          openmp: bool = False) -> Path:
+    """Compile C ``source`` into a cached shared object, returning its path.
+
+    ``openmp=True`` adds the OpenMP flags (the caller is expected to
+    have checked :func:`have_openmp`); ``SPL_CFLAGS`` appends extra
+    flags.  Both are folded into the cache key together with ``cflags``
+    and the source, so e.g. the threaded and serial builds of one
+    routine never collide.
+    """
     compiler = _find_compiler()
     if compiler is None:
         raise CCompileError("no C compiler (cc/gcc/clang) on PATH")
     build_dir = build_dir or default_build_dir()
-    flags = _DEFAULT_CFLAGS + tuple(cflags)
+    flags = _DEFAULT_CFLAGS + extra_cflags() + tuple(cflags)
+    if openmp:
+        flags += _OPENMP_CFLAGS
     digest = hashlib.sha256(
         ("\x00".join(flags) + "\x01" + source).encode()
     ).hexdigest()[:24]
@@ -103,28 +178,56 @@ def compile_c_program(source: str, name: str, *, strided: bool = False,
     return load_function(so_path, name, strided=strided)
 
 
-def batch_driver_source(name: str, in_len: int, out_len: int) -> str:
+def batch_driver_source(name: str, in_len: int, out_len: int, *,
+                        openmp: bool = False) -> str:
     """A C batch driver looping over the rows of a (B, len) workspace.
 
     ``spl_batch_<name>(y, x, batch)`` applies ``name`` to ``batch``
     consecutive vectors with a single Python->native crossing, zeroing
     each output row first (the per-vector routines assume a zeroed
     output, matching the interpreter's semantics).
+
+    With ``openmp=True`` a second driver
+    ``spl_batch_omp_<name>(y, x, batch, nthreads)`` is emitted that
+    splits the batch axis across OpenMP threads with a static schedule
+    (contiguous chunks, same per-row arithmetic and rounding as the
+    serial loop, so results are bit-identical for any thread count).
+    The generated per-vector routines keep their temporaries on the
+    stack and their tables ``static const``, so concurrent calls from
+    several OpenMP threads are safe.
     """
-    return (
+    body = (
+        f"        double *yrow = y + b * {out_len};\n"
+        f"        const double *xrow = x + b * {in_len};\n"
+        f"        for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
+        f"        {name}(yrow, xrow);\n"
+    )
+    source = (
         f"\nvoid spl_batch_{name}(double *restrict y, "
         f"const double *restrict x, int batch)\n"
         "{\n"
         "    long b;\n"
         "    int j;\n"
         "    for (b = 0; b < batch; b++) {\n"
-        f"        double *yrow = y + b * {out_len};\n"
-        f"        const double *xrow = x + b * {in_len};\n"
-        f"        for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
-        f"        {name}(yrow, xrow);\n"
+        + body +
         "    }\n"
         "}\n"
     )
+    if openmp:
+        source += (
+            f"\nvoid spl_batch_omp_{name}(double *restrict y, "
+            f"const double *restrict x, int batch, int nthreads)\n"
+            "{\n"
+            "    long b;\n"
+            "    #pragma omp parallel for schedule(static) "
+            "num_threads(nthreads) if(nthreads > 1)\n"
+            "    for (b = 0; b < batch; b++) {\n"
+            "        int j;\n"
+            + body +
+            "    }\n"
+            "}\n"
+        )
+    return source
 
 
 def load_batch_function(so_path: Path, name: str):
@@ -133,6 +236,23 @@ def load_batch_function(so_path: Path, name: str):
     fn = getattr(lib, f"spl_batch_{name}")
     fn.argtypes = [ctypes.POINTER(ctypes.c_double),
                    ctypes.POINTER(ctypes.c_double),
+                   ctypes.c_int]
+    fn.restype = None
+    fn._keepalive_lib = lib
+    return fn
+
+
+def load_batch_omp_function(so_path: Path, name: str):
+    """Load the ``spl_batch_omp_<name>`` OpenMP driver.
+
+    Signature: ``(y, x, batch, nthreads)``; ``nthreads <= 1`` runs the
+    loop serially inside the parallel region's ``if`` clause.
+    """
+    lib = ctypes.CDLL(str(so_path))
+    fn = getattr(lib, f"spl_batch_omp_{name}")
+    fn.argtypes = [ctypes.POINTER(ctypes.c_double),
+                   ctypes.POINTER(ctypes.c_double),
+                   ctypes.c_int,
                    ctypes.c_int]
     fn.restype = None
     fn._keepalive_lib = lib

@@ -14,15 +14,28 @@ apply_many` amortizes it over a ``(B, n)`` batch — through a generated
 ``spl_batch_<name>`` C driver (one ctypes crossing per batch), one
 NumPy batch call, or a buffer-reusing Python loop.
 
-Thread-safety: an :class:`ExecutableRoutine` owns preallocated scratch
-buffers that every ``apply``/``apply_many`` call reuses, so one
-instance must not be used from several threads concurrently; build one
-executable per thread (cheap — compiled objects are cached), or batch
-the work through a single ``apply_many`` call instead.
+Parallelism: ``apply_many(X, threads=N)`` splits the batch axis across
+N workers.  The C backend prefers the generated OpenMP driver
+(``spl_batch_omp_<name>``, one ctypes crossing, ``#pragma omp parallel
+for`` over the rows); when OpenMP is unavailable — or for the NumPy
+and Python backends — the batch is sharded into contiguous row chunks
+on the shared thread pool (:mod:`repro.runtime.pool`; ctypes releases
+the GIL, so the C path scales there too).  Tiny batches skip parallel
+dispatch entirely (see ``_effective_threads``).  Row order and per-row
+arithmetic are identical for every thread count, so results are
+bit-identical to ``threads=1``.
+
+Thread-safety: scratch buffers are per-thread (``threading.local``),
+so one :class:`ExecutableRoutine` may be shared freely — concurrent
+``apply`` and ``apply_many`` calls from many threads are safe.  Each
+calling thread keeps its own single-vector and batch workspaces;
+shard workers write disjoint row ranges of the caller's workspace and
+allocate nothing.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,6 +46,11 @@ from repro.core.backend_numpy import compile_numpy
 from repro.core.compiler import CompiledRoutine
 from repro.core.errors import SplSemanticError
 from repro.perfeval import ccompile
+from repro.runtime.pool import (
+    effective_threads,
+    resolve_threads,
+    run_sharded,
+)
 
 #: Backend preference chains: the requested backend first, then the
 #: fastest available fallback (c > numpy > python).
@@ -45,16 +63,18 @@ _PREFERENCE = {
 
 @dataclass
 class ExecutableRoutine:
-    """A runnable compiled routine with preallocated I/O buffers."""
+    """A runnable compiled routine with per-thread preallocated buffers."""
 
     routine: CompiledRoutine
     backend: str  # "c", "numpy" or "python"
     raw_call: Callable  # fn(y_buffer, x_buffer) on 1-D physical buffers
     ctypes_fn: Callable | None = None  # underlying native entry (C backend)
     batch_fn: Callable | None = None  # spl_batch_* ctypes driver (C backend)
+    batch_omp_fn: Callable | None = None  # spl_batch_omp_* OpenMP driver
     batch_call: Callable | None = None  # fn(Y, X) on 2-D buffers (numpy)
-    _scratch: tuple | None = field(default=None, repr=False)
-    _batch_scratch: tuple | None = field(default=None, repr=False)
+    threads: int = 1  # default worker count for apply_many
+    _tls: threading.local = field(default_factory=threading.local,
+                                  repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -71,36 +91,40 @@ class ExecutableRoutine:
         return np.float64
 
     def _buffers(self) -> tuple[np.ndarray, np.ndarray]:
-        """Per-instance single-vector scratch, allocated once."""
-        if self._scratch is None:
+        """Single-vector scratch, allocated once per calling thread."""
+        pair = getattr(self._tls, "single", None)
+        if pair is None:
             program = self.routine.program
             width = program.element_width
             dtype = self._dtype()
-            self._scratch = (
+            pair = (
                 np.zeros(program.in_size * width, dtype=dtype),
                 np.zeros(program.out_size * width, dtype=dtype),
             )
-        return self._scratch
+            self._tls.single = pair
+        return pair
 
     def _batch_buffers(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
-        """Reusable (B, len) physical workspaces, reallocated only when
-        the batch size changes."""
-        if self._batch_scratch is None or \
-                self._batch_scratch[0].shape[0] != batch:
+        """Per-thread (B, len) physical workspaces, reallocated only
+        when the calling thread's batch size changes."""
+        pair = getattr(self._tls, "batch", None)
+        if pair is None or pair[0].shape[0] != batch:
             program = self.routine.program
             width = program.element_width
             dtype = self._dtype()
-            self._batch_scratch = (
+            pair = (
                 np.zeros((batch, program.in_size * width), dtype=dtype),
                 np.zeros((batch, program.out_size * width), dtype=dtype),
             )
-        return self._batch_scratch
+            self._tls.batch = pair
+        return pair
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Apply to a logical input vector; complex in, complex out.
 
         Scratch buffers are reused across calls (no per-call
-        allocation); the returned array is a fresh copy.
+        allocation) and are per-thread, so concurrent callers never
+        share them; the returned array is a fresh copy.
         """
         program = self.routine.program
         width = program.element_width
@@ -116,14 +140,53 @@ class ExecutableRoutine:
             return y[0::2] + 1j * y[1::2]
         return y.copy()
 
-    def apply_many(self, X: np.ndarray) -> np.ndarray:
+    def _effective_threads(self, threads: int | None, batch: int) -> int:
+        """The worker count actually used for one ``apply_many`` call.
+
+        ``None`` falls back to the instance default; 0 means one per
+        CPU.  The result is clamped by the shared sharding heuristic
+        (:func:`repro.runtime.pool.effective_threads`) so parallel
+        dispatch only happens when the batch can amortize it.
+        """
+        program = self.routine.program
+        row_len = max(program.in_size, program.out_size) \
+            * program.element_width
+        return effective_threads(
+            self.threads if threads is None else threads, batch, row_len
+        )
+
+    def _run_rows(self, Yp: np.ndarray, Xp: np.ndarray,
+                  lo: int, hi: int) -> None:
+        """The serial batch path over physical rows ``lo..hi`` (the
+        whole batch at ``threads=1``, one shard otherwise)."""
+        if self.batch_fn is not None:
+            import ctypes
+
+            c_double_p = ctypes.POINTER(ctypes.c_double)
+            self.batch_fn(Yp[lo:hi].ctypes.data_as(c_double_p),
+                          Xp[lo:hi].ctypes.data_as(c_double_p), hi - lo)
+        elif self.batch_call is not None:
+            Yp[lo:hi].fill(0)
+            self.batch_call(Yp[lo:hi], Xp[lo:hi])
+        else:
+            for b in range(lo, hi):
+                Yp[b].fill(0)
+                self.raw_call(Yp[b], Xp[b])
+
+    def apply_many(self, X: np.ndarray,
+                   threads: int | None = None) -> np.ndarray:
         """Apply to a ``(B, n)`` batch of logical vectors at once.
 
         The whole batch crosses into the fastest available path with
         per-batch (not per-vector) overhead: a single ctypes call into
         the generated ``spl_batch_<name>`` C driver, one call of the
         NumPy batch function, or a scratch-reusing Python loop.
-        Returns a fresh ``(B, out_size)`` array.
+
+        ``threads`` splits the batch axis across workers (``None`` =
+        the instance default, 0 = one per CPU): the OpenMP C driver
+        when available, contiguous row shards on the shared thread
+        pool otherwise.  Results are bit-identical for every thread
+        count.  Returns a fresh ``(B, out_size)`` array.
         """
         program = self.routine.program
         X = np.asarray(X)
@@ -140,19 +203,21 @@ class ExecutableRoutine:
             Xp[:, 1::2] = X.imag
         else:
             Xp[:, :] = X
-        if self.batch_fn is not None:
+        nthreads = self._effective_threads(threads, batch)
+        if nthreads > 1 and self.batch_omp_fn is not None:
             import ctypes
 
             c_double_p = ctypes.POINTER(ctypes.c_double)
-            self.batch_fn(Yp.ctypes.data_as(c_double_p),
-                          Xp.ctypes.data_as(c_double_p), batch)
-        elif self.batch_call is not None:
-            Yp.fill(0)
-            self.batch_call(Yp, Xp)
+            self.batch_omp_fn(Yp.ctypes.data_as(c_double_p),
+                              Xp.ctypes.data_as(c_double_p),
+                              batch, nthreads)
+        elif nthreads > 1:
+            run_sharded(
+                lambda lo, hi: self._run_rows(Yp, Xp, lo, hi),
+                batch, nthreads,
+            )
         else:
-            for b in range(batch):
-                Yp[b].fill(0)
-                self.raw_call(Yp[b], Xp[b])
+            self._run_rows(Yp, Xp, 0, batch)
         if width == 2:
             return Yp[:, 0::2] + 1j * Yp[:, 1::2]
         return Yp.copy()
@@ -190,7 +255,8 @@ class ExecutableRoutine:
         call._buffers = (x, y)
         return call
 
-    def timer_closure_many(self, batch: int) -> Callable[[], None]:
+    def timer_closure_many(self, batch: int,
+                           threads: int | None = None) -> Callable[[], None]:
         """A zero-argument closure timing ``apply_many`` on a fixed
         random batch (buffer filling included — that is the honest
         per-batch cost a caller pays)."""
@@ -203,7 +269,7 @@ class ExecutableRoutine:
         apply_many = self.apply_many
 
         def call() -> None:
-            apply_many(X)
+            apply_many(X, threads=threads)
 
         call._buffers = (X,)
         return call
@@ -216,17 +282,25 @@ def _build_c(routine: CompiledRoutine,
         routine.source if routine.language == "c" else emit_c(program)
     )
     batch_fn = None
+    batch_omp_fn = None
+    openmp = False
     if not program.strided:
+        openmp = ccompile.have_openmp()
         source += ccompile.batch_driver_source(
             routine.name,
             in_len=program.in_size * program.element_width,
             out_len=program.out_size * program.element_width,
+            openmp=openmp,
         )
-    so_path = ccompile.compile_shared_object(source, cflags=cflags)
+    so_path = ccompile.compile_shared_object(source, cflags=cflags,
+                                             openmp=openmp)
     fn = ccompile.load_function(so_path, routine.name,
                                 strided=program.strided)
     if not program.strided:
         batch_fn = ccompile.load_batch_function(so_path, routine.name)
+        if openmp:
+            batch_omp_fn = ccompile.load_batch_omp_function(
+                so_path, routine.name)
     import ctypes
 
     c_double_p = ctypes.POINTER(ctypes.c_double)
@@ -236,7 +310,8 @@ def _build_c(routine: CompiledRoutine,
            np.ascontiguousarray(x).ctypes.data_as(c_double_p), *args)
 
     return ExecutableRoutine(routine=routine, backend="c", raw_call=c_call,
-                             ctypes_fn=fn, batch_fn=batch_fn)
+                             ctypes_fn=fn, batch_fn=batch_fn,
+                             batch_omp_fn=batch_omp_fn)
 
 
 def _build_numpy(routine: CompiledRoutine) -> ExecutableRoutine:
@@ -268,7 +343,8 @@ def _build_python(routine: CompiledRoutine) -> ExecutableRoutine:
 
 def build_executable(routine: CompiledRoutine,
                      prefer: str = "c",
-                     cflags: tuple[str, ...] = ()) -> ExecutableRoutine:
+                     cflags: tuple[str, ...] = (),
+                     threads: int = 1) -> ExecutableRoutine:
     """Compile a routine to an executable, preferring the fastest path.
 
     ``prefer`` names the first backend to try; remaining candidates
@@ -277,26 +353,35 @@ def build_executable(routine: CompiledRoutine,
     through to the NumPy batch backend, then pure Python).
 
     ``cflags`` appends host-compiler flags (e.g. ``("-O0",)`` to model
-    a weak back-end compiler in ablation experiments).
+    a weak back-end compiler in ablation experiments); ``SPL_CFLAGS``
+    in the environment appends further opt-in flags such as
+    ``-march=native``.  ``threads`` sets the executable's default
+    ``apply_many`` worker count (0 = one per CPU); per-call
+    ``threads=`` overrides it.
     """
     chain = _PREFERENCE.get(prefer)
     if chain is None:
         raise SplSemanticError(
             f"prefer must be one of {tuple(_PREFERENCE)}, got {prefer!r}"
         )
+    resolve_threads(threads)  # validate early (0 and None are fine)
     last_error: Exception | None = None
     for backend in chain:
+        executable: ExecutableRoutine | None = None
         if backend == "c":
             if not ccompile.have_c_compiler():
                 continue
             try:
-                return _build_c(routine, cflags)
+                executable = _build_c(routine, cflags)
             except SplSemanticError as exc:
                 last_error = exc  # e.g. complex-native program
                 continue
-        if backend == "numpy":
-            return _build_numpy(routine)
-        return _build_python(routine)
+        elif backend == "numpy":
+            executable = _build_numpy(routine)
+        else:
+            executable = _build_python(routine)
+        executable.threads = threads
+        return executable
     raise last_error if last_error is not None else SplSemanticError(
         f"no executable backend available for {routine.name}"
     )

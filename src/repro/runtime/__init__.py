@@ -1,0 +1,31 @@
+"""Multicore execution runtime: worker pool, sharding, dynamic batching.
+
+Beyond the paper (whose compiler targets a single core), this package
+holds the pieces that turn compiled routines into a serving runtime:
+
+* :mod:`repro.runtime.pool` — the process-wide worker pool plus batch
+  sharding used by ``ExecutableRoutine.apply_many(threads=N)`` and
+  ``FftwTransform.apply_many(threads=N)``;
+* :mod:`repro.runtime.dispatcher` — :class:`BatchDispatcher`, an
+  inference-server-style dynamic batcher that coalesces concurrent
+  single-vector ``apply`` requests into one ``apply_many`` call.
+"""
+
+from repro.runtime.dispatcher import BatchDispatcher, DispatchStats
+from repro.runtime.pool import (
+    cpu_count,
+    get_pool,
+    resolve_threads,
+    run_sharded,
+    shard_ranges,
+)
+
+__all__ = [
+    "BatchDispatcher",
+    "DispatchStats",
+    "cpu_count",
+    "get_pool",
+    "resolve_threads",
+    "run_sharded",
+    "shard_ranges",
+]

@@ -1,0 +1,204 @@
+"""Dynamic request batching: coalesce concurrent ``apply`` calls.
+
+An inference-server-style batcher for transform execution.  Callers on
+many threads each submit one vector; the dispatcher gathers concurrent
+requests — bounded by a maximum batch size and a maximum added latency
+— and executes them as a single ``apply_many`` batch, which is the
+amortized fast path every backend provides (one ctypes crossing, one
+NumPy call, OpenMP over the batch axis).  Each caller gets back
+exactly the row it would have gotten from a serial ``apply``: batch
+rows are computed independently with identical per-row arithmetic, so
+results are bit-identical.
+
+The flush policy is the standard one (size- and deadline-bounded):
+
+* a batch is executed immediately once ``max_batch`` requests are
+  waiting;
+* otherwise it is executed ``max_delay`` seconds after its *first*
+  request arrived, so a lone request never waits longer than
+  ``max_delay``;
+* ``close()`` flushes whatever is pending.
+
+Counters (:class:`DispatchStats`) record how much coalescing actually
+happened; ``stats.batches < stats.requests`` is the observable proof
+that concurrent requests shared ``apply_many`` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass
+class DispatchStats:
+    """Counters accumulated over a dispatcher's lifetime."""
+
+    requests: int = 0  # vectors submitted
+    batches: int = 0  # apply_many calls issued
+    coalesced_requests: int = 0  # requests served in a batch of >= 2
+    max_batch: int = 0  # largest batch executed
+    size_flushes: int = 0  # batches flushed because max_batch was hit
+    deadline_flushes: int = 0  # batches flushed by the latency bound
+    close_flushes: int = 0  # batches flushed during close()
+
+
+class _Request:
+    __slots__ = ("x", "result", "error", "done")
+
+    def __init__(self, x: np.ndarray):
+        self.x = x
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+
+
+class BatchDispatcher:
+    """Coalesce concurrent single-vector requests into batched execution.
+
+    ``target`` is anything with an ``apply_many(X)`` method over a
+    ``(B, n)`` batch and an ``n`` attribute — an
+    :class:`~repro.perfeval.runner.ExecutableRoutine` or an
+    :class:`~repro.fftw.executor.FftwTransform`.  ``threads`` is
+    forwarded to ``apply_many`` when given, composing dynamic batching
+    with sharded/OpenMP execution.
+
+    Usable as a context manager; ``close()`` drains pending requests
+    before the worker exits.
+    """
+
+    def __init__(self, target, *, max_batch: int = 64,
+                 max_delay: float = 0.002,
+                 threads: int | None = None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.target = target
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.threads = threads
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: list[_Request] = []
+        self._deadline: float | None = None  # first pending request + delay
+        self._closed = False
+        self._stats = DispatchStats()
+        self._worker = threading.Thread(
+            target=self._run, name="spl-dispatch", daemon=True
+        )
+        self._worker.start()
+
+    # -- client side ---------------------------------------------------------
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Submit one vector and block until its transform is ready.
+
+        Bit-identical to ``target.apply(x)``; raises whatever the
+        underlying execution raised.
+        """
+        request = self._submit(x)
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def _submit(self, x: np.ndarray) -> _Request:
+        x = np.asarray(x)
+        n = getattr(self.target, "n", None)
+        if n is not None and x.shape != (n,):
+            raise ValueError(f"expected a ({n},) vector, got shape {x.shape}")
+        request = _Request(x)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("BatchDispatcher is closed")
+            self._pending.append(request)
+            self._stats.requests += 1
+            if self._deadline is None:
+                self._deadline = time.monotonic() + self.max_delay
+            self._wakeup.notify_all()
+        return request
+
+    @property
+    def stats(self) -> DispatchStats:
+        """A point-in-time copy of the coalescing counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def close(self) -> None:
+        """Flush pending requests and stop the worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                self._worker.join()
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "BatchDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker side ---------------------------------------------------------
+
+    def _take_batch(self) -> tuple[list[_Request], str] | None:
+        """Block until a batch is due; None when closed and drained."""
+        with self._lock:
+            while True:
+                if self._pending:
+                    if self._closed:
+                        reason = "close"
+                    elif len(self._pending) >= self.max_batch:
+                        reason = "size"
+                    else:
+                        remaining = self._deadline - time.monotonic()
+                        if remaining > 0:
+                            self._wakeup.wait(remaining)
+                            continue
+                        reason = "deadline"
+                    batch = self._pending[: self.max_batch]
+                    del self._pending[: len(batch)]
+                    self._deadline = (
+                        time.monotonic() + self.max_delay
+                        if self._pending else None
+                    )
+                    return batch, reason
+                if self._closed:
+                    return None
+                self._wakeup.wait()
+
+    def _run(self) -> None:
+        while True:
+            taken = self._take_batch()
+            if taken is None:
+                return
+            batch, reason = taken
+            try:
+                X = np.stack([request.x for request in batch])
+                if self.threads is None:
+                    Y = self.target.apply_many(X)
+                else:
+                    Y = self.target.apply_many(X, threads=self.threads)
+            except BaseException as exc:  # noqa: BLE001 — forwarded
+                for request in batch:
+                    request.error = exc
+                    request.done.set()
+                continue
+            finally:
+                with self._lock:
+                    self._stats.batches += 1
+                    self._stats.max_batch = max(self._stats.max_batch,
+                                                len(batch))
+                    if len(batch) >= 2:
+                        self._stats.coalesced_requests += len(batch)
+                    field = f"{reason}_flushes"
+                    setattr(self._stats, field,
+                            getattr(self._stats, field) + 1)
+            for i, request in enumerate(batch):
+                request.result = Y[i].copy()
+                request.done.set()

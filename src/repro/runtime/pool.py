@@ -1,0 +1,133 @@
+"""Persistent worker pool and batch sharding for parallel execution.
+
+One process-wide :class:`~concurrent.futures.ThreadPoolExecutor` is
+shared by every sharded ``apply_many`` call (and by anything else that
+wants short CPU-bound tasks): threads are started once and reused, so
+per-batch dispatch cost is two queue hops per shard, not a thread
+spawn.  The pool grows on demand when a caller asks for more workers
+than it currently has; it never shrinks (worker threads are cheap and
+idle ones cost nothing).
+
+Threads — not processes — are the right vehicle here because the
+compiled C routines are called through ctypes, which releases the GIL
+for the duration of the native call: N shards of a batch run on N
+cores.  NumPy similarly releases the GIL inside large ufunc loops.
+The pure-Python backend stays GIL-bound (correct, no speedup), which
+is why callers gate parallel dispatch on batch size rather than
+assuming it always pays.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+_lock = threading.Lock()
+_executor: ThreadPoolExecutor | None = None
+_workers = 0
+
+
+def cpu_count() -> int:
+    """Usable CPUs (``sched_getaffinity`` when available)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_threads(threads: int | None) -> int:
+    """Normalize a ``threads`` argument: ``None``/1 → 1, 0 → one per
+    CPU, negative is an error."""
+    if threads is None:
+        return 1
+    threads = int(threads)
+    if threads < 0:
+        raise ValueError(f"threads must be >= 0, got {threads}")
+    if threads == 0:
+        return cpu_count()
+    return threads
+
+
+#: Parallel dispatch is skipped when each worker would get fewer than
+#: this many batch rows ...
+MIN_ROWS_PER_THREAD = 2
+#: ... or when the whole batch holds fewer than this many elements
+#: (rows x physical row length): dispatching a shard costs a few
+#: microseconds, which tiny batches cannot amortize.
+MIN_PARALLEL_ELEMENTS = 1 << 12
+
+
+def effective_threads(threads: int | None, rows: int, row_len: int) -> int:
+    """Clamp a requested worker count to what one batch can amortize.
+
+    Returns 1 (serial) for small work: fewer than
+    ``MIN_ROWS_PER_THREAD`` rows per worker, or fewer than
+    ``MIN_PARALLEL_ELEMENTS`` total elements in the batch.
+    """
+    n = resolve_threads(threads)
+    if n <= 1 or rows * row_len < MIN_PARALLEL_ELEMENTS:
+        return 1
+    return max(1, min(n, rows // MIN_ROWS_PER_THREAD))
+
+
+def get_pool(threads: int) -> ThreadPoolExecutor:
+    """The shared executor, grown to at least ``threads`` workers."""
+    global _executor, _workers
+    with _lock:
+        if _executor is None or _workers < threads:
+            old = _executor
+            _workers = max(_workers, threads)
+            _executor = ThreadPoolExecutor(
+                max_workers=_workers, thread_name_prefix="spl-shard"
+            )
+            if old is not None:
+                # Tasks already submitted keep running; the old pool's
+                # threads exit when they drain.
+                old.shutdown(wait=False)
+        return _executor
+
+
+def shard_ranges(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into ``parts`` contiguous, nearly equal
+    ``(lo, hi)`` chunks (fewer when ``count < parts``)."""
+    parts = max(1, min(int(parts), int(count)))
+    base, rem = divmod(int(count), parts)
+    ranges = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < rem else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def run_sharded(work: Callable[[int, int], None], count: int,
+                threads: int) -> None:
+    """Run ``work(lo, hi)`` over contiguous shards of ``range(count)``.
+
+    The first shard runs on the calling thread (no reason to idle it);
+    the rest go to the shared pool.  Exceptions from any shard are
+    re-raised after all shards finish, so buffers are never abandoned
+    mid-write.
+    """
+    ranges = shard_ranges(count, threads)
+    if len(ranges) == 1:
+        work(*ranges[0])
+        return
+    pool = get_pool(len(ranges) - 1)
+    futures = [pool.submit(work, lo, hi) for lo, hi in ranges[1:]]
+    error: Exception | None = None
+    try:
+        work(*ranges[0])
+    except Exception as exc:  # noqa: BLE001 — re-raised below
+        error = exc
+    for future in futures:
+        try:
+            future.result()
+        except Exception as exc:  # noqa: BLE001
+            if error is None:
+                error = exc
+    if error is not None:
+        raise error

@@ -66,7 +66,6 @@ def compile_key(formula_spl: str, options: object | None, *,
     )
 
 
-@lru_cache(maxsize=1)
 def platform_fingerprint() -> str:
     """A short hash identifying the host for persistent wisdom.
 
@@ -74,18 +73,32 @@ def platform_fingerprint() -> str:
     fingerprint covers exactly the inventory that determines generated
     code speed: CPU model, cache sizes, OS and host C compiler (the
     Table 1 fields, minus total memory which does not affect codelet
-    choice).
+    choice), plus the compilation mode — extra host-compiler flags
+    (``SPL_CFLAGS``, e.g. ``-march=native``) and OpenMP availability —
+    so timings measured under one flag set never validate a cache
+    built under another.
     """
     return _digest(platform_description())
 
 
 def platform_description() -> str:
     """The human-readable string behind :func:`platform_fingerprint`."""
+    from repro.perfeval.ccompile import extra_cflags, have_openmp
+
+    return _host_description(extra_cflags(), have_openmp())
+
+
+@lru_cache(maxsize=None)
+def _host_description(cflags: tuple[str, ...], openmp: bool) -> str:
+    # The hardware inventory is immutable per process; only the flag
+    # set varies, so cache one description per (cflags, openmp) pair.
     from repro.perfeval.platform import host_platform
 
     row = host_platform()
     return "|".join((row.cpu, row.l1_cache, row.l2_cache,
-                     row.os_name, row.compiler))
+                     row.os_name, row.compiler,
+                     " ".join(cflags) or "-",
+                     "openmp" if openmp else "no-openmp"))
 
 
 def wisdom_key(transform: str, n: int, options: object | None = None) -> str:

@@ -105,6 +105,51 @@ class TestCCompile:
         fn(y.ctypes.data_as(dp), x.ctypes.data_as(dp))
         assert y[0] == 42.0
 
+    def test_extra_cflags_parsed_from_env(self, monkeypatch):
+        from repro.perfeval.ccompile import extra_cflags
+
+        monkeypatch.delenv("SPL_CFLAGS", raising=False)
+        assert extra_cflags() == ()
+        monkeypatch.setenv("SPL_CFLAGS", "-DSPL_A=1 '-DSPL_B=two words'")
+        assert extra_cflags() == ("-DSPL_A=1", "-DSPL_B=two words")
+
+    def test_extra_cflags_change_cache_key(self, tmp_path, monkeypatch):
+        # The same source under a different flag set must produce a
+        # different cached artifact (no cross-flag-set leakage).
+        source = "void noop(double *restrict y, " \
+                 "const double *restrict x) { }\n"
+        monkeypatch.delenv("SPL_CFLAGS", raising=False)
+        plain = compile_shared_object(source, build_dir=tmp_path)
+        monkeypatch.setenv("SPL_CFLAGS", "-DSPL_MARKER=1")
+        flagged = compile_shared_object(source, build_dir=tmp_path)
+        assert plain != flagged
+        # ... and the flag set is reproducible: same flags, same path.
+        assert compile_shared_object(source, build_dir=tmp_path) == flagged
+
+    def test_openmp_flag_changes_cache_key(self, tmp_path):
+        from repro.perfeval.ccompile import have_openmp
+
+        if not have_openmp():
+            pytest.skip("toolchain lacks OpenMP")
+        source = "void noop2(double *restrict y, " \
+                 "const double *restrict x) { }\n"
+        serial = compile_shared_object(source, build_dir=tmp_path)
+        threaded = compile_shared_object(source, build_dir=tmp_path,
+                                         openmp=True)
+        assert serial != threaded
+
+    def test_cflags_enter_platform_fingerprint(self, monkeypatch):
+        from repro.wisdom.keys import (
+            platform_description,
+            platform_fingerprint,
+        )
+
+        monkeypatch.delenv("SPL_CFLAGS", raising=False)
+        base = platform_fingerprint()
+        monkeypatch.setenv("SPL_CFLAGS", "-march=native")
+        assert platform_fingerprint() != base
+        assert "-march=native" in platform_description()
+
 
 class TestRunner:
     def test_python_fallback(self):
@@ -200,11 +245,11 @@ class TestBatchExecution:
         executable = build_executable(self._routine(), prefer="python")
         X = self._batch(8, 4)
         executable.apply_many(X)
-        first = executable._batch_scratch
+        first = executable._batch_buffers(4)  # this thread's workspaces
         executable.apply_many(X + 1)
-        assert executable._batch_scratch is first  # same buffers reused
+        assert executable._batch_buffers(4) is first  # buffers reused
         executable.apply_many(self._batch(8, 6))
-        assert executable._batch_scratch is not first  # resized for B=6
+        assert executable._batch_buffers(6) is not first  # resized for B=6
 
     def test_apply_many_rejects_wrong_shape(self):
         from repro.core.errors import SplSemanticError
@@ -246,6 +291,30 @@ class TestBatchExecution:
         dp = ctypes.POINTER(ctypes.c_double)
         batch_fn(y.ctypes.data_as(dp), x.ctypes.data_as(dp), 3)
         np.testing.assert_allclose(y, [[2.0], [4.0], [6.0]])
+
+    def test_openmp_batch_driver_source_and_load(self, tmp_path):
+        import ctypes
+
+        from repro.perfeval.ccompile import (
+            batch_driver_source,
+            have_openmp,
+            load_batch_omp_function,
+        )
+
+        if not have_openmp():
+            pytest.skip("toolchain lacks OpenMP")
+        source = ("void triple(double *restrict y, "
+                  "const double *restrict x) { y[0] = 3.0 * x[0]; }\n")
+        source += batch_driver_source("triple", in_len=1, out_len=1,
+                                      openmp=True)
+        path = compile_shared_object(source, build_dir=tmp_path,
+                                     openmp=True)
+        omp_fn = load_batch_omp_function(path, "triple")
+        x = np.arange(1.0, 9.0).reshape(8, 1)
+        y = np.ones((8, 1))  # driver must zero each row before running
+        dp = ctypes.POINTER(ctypes.c_double)
+        omp_fn(y.ctypes.data_as(dp), x.ctypes.data_as(dp), 8, 2)
+        np.testing.assert_allclose(y, 3.0 * x)
 
 
 class TestMemory:

@@ -1,0 +1,178 @@
+"""Tests for the dynamic request batcher (BatchDispatcher)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.perfeval.runner import build_executable
+from repro.runtime import BatchDispatcher
+
+
+def _executable(n=8, prefer="numpy"):
+    compiler = SplCompiler(CompilerOptions(codetype="real"))
+    routine = compiler.compile_formula(f"(F {n})", f"disp{n}{prefer[0]}",
+                                       language=prefer)
+    return build_executable(routine, prefer=prefer)
+
+
+def _vectors(n, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((count, n))
+            + 1j * rng.standard_normal((count, n)))
+
+
+class _CountingTarget:
+    """Wraps an executable, counting apply_many calls and batch sizes."""
+
+    def __init__(self, executable):
+        self._inner = executable
+        self.n = executable.n
+        self.calls = []
+
+    def apply_many(self, X, threads=None):
+        self.calls.append(X.shape[0])
+        return self._inner.apply_many(X)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_batch(self):
+        executable = _executable()
+        target = _CountingTarget(executable)
+        X = _vectors(8, 6)
+        barrier = threading.Barrier(6)
+        results = [None] * 6
+        # A generous delay so all 6 requests land within one window.
+        with BatchDispatcher(target, max_batch=6, max_delay=0.25) as d:
+
+            def client(i):
+                barrier.wait()
+                results[i] = d.apply(X[i])
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = d.stats
+        # All six went through strictly fewer apply_many calls, and at
+        # least one call served >= 2 requests (the acceptance check).
+        assert stats.requests == 6
+        assert stats.batches < 6
+        assert stats.max_batch >= 2
+        assert stats.coalesced_requests >= 2
+        assert max(target.calls) >= 2
+        for i in range(6):
+            np.testing.assert_array_equal(results[i], executable.apply(X[i]))
+
+    def test_bit_identical_to_serial_apply(self):
+        for prefer in ("python", "numpy"):
+            executable = _executable(prefer=prefer)
+            X = _vectors(8, 16, seed=3)
+            with BatchDispatcher(executable, max_batch=4,
+                                 max_delay=0.01) as d:
+                outs = [None] * 16
+
+                def client(i):
+                    outs[i] = d.apply(X[i])
+
+                threads = [threading.Thread(target=client, args=(i,))
+                           for i in range(16)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            for i in range(16):
+                np.testing.assert_array_equal(
+                    outs[i], executable.apply(X[i]))
+
+    def test_size_flush_at_max_batch(self):
+        executable = _executable()
+        X = _vectors(8, 4)
+        with BatchDispatcher(executable, max_batch=2, max_delay=10.0) as d:
+            outs = [None] * 4
+
+            def client(i):
+                outs[i] = d.apply(X[i])
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = d.stats
+        # A 10s deadline can't have fired; only size flushes drained it.
+        assert stats.size_flushes >= 1
+        assert stats.deadline_flushes == 0
+        assert stats.max_batch <= 2
+        for i in range(4):
+            np.testing.assert_array_equal(outs[i], executable.apply(X[i]))
+
+    def test_lone_request_flushes_by_deadline(self):
+        executable = _executable()
+        x = _vectors(8, 1)[0]
+        with BatchDispatcher(executable, max_batch=64,
+                             max_delay=0.005) as d:
+            start = time.monotonic()
+            y = d.apply(x)
+            elapsed = time.monotonic() - start
+            stats = d.stats
+        assert elapsed < 2.0  # did not wait for a full batch
+        assert stats.deadline_flushes == 1
+        np.testing.assert_array_equal(y, executable.apply(x))
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_new_requests(self):
+        executable = _executable()
+        d = BatchDispatcher(executable)
+        d.close()
+        d.close()
+        with pytest.raises(RuntimeError):
+            d.apply(_vectors(8, 1)[0])
+
+    def test_wrong_shape_rejected_without_enqueue(self):
+        executable = _executable()
+        with BatchDispatcher(executable) as d:
+            with pytest.raises(ValueError):
+                d.apply(np.zeros(5))
+            assert d.stats.requests == 0
+
+    def test_execution_error_propagates_to_caller(self):
+        class Exploding:
+            n = 8
+
+            def apply_many(self, X):
+                raise RuntimeError("backend exploded")
+
+        with BatchDispatcher(Exploding(), max_delay=0.001) as d:
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                d.apply(np.zeros(8))
+        # The worker survives an erroring batch until close().
+
+    def test_invalid_parameters_rejected(self):
+        executable = _executable()
+        with pytest.raises(ValueError):
+            BatchDispatcher(executable, max_batch=0)
+        with pytest.raises(ValueError):
+            BatchDispatcher(executable, max_delay=-1.0)
+
+    def test_threads_forwarded_to_apply_many(self):
+        executable = _executable()
+        seen = []
+
+        class Recording:
+            n = executable.n
+
+            def apply_many(self, X, threads=None):
+                seen.append(threads)
+                return executable.apply_many(X)
+
+        with BatchDispatcher(Recording(), threads=2,
+                             max_delay=0.001) as d:
+            d.apply(_vectors(8, 1)[0])
+        assert seen == [2]

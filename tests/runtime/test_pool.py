@@ -1,0 +1,94 @@
+"""Tests for the shared worker pool and batch sharding."""
+
+import pytest
+
+from repro.runtime.pool import (
+    MIN_PARALLEL_ELEMENTS,
+    cpu_count,
+    effective_threads,
+    get_pool,
+    resolve_threads,
+    run_sharded,
+    shard_ranges,
+)
+
+
+class TestShardRanges:
+    def test_covers_range_contiguously(self):
+        ranges = shard_ranges(100, 7)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_nearly_equal(self):
+        sizes = [hi - lo for lo, hi in shard_ranges(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 100
+
+    def test_more_parts_than_items(self):
+        ranges = shard_ranges(3, 8)
+        assert len(ranges) == 3
+        assert all(hi - lo == 1 for lo, hi in ranges)
+
+    def test_single_part(self):
+        assert shard_ranges(5, 1) == [(0, 5)]
+
+
+class TestResolveThreads:
+    def test_none_and_one_are_serial(self):
+        assert resolve_threads(None) == 1
+        assert resolve_threads(1) == 1
+
+    def test_zero_means_per_cpu(self):
+        assert resolve_threads(0) == cpu_count()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_threads(-2)
+
+
+class TestEffectiveThreads:
+    def test_small_batches_stay_serial(self):
+        # Fewer total elements than the floor: no parallel dispatch.
+        assert effective_threads(4, rows=8, row_len=16) == 1
+
+    def test_large_batches_parallelize(self):
+        rows = MIN_PARALLEL_ELEMENTS  # row_len 16 -> way past the floor
+        assert effective_threads(4, rows=rows, row_len=16) == 4
+
+    def test_clamped_by_rows_per_thread(self):
+        # Enough elements but only 4 rows: at most 2 workers.
+        assert effective_threads(8, rows=4, row_len=MIN_PARALLEL_ELEMENTS) == 2
+
+
+class TestRunSharded:
+    def test_all_rows_processed_once(self):
+        hits = [0] * 97
+        run_sharded(lambda lo, hi: [hits.__setitem__(i, hits[i] + 1)
+                                    for i in range(lo, hi)],
+                    97, 4)
+        assert hits == [1] * 97
+
+    def test_single_shard_runs_inline(self):
+        import threading
+
+        seen = []
+        run_sharded(lambda lo, hi: seen.append(threading.current_thread()),
+                    4, 1)
+        assert seen == [threading.main_thread()]
+
+    def test_exception_propagates(self):
+        def work(lo, hi):
+            if lo > 0:
+                raise RuntimeError("shard failed")
+
+        with pytest.raises(RuntimeError, match="shard failed"):
+            run_sharded(work, 100, 4)
+
+    def test_pool_grows_and_is_reused(self):
+        pool_a = get_pool(2)
+        pool_b = get_pool(2)
+        assert pool_a is pool_b
+        pool_c = get_pool(3)
+        assert pool_c is get_pool(2)  # bigger pool serves smaller asks
