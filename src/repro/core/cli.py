@@ -8,7 +8,10 @@ are fully unrolled').
 Beyond the paper, ``--search-fft SIZES`` runs the §4.1 small-size
 search from the command line, with ``--wisdom FILE`` persisting the
 winners (so a repeat invocation re-measures nothing) and ``--jobs N``
-measuring candidates concurrently.  ``--language numpy`` targets the
+measuring candidates concurrently.  Search measurements run in
+sandboxed worker processes by default — a candidate that segfaults,
+hangs past ``--measure-timeout`` or emits NaN is skipped and
+quarantined instead of killing the search; ``--no-sandbox`` opts out.  ``--language numpy`` targets the
 batch-vectorized NumPy backend, and ``--batch N`` times each compiled
 routine over a random N-vector batch (``apply_many``) and reports
 vectors/sec.
@@ -126,10 +129,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--max-candidates", type=int, metavar="N", default=None,
         help="cap the per-size candidate count during --search-fft",
     )
+    arg_parser.add_argument(
+        "--measure-timeout", type=float, metavar="SECONDS", default=30.0,
+        help="wall-clock limit per sandboxed candidate measurement "
+             "during --search-fft; hung candidates are killed and "
+             "quarantined (default 30)",
+    )
+    arg_parser.add_argument(
+        "--no-sandbox", action="store_true",
+        help="measure --search-fft candidates in-process instead of in "
+             "isolated worker processes (faster, but a crashing or "
+             "hanging candidate takes the search down with it)",
+    )
     return arg_parser
 
 
 def _run_search(args: argparse.Namespace) -> int:
+    from repro.perfeval.sandbox import (
+        Quarantine,
+        SandboxPolicy,
+        sandbox_supported,
+    )
     from repro.search.dp import search_small_sizes
     from repro.wisdom.store import WisdomStore
 
@@ -146,6 +166,11 @@ def _run_search(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     wisdom = WisdomStore(args.wisdom) if args.wisdom else None
+    sandbox = None
+    quarantine = None
+    if not args.no_sandbox and sandbox_supported():
+        sandbox = SandboxPolicy(timeout=args.measure_timeout)
+        quarantine = Quarantine()
     try:
         results = search_small_sizes(
             sizes,
@@ -153,6 +178,8 @@ def _run_search(args: argparse.Namespace) -> int:
             min_time=args.min_time,
             wisdom=wisdom,
             jobs=args.jobs,
+            sandbox=sandbox,
+            quarantine=quarantine,
         )
     except SplError as exc:
         print(f"spl-compile: {exc}", file=sys.stderr)
@@ -164,6 +191,8 @@ def _run_search(args: argparse.Namespace) -> int:
               f"{wisdom.path} (results not persisted)", file=sys.stderr)
     if args.stats and wisdom is not None:
         print(wisdom.describe(), file=sys.stderr)
+    if args.stats and quarantine is not None and len(quarantine):
+        print(quarantine.describe(), file=sys.stderr)
     return 0
 
 

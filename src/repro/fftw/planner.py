@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.perfeval.sandbox import CandidateFailure, Quarantine, plan_key
 from repro.perfeval.timing import pseudo_mflops, time_callable
 from repro.wisdom.parallel import map_indexed, pick_winner
 from repro.wisdom.store import WisdomStore
@@ -118,16 +119,27 @@ class Planner:
 
     With a :class:`repro.wisdom.WisdomStore`, previously planned radix
     chains (measure *and* estimate mode) are replayed without timing a
-    single candidate — FFTW's wisdom mechanism.
+    single candidate — FFTW's wisdom mechanism.  Replayed plans are
+    first re-validated (one transform run against ``numpy.fft.fft``);
+    a plan that no longer reconstructs or no longer computes the DFT
+    is evicted from the store and planned afresh.
+
+    Fault tolerance: a candidate plan whose transform construction or
+    timing raises — or whose output is non-finite — is skipped and
+    quarantined by its radix chain, and planning continues over the
+    surviving candidates instead of aborting.
     """
 
     def __init__(self, library, *, min_time: float = 0.005,
-                 wisdom: WisdomStore | None = None, jobs: int = 1):
+                 wisdom: WisdomStore | None = None, jobs: int = 1,
+                 quarantine: Quarantine | None = None):
         # ``library`` is an FftwLibrary (duck-typed to avoid a cycle).
         self.library = library
         self.min_time = min_time
         self.wisdom = wisdom
         self.jobs = jobs
+        self.quarantine = quarantine if quarantine is not None \
+            else Quarantine()
         self._measure_cache: dict[int, Plan] = {}
         self._estimate_cache: dict[int, tuple[float, tuple[int, ...]]] = {}
         # Planning-time memory accounting for Figure 5: bytes allocated
@@ -138,10 +150,56 @@ class Planner:
         # How many candidate plans were actually timed (0 on a warm
         # wisdom store).
         self.candidates_timed = 0
+        # How many candidate plans failed measurement and were skipped.
+        self.candidates_failed = 0
+        # Wisdom entries evicted because re-validation rejected them.
+        self.plans_evicted = 0
 
     def _wisdom_options(self) -> tuple:
         """The non-(transform, n) state that determines a plan."""
         return tuple(self.library.codelet_sizes)
+
+    def _plan_is_valid(self, plan: Plan) -> bool:
+        """One transform run against the numpy reference DFT."""
+        try:
+            transform = self.library.transform(plan)
+            apply = getattr(transform, "apply", None)
+            if apply is None:  # duck-typed library: nothing to check
+                return True
+            rng = np.random.default_rng(3)
+            x = rng.standard_normal(plan.n) + 1j * rng.standard_normal(plan.n)
+            y = np.asarray(apply(x))
+        except Exception:  # noqa: BLE001 - invalid plans must not raise
+            return False
+        return bool(
+            np.isfinite(y).all()
+            and np.allclose(y, np.fft.fft(x), rtol=1e-6, atol=1e-8)
+        )
+
+    def _replay_plan(self, transform_name: str, n: int) -> Plan | None:
+        """Fetch, rebuild and re-validate a wisdom plan (evict on fail)."""
+        if self.wisdom is None:
+            return None
+        replayed: dict[str, Plan] = {}
+
+        def check(entry) -> bool:
+            plan = Plan.from_radices(
+                n, tuple(int(r) for r in entry.meta["radices"]),
+                self.library.codelet_sizes,
+            )
+            if not self._plan_is_valid(plan):
+                return False
+            replayed["plan"] = plan
+            return True
+
+        before = self.wisdom.evictions
+        entry = self.wisdom.validated_lookup(transform_name, n,
+                                             self._wisdom_options(),
+                                             validate=check)
+        self.plans_evicted += self.wisdom.evictions - before
+        if entry is None:
+            return None
+        return replayed["plan"]
 
     # -- estimate mode ---------------------------------------------------------
 
@@ -181,14 +239,9 @@ class Planner:
         """Choose a plan from the cost model alone (FFTW's estimate mode)."""
         if n in self.library.codelet_sizes:
             return Plan.from_radices(n, (), self.library.codelet_sizes)
-        if self.wisdom is not None:
-            entry = self.wisdom.lookup(ESTIMATE_TRANSFORM, n,
-                                       self._wisdom_options())
-            if entry is not None:
-                return Plan.from_radices(
-                    n, tuple(int(r) for r in entry.meta["radices"]),
-                    self.library.codelet_sizes,
-                )
+        replayed = self._replay_plan(ESTIMATE_TRANSFORM, n)
+        if replayed is not None:
+            return replayed
         cost, radices = self._estimate_cost(n)
         if self.wisdom is not None:
             self.wisdom.record(
@@ -211,15 +264,10 @@ class Planner:
             plan = Plan.from_radices(n, (), sizes)
             self._measure_cache[n] = plan
             return plan
-        if self.wisdom is not None:
-            entry = self.wisdom.lookup(MEASURE_TRANSFORM, n,
-                                       self._wisdom_options())
-            if entry is not None:
-                plan = Plan.from_radices(
-                    n, tuple(int(r) for r in entry.meta["radices"]), sizes
-                )
-                self._measure_cache[n] = plan
-                return plan
+        replayed = self._replay_plan(MEASURE_TRANSFORM, n)
+        if replayed is not None:
+            self._measure_cache[n] = replayed
+            return replayed
         candidates: list[Plan] = []
         for r in sizes:
             s = n // r
@@ -242,12 +290,50 @@ class Planner:
             raise ValueError(f"no factorization of {n} over the codelets")
 
         def time_one(index: int, plan: Plan) -> float:
-            transform = self.library.transform(plan)
-            return time_callable(transform.timer_closure(),
-                                 min_time=self.min_time, repeats=2)
+            """Time one candidate; failures come back as inf, not up.
+
+            A candidate whose transform cannot be built, whose timing
+            raises, or whose probe run emits NaN/Inf is quarantined by
+            its radix chain so a later planning pass (same process,
+            fresh caches) never touches it again.
+            """
+            key = plan_key(MEASURE_TRANSFORM, plan.n, plan.radices)
+            if self.quarantine.check(key) is not None:
+                return math.inf
+            try:
+                transform = self.library.transform(plan)
+                # Probe for NaN/Inf output before letting the plan
+                # into the timing contest (duck-typed libraries
+                # without ``apply`` skip the probe).
+                apply = getattr(transform, "apply", None)
+                if apply is not None:
+                    rng = np.random.default_rng(0)
+                    probe = (rng.standard_normal(plan.n)
+                             + 1j * rng.standard_normal(plan.n))
+                    if not np.isfinite(np.asarray(apply(probe))).all():
+                        self.quarantine.add(CandidateFailure(
+                            kind="nan", plan_key=key,
+                            detail=f"plan {plan.radices} output not finite",
+                        ))
+                        return math.inf
+                return time_callable(transform.timer_closure(),
+                                     min_time=self.min_time, repeats=2)
+            except Exception as exc:  # noqa: BLE001 - skip, don't abort
+                self.quarantine.add(CandidateFailure(
+                    kind="error", plan_key=key,
+                    detail=f"{type(exc).__name__}: {exc}",
+                ))
+                return math.inf
 
         timings = map_indexed(candidates, time_one, jobs=self.jobs)
-        self.candidates_timed += len(candidates)
+        failed = sum(1 for t in timings if not math.isfinite(t))
+        self.candidates_failed += failed
+        self.candidates_timed += len(candidates) - failed
+        if failed == len(candidates):
+            raise ValueError(
+                f"every candidate plan for {n} failed measurement "
+                f"({self.quarantine.describe()})"
+            )
         best_index, best_time = pick_winner(timings, key=lambda t: t)
         best_plan = candidates[best_index]
         self._measure_cache[n] = best_plan

@@ -9,16 +9,33 @@ Provides the measurement substrate for the experiments in Section 4:
 * :mod:`repro.perfeval.memory` — memory accounting for Figure 5;
 * :mod:`repro.perfeval.accuracy` — relative error measurement in the
   style of benchfft, for Figure 6;
-* :mod:`repro.perfeval.platform` — the host's "Table 1" row.
+* :mod:`repro.perfeval.platform` — the host's "Table 1" row;
+* :mod:`repro.perfeval.sandbox` — isolated worker-process measurement
+  of untrusted generated code (timeouts, memory caps, crash
+  detection, candidate quarantine).
 """
 
 from repro.perfeval.ccompile import CCompileError, compile_c_program, have_c_compiler
+from repro.perfeval.sandbox import (
+    CandidateFailure,
+    Quarantine,
+    SandboxPolicy,
+    SandboxResult,
+    default_quarantine,
+    sandbox_supported,
+)
 from repro.perfeval.timing import pseudo_mflops, time_callable
 
 __all__ = [
     "CCompileError",
+    "CandidateFailure",
+    "Quarantine",
+    "SandboxPolicy",
+    "SandboxResult",
     "compile_c_program",
+    "default_quarantine",
     "have_c_compiler",
     "pseudo_mflops",
+    "sandbox_supported",
     "time_callable",
 ]

@@ -35,6 +35,25 @@ _DEFAULT_CFLAGS = ("-O3", "-fPIC", "-shared", "-fno-math-errno")
 
 _OPENMP_CFLAGS = ("-fopenmp",)
 
+#: Stderr of the last failed OpenMP probe per (compiler, flags) — kept
+#: so callers can surface *why* OpenMP is off instead of silently
+#: degrading (see :func:`openmp_probe_error`).
+_PROBE_ERRORS: dict[tuple[str, tuple[str, ...]], str] = {}
+
+
+def compile_timeout() -> float:
+    """Wall-clock budget for one host-compiler invocation (seconds).
+
+    Overridable via ``SPL_CC_TIMEOUT``; the default is generous — its
+    job is to catch a wedged compiler (OOM thrash, broken toolchain),
+    not to race normal builds.
+    """
+    try:
+        value = float(os.environ.get("SPL_CC_TIMEOUT", "") or 120.0)
+    except ValueError:
+        return 120.0
+    return value if value > 0 else 120.0
+
 _OPENMP_PROBE = (
     "#include <omp.h>\n"
     "int spl_omp_probe(void) { return omp_get_max_threads(); }\n"
@@ -70,6 +89,9 @@ def extra_cflags() -> tuple[str, ...]:
 
 @lru_cache(maxsize=None)
 def _probe_openmp(compiler: str, flags: tuple[str, ...]) -> bool:
+    # lru_cache makes the probe once-per-session for each (compiler,
+    # flags) pair — a failed probe is cached too, so it is never
+    # re-run on every compile.
     build_dir = default_build_dir()
     c_path = build_dir / "spl_omp_probe.c"
     so_path = build_dir / "spl_omp_probe.so"
@@ -78,11 +100,36 @@ def _probe_openmp(compiler: str, flags: tuple[str, ...]) -> bool:
         result = subprocess.run(
             [compiler, *_DEFAULT_CFLAGS, *flags, *_OPENMP_CFLAGS,
              str(c_path), "-o", str(so_path)],
-            capture_output=True, text=True, timeout=60,
+            capture_output=True, text=True, timeout=compile_timeout(),
         )
-    except (OSError, subprocess.TimeoutExpired):
+    except subprocess.TimeoutExpired as exc:
+        _PROBE_ERRORS[(compiler, flags)] = (
+            f"probe timed out after {exc.timeout:g}s"
+        )
+        return False
+    except OSError as exc:
+        _PROBE_ERRORS[(compiler, flags)] = f"probe failed to run: {exc}"
+        return False
+    if result.returncode != 0:
+        _PROBE_ERRORS[(compiler, flags)] = result.stderr.strip()
         return False
     return result.returncode == 0
+
+
+def openmp_probe_error() -> str | None:
+    """Why the last OpenMP probe failed (None when it succeeded).
+
+    Probes are cached per session (see :func:`_probe_openmp`), so this
+    reflects the one probe actually run for the current compiler and
+    ``SPL_CFLAGS``, not a per-compile re-probe.
+    """
+    compiler = _find_compiler()
+    if compiler is None:
+        return "no C compiler (cc/gcc/clang) on PATH"
+    if _probe_openmp(compiler, extra_cflags()):
+        return None
+    return _PROBE_ERRORS.get((compiler, extra_cflags()),
+                             "probe failed (no diagnostics captured)")
 
 
 def have_openmp() -> bool:
@@ -139,12 +186,30 @@ def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
         return so_path
     c_path = build_dir / f"spl_{digest}.c"
     c_path.write_text(source)
-    result = subprocess.run(
-        [compiler, *flags, str(c_path), "-o", str(so_path), "-lm"],
-        capture_output=True,
-        text=True,
-    )
+    # Compile to a private temp name, then atomically publish: a
+    # killed/timed-out compile never leaves a truncated .so in the
+    # cache, and concurrent compiles of the same digest don't trample
+    # each other's output mid-write.
+    tmp_path = build_dir / f"spl_{digest}.{os.getpid()}.tmp.so"
+    timeout = compile_timeout()
+    try:
+        result = subprocess.run(
+            [compiler, *flags, str(c_path), "-o", str(tmp_path), "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired as exc:
+        tmp_path.unlink(missing_ok=True)
+        stderr = exc.stderr or ""
+        if isinstance(stderr, bytes):
+            stderr = stderr.decode(errors="replace")
+        raise CCompileError(
+            f"C compilation timed out after {timeout:g}s "
+            f"(set SPL_CC_TIMEOUT to raise)\n{stderr}".rstrip()
+        ) from exc
     if result.returncode != 0:
+        tmp_path.unlink(missing_ok=True)
         raise CCompileError(
             f"C compilation failed:\n{result.stderr}\n--- source ---\n"
             + "\n".join(
@@ -152,6 +217,12 @@ def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
                 for i, line in enumerate(source.split("\n")[:60])
             )
         )
+    try:
+        os.replace(tmp_path, so_path)
+    except OSError as exc:
+        tmp_path.unlink(missing_ok=True)
+        if not so_path.exists():  # a concurrent winner is fine
+            raise CCompileError(f"cannot publish {so_path}: {exc}") from exc
     return so_path
 
 

@@ -31,6 +31,15 @@ so one :class:`ExecutableRoutine` may be shared freely — concurrent
 calling thread keeps its own single-vector and batch workspaces;
 shard workers write disjoint row ranges of the caller's workspace and
 allocate nothing.
+
+Fault tolerance: each backend has a one-strike circuit breaker.  If a
+backend call raises at runtime (a ``.so`` that no longer loads, a
+ctypes marshalling fault, a poisoned native driver), the failure is
+recorded, the breaker trips permanently for this executable, and the
+call is transparently retried on the next backend down the
+``c > numpy > python`` chain — callers see a slower answer, not an
+exception.  Only when the last backend fails does the error surface.
+Trips are visible in :meth:`ExecutableRoutine.stats`.
 """
 
 from __future__ import annotations
@@ -62,8 +71,24 @@ _PREFERENCE = {
 
 
 @dataclass
+class BackendFailure:
+    """One circuit-breaker trip: which backend failed doing what."""
+
+    backend: str
+    op: str  # "apply", "apply_many" or "build"
+    error: str
+
+
+@dataclass
 class ExecutableRoutine:
-    """A runnable compiled routine with per-thread preallocated buffers."""
+    """A runnable compiled routine with per-thread preallocated buffers.
+
+    ``fallback_chain`` lists the backends still available for runtime
+    degradation; a backend whose call raises trips its breaker (one
+    strike — native faults are not worth re-probing) and the routine
+    rebuilds itself on the next chain entry in place, so held
+    references keep working at the degraded tier.
+    """
 
     routine: CompiledRoutine
     backend: str  # "c", "numpy" or "python"
@@ -73,6 +98,8 @@ class ExecutableRoutine:
     batch_omp_fn: Callable | None = None  # spl_batch_omp_* OpenMP driver
     batch_call: Callable | None = None  # fn(Y, X) on 2-D buffers (numpy)
     threads: int = 1  # default worker count for apply_many
+    fallback_chain: tuple[str, ...] = ()  # degradation targets, in order
+    backend_failures: list[BackendFailure] = field(default_factory=list)
     _tls: threading.local = field(default_factory=threading.local,
                                   repr=False, compare=False)
 
@@ -119,12 +146,71 @@ class ExecutableRoutine:
             self._tls.batch = pair
         return pair
 
+    # -- circuit breaker ------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once any backend breaker has tripped."""
+        return bool(self.backend_failures)
+
+    def stats(self) -> dict:
+        """Backend health: current tier plus every breaker trip."""
+        return {
+            "backend": self.backend,
+            "degraded": self.degraded,
+            "fallbacks_left": self.fallback_chain,
+            "failures": [
+                {"backend": f.backend, "op": f.op, "error": f.error}
+                for f in self.backend_failures
+            ],
+        }
+
+    def _degrade(self, exc: BaseException, op: str) -> bool:
+        """Trip the current backend and swap in the next chain entry.
+
+        Rebuilds the fallback backend from ``routine`` and splices its
+        callables into *this* object, so every held reference degrades
+        together.  Returns False when the chain is exhausted (the
+        caller re-raises the original error).
+        """
+        self.backend_failures.append(BackendFailure(
+            backend=self.backend, op=op,
+            error=f"{type(exc).__name__}: {exc}",
+        ))
+        while self.fallback_chain:
+            target, self.fallback_chain = (
+                self.fallback_chain[0], self.fallback_chain[1:]
+            )
+            try:
+                if target == "numpy":
+                    replacement = _build_numpy(self.routine)
+                elif target == "python":
+                    replacement = _build_python(self.routine)
+                else:  # never degrade *to* the native tier
+                    continue
+            except Exception as build_exc:  # noqa: BLE001 - keep walking
+                self.backend_failures.append(BackendFailure(
+                    backend=target, op="build",
+                    error=f"{type(build_exc).__name__}: {build_exc}",
+                ))
+                continue
+            self.backend = replacement.backend
+            self.raw_call = replacement.raw_call
+            self.ctypes_fn = replacement.ctypes_fn
+            self.batch_fn = replacement.batch_fn
+            self.batch_omp_fn = replacement.batch_omp_fn
+            self.batch_call = replacement.batch_call
+            return True
+        return False
+
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Apply to a logical input vector; complex in, complex out.
 
         Scratch buffers are reused across calls (no per-call
         allocation) and are per-thread, so concurrent callers never
-        share them; the returned array is a fresh copy.
+        share them; the returned array is a fresh copy.  A backend
+        that raises mid-call trips its circuit breaker and the call
+        retries on the next backend down the chain.
         """
         program = self.routine.program
         width = program.element_width
@@ -134,8 +220,14 @@ class ExecutableRoutine:
             buf[1::2] = np.imag(x)
         else:
             buf[:] = x
-        y.fill(0)
-        self.raw_call(y, buf)
+        while True:
+            y.fill(0)
+            try:
+                self.raw_call(y, buf)
+                break
+            except Exception as exc:  # noqa: BLE001 - breaker path
+                if not self._degrade(exc, "apply"):
+                    raise
         if width == 2:
             return y[0::2] + 1j * y[1::2]
         return y.copy()
@@ -203,21 +295,30 @@ class ExecutableRoutine:
             Xp[:, 1::2] = X.imag
         else:
             Xp[:, :] = X
-        nthreads = self._effective_threads(threads, batch)
-        if nthreads > 1 and self.batch_omp_fn is not None:
-            import ctypes
+        while True:
+            try:
+                nthreads = self._effective_threads(threads, batch)
+                if nthreads > 1 and self.batch_omp_fn is not None:
+                    import ctypes
 
-            c_double_p = ctypes.POINTER(ctypes.c_double)
-            self.batch_omp_fn(Yp.ctypes.data_as(c_double_p),
-                              Xp.ctypes.data_as(c_double_p),
-                              batch, nthreads)
-        elif nthreads > 1:
-            run_sharded(
-                lambda lo, hi: self._run_rows(Yp, Xp, lo, hi),
-                batch, nthreads,
-            )
-        else:
-            self._run_rows(Yp, Xp, 0, batch)
+                    c_double_p = ctypes.POINTER(ctypes.c_double)
+                    self.batch_omp_fn(Yp.ctypes.data_as(c_double_p),
+                                      Xp.ctypes.data_as(c_double_p),
+                                      batch, nthreads)
+                else:
+                    if nthreads > 1:
+                        run_sharded(
+                            lambda lo, hi: self._run_rows(Yp, Xp, lo, hi),
+                            batch, nthreads,
+                        )
+                    else:
+                        self._run_rows(Yp, Xp, 0, batch)
+                break
+            except Exception as exc:  # noqa: BLE001 - breaker path
+                # Partial rows are harmless: every retried path zeroes
+                # each output row before writing it.
+                if not self._degrade(exc, "apply_many"):
+                    raise
         if width == 2:
             return Yp[:, 0::2] + 1j * Yp[:, 1::2]
         return Yp.copy()
@@ -366,7 +467,7 @@ def build_executable(routine: CompiledRoutine,
         )
     resolve_threads(threads)  # validate early (0 and None are fine)
     last_error: Exception | None = None
-    for backend in chain:
+    for position, backend in enumerate(chain):
         executable: ExecutableRoutine | None = None
         if backend == "c":
             if not ccompile.have_c_compiler():
@@ -381,6 +482,9 @@ def build_executable(routine: CompiledRoutine,
         else:
             executable = _build_python(routine)
         executable.threads = threads
+        # The backends below the chosen one arm the runtime circuit
+        # breaker: a backend that faults mid-call degrades onto them.
+        executable.fallback_chain = tuple(chain[position + 1:])
         return executable
     raise last_error if last_error is not None else SplSemanticError(
         f"no executable backend available for {routine.name}"

@@ -11,7 +11,11 @@ holds the pieces that turn compiled routines into a serving runtime:
   single-vector ``apply`` requests into one ``apply_many`` call.
 """
 
-from repro.runtime.dispatcher import BatchDispatcher, DispatchStats
+from repro.runtime.dispatcher import (
+    BatchDispatcher,
+    DispatcherClosed,
+    DispatchStats,
+)
 from repro.runtime.pool import (
     cpu_count,
     get_pool,
@@ -22,6 +26,7 @@ from repro.runtime.pool import (
 
 __all__ = [
     "BatchDispatcher",
+    "DispatcherClosed",
     "DispatchStats",
     "cpu_count",
     "get_pool",

@@ -17,7 +17,16 @@ The flush policy is the standard one (size- and deadline-bounded):
 * otherwise it is executed ``max_delay`` seconds after its *first*
   request arrived, so a lone request never waits longer than
   ``max_delay``;
-* ``close()`` flushes whatever is pending.
+* ``close()`` flushes whatever is pending (``close(drain=False)``
+  cancels it with :class:`DispatcherClosed` instead).
+
+Fault isolation: a batch whose ``apply_many`` raises is split and
+retried request-by-request, so one poisoned vector fails *its own*
+caller while every other future in the coalesced batch resolves
+normally.  The worker loop itself is crash-proofed — however it exits,
+every pending request is resolved (with :class:`DispatcherClosed` if
+nothing better), so callers blocked in ``apply`` can never hang on a
+dead worker.
 
 Counters (:class:`DispatchStats`) record how much coalescing actually
 happened; ``stats.batches < stats.requests`` is the observable proof
@@ -33,6 +42,10 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 
+class DispatcherClosed(RuntimeError):
+    """The dispatcher is closed (or its worker died): request not run."""
+
+
 @dataclass
 class DispatchStats:
     """Counters accumulated over a dispatcher's lifetime."""
@@ -44,6 +57,9 @@ class DispatchStats:
     size_flushes: int = 0  # batches flushed because max_batch was hit
     deadline_flushes: int = 0  # batches flushed by the latency bound
     close_flushes: int = 0  # batches flushed during close()
+    isolation_splits: int = 0  # failed batches retried request-by-request
+    failed_requests: int = 0  # requests resolved with an error
+    cancelled_requests: int = 0  # requests resolved with DispatcherClosed
 
 
 class _Request:
@@ -67,7 +83,9 @@ class BatchDispatcher:
     with sharded/OpenMP execution.
 
     Usable as a context manager; ``close()`` drains pending requests
-    before the worker exits.
+    before the worker exits, and no request can outlive the worker
+    unresolved — shutdown and worker death both resolve stragglers
+    with :class:`DispatcherClosed` rather than leaving them blocked.
     """
 
     def __init__(self, target, *, max_batch: int = 64,
@@ -98,7 +116,10 @@ class BatchDispatcher:
         """Submit one vector and block until its transform is ready.
 
         Bit-identical to ``target.apply(x)``; raises whatever the
-        underlying execution raised.
+        underlying execution raised for *this* vector (other requests
+        coalesced into the same batch are unaffected), or
+        :class:`DispatcherClosed` if the dispatcher shut down before
+        the request ran.
         """
         request = self._submit(x)
         request.done.wait()
@@ -114,7 +135,7 @@ class BatchDispatcher:
         request = _Request(x)
         with self._lock:
             if self._closed:
-                raise RuntimeError("BatchDispatcher is closed")
+                raise DispatcherClosed("BatchDispatcher is closed")
             self._pending.append(request)
             self._stats.requests += 1
             if self._deadline is None:
@@ -128,15 +149,36 @@ class BatchDispatcher:
         with self._lock:
             return replace(self._stats)
 
-    def close(self) -> None:
-        """Flush pending requests and stop the worker (idempotent)."""
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker (idempotent); never leaves a caller hanging.
+
+        ``drain=True`` (default) executes pending requests as final
+        batches before the worker exits; ``drain=False`` cancels them
+        — each blocked caller gets :class:`DispatcherClosed`
+        immediately.  Either way, after ``close()`` returns every
+        submitted request has been resolved.
+        """
         with self._lock:
-            if self._closed:
-                self._worker.join()
-                return
+            already = self._closed
             self._closed = True
+            if not drain:
+                self._cancel_locked(self._pending)
+                self._pending.clear()
+                self._deadline = None
             self._wakeup.notify_all()
         self._worker.join()
+        if already:
+            return
+
+    def _cancel_locked(self, requests: list[_Request]) -> None:
+        """Resolve ``requests`` with DispatcherClosed (lock held)."""
+        for request in requests:
+            if not request.done.is_set():
+                request.error = DispatcherClosed(
+                    "BatchDispatcher closed before this request ran"
+                )
+                self._stats.cancelled_requests += 1
+                request.done.set()
 
     def __enter__(self) -> "BatchDispatcher":
         return self
@@ -172,33 +214,75 @@ class BatchDispatcher:
                     return None
                 self._wakeup.wait()
 
-    def _run(self) -> None:
-        while True:
-            taken = self._take_batch()
-            if taken is None:
-                return
-            batch, reason = taken
-            try:
-                X = np.stack([request.x for request in batch])
-                if self.threads is None:
-                    Y = self.target.apply_many(X)
-                else:
-                    Y = self.target.apply_many(X, threads=self.threads)
-            except BaseException as exc:  # noqa: BLE001 — forwarded
-                for request in batch:
-                    request.error = exc
-                    request.done.set()
-                continue
-            finally:
+    def _apply_one(self, request: _Request) -> None:
+        """Run one request alone; resolve it with its own outcome."""
+        try:
+            Y = (
+                self.target.apply_many(request.x[np.newaxis, :])
+                if self.threads is None
+                else self.target.apply_many(request.x[np.newaxis, :],
+                                            threads=self.threads)
+            )
+            request.result = Y[0].copy()
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            request.error = exc
+            with self._lock:
+                self._stats.failed_requests += 1
+        request.done.set()
+
+    def _execute(self, batch: list[_Request], reason: str) -> None:
+        """Run one coalesced batch, isolating per-request failures."""
+        try:
+            X = np.stack([request.x for request in batch])
+            if self.threads is None:
+                Y = self.target.apply_many(X)
+            else:
+                Y = self.target.apply_many(X, threads=self.threads)
+        except BaseException as exc:  # noqa: BLE001 - isolated below
+            if len(batch) == 1:
+                batch[0].error = exc
                 with self._lock:
-                    self._stats.batches += 1
-                    self._stats.max_batch = max(self._stats.max_batch,
-                                                len(batch))
-                    if len(batch) >= 2:
-                        self._stats.coalesced_requests += len(batch)
-                    field = f"{reason}_flushes"
-                    setattr(self._stats, field,
-                            getattr(self._stats, field) + 1)
-            for i, request in enumerate(batch):
-                request.result = Y[i].copy()
-                request.done.set()
+                    self._stats.failed_requests += 1
+                batch[0].done.set()
+            else:
+                # One poisoned vector must not fail the whole batch:
+                # split and retry request-by-request so only the
+                # culprit's future carries an error.
+                with self._lock:
+                    self._stats.isolation_splits += 1
+                for request in batch:
+                    self._apply_one(request)
+            return
+        finally:
+            with self._lock:
+                self._stats.batches += 1
+                self._stats.max_batch = max(self._stats.max_batch,
+                                            len(batch))
+                if len(batch) >= 2:
+                    self._stats.coalesced_requests += len(batch)
+                field = f"{reason}_flushes"
+                setattr(self._stats, field,
+                        getattr(self._stats, field) + 1)
+        for i, request in enumerate(batch):
+            request.result = Y[i].copy()
+            request.done.set()
+
+    def _run(self) -> None:
+        try:
+            while True:
+                taken = self._take_batch()
+                if taken is None:
+                    return
+                batch, reason = taken
+                self._execute(batch, reason)
+        finally:
+            # However this thread exits — clean shutdown or an
+            # unexpected error in the loop itself — no submitted
+            # request may be left unresolved, and no new request may
+            # queue behind a dead worker.
+            with self._lock:
+                self._closed = True
+                leftovers = list(self._pending)
+                self._pending.clear()
+                self._deadline = None
+                self._cancel_locked(leftovers)

@@ -10,9 +10,16 @@ formula for ``m`` is substituted as the leaf, which is what makes this
 dynamic programming rather than exhaustive tree search.
 
 With a :class:`repro.wisdom.WisdomStore` attached, previously found
-winners are replayed without any re-measurement (FFTW's wisdom); with
+winners are replayed without any re-measurement (FFTW's wisdom) —
+after being re-validated against the interpreter backend, so a stale
+or tampered store entry is evicted instead of trusted; with
 ``jobs > 1`` cold searches compile and time candidates concurrently
 with a deterministic winner (ties broken on candidate index).
+
+Fault tolerance: with a ``sandbox`` policy, candidates are timed in
+isolated worker processes; one that segfaults, hangs or emits NaN is
+skipped (and quarantined) and the search keeps going over the
+survivors instead of aborting.
 """
 
 from __future__ import annotations
@@ -24,7 +31,8 @@ from repro.core.errors import SplError
 from repro.core.nodes import Formula, fourier
 from repro.core.parser import parse_formula_text
 from repro.generator.fft_rules import enumerate_ct_formulas
-from repro.search.measure import measure_formulas
+from repro.perfeval.sandbox import Quarantine, SandboxPolicy
+from repro.search.measure import measure_formulas, validate_fft_formula
 from repro.wisdom.parallel import pick_winner
 from repro.wisdom.store import WisdomStore
 
@@ -41,10 +49,13 @@ class SearchResult:
     mflops: float
     candidates_tried: int
     from_wisdom: bool = False
+    candidates_failed: int = 0  # quarantined/skipped during measurement
 
     def describe(self) -> str:
         source = "wisdom" if self.from_wisdom \
             else f"{self.candidates_tried} candidates"
+        if self.candidates_failed:
+            source += f", {self.candidates_failed} failed"
         return (
             f"F_{self.n}: {self.mflops:8.1f} pseudo-MFlops "
             f"({source}) {self.formula.to_spl()}"
@@ -66,14 +77,19 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
                        min_time: float = 0.005,
                        wisdom: WisdomStore | None = None,
                        jobs: int = 1,
+                       sandbox: SandboxPolicy | None = None,
+                       quarantine: Quarantine | None = None,
                        verbose: bool = False) -> dict[int, SearchResult]:
     """Run the paper's small-size dynamic-programming search.
 
     Returns, for each size, the fastest formula found together with
     its measured time.  ``max_candidates`` caps the per-size candidate
     count for quick runs; ``wisdom`` replays remembered winners with
-    zero re-measurement; ``jobs`` measures independent candidates
-    concurrently.
+    zero re-measurement (each replayed formula is first re-validated
+    numerically and evicted on mismatch); ``jobs`` measures candidates
+    concurrently; ``sandbox`` isolates each measurement in a worker
+    process so crashing/hanging/NaN candidates are skipped and
+    quarantined rather than fatal.
     """
     compiler = compiler or default_small_compiler()
     best: dict[int, SearchResult] = {}
@@ -83,14 +99,24 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
         return result.formula if result is not None else fourier(m)
 
     for n in sorted(sizes):
-        entry = (
-            wisdom.lookup(SMALL_TRANSFORM, n, compiler.options)
-            if wisdom is not None else None
-        )
+        entry = None
+        if wisdom is not None:
+            replayed: dict[str, Formula] = {}
+
+            def check(candidate_entry, n=n, replayed=replayed) -> bool:
+                formula = parse_formula_text(candidate_entry.formula,
+                                             compiler.defines)
+                if not validate_fft_formula(compiler, formula, n):
+                    return False
+                replayed["formula"] = formula
+                return True
+
+            entry = wisdom.validated_lookup(SMALL_TRANSFORM, n,
+                                            compiler.options, validate=check)
         if entry is not None:
             best[n] = SearchResult(
                 n=n,
-                formula=parse_formula_text(entry.formula, compiler.defines),
+                formula=replayed["formula"],
                 seconds=entry.seconds,
                 mflops=entry.mflops,
                 candidates_tried=0,
@@ -111,19 +137,31 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
         measurements = measure_formulas(
             compiler, candidates, name_prefix=f"spl_fft{n}_c",
             min_time=min_time, jobs=jobs,
+            sandbox=sandbox, quarantine=quarantine,
         )
-        if not measurements:
-            raise SplError(
-                f"small-size search produced no measurable candidate for "
-                f"F_{n} (rules={rules!r}, max_candidates={max_candidates!r})"
+        # getattr: stubbed/duck-typed measurements count as successes.
+        usable = [m for m in measurements if getattr(m, "ok", True)]
+        failed = len(measurements) - len(usable)
+        if not usable:
+            details = "; ".join(
+                m.failure.describe() for m in measurements
+                if getattr(m, "failure", None) is not None
             )
-        _, winner = pick_winner(measurements, key=lambda m: m.seconds)
+            message = (
+                f"small-size search produced no measurable candidate for "
+                f"F_{n} (rules={rules!r}, max_candidates={max_candidates!r}"
+            )
+            if details:
+                message += f"; failures: {details[:400]}"
+            raise SplError(message + ")")
+        _, winner = pick_winner(usable, key=lambda m: m.seconds)
         best[n] = SearchResult(
             n=n,
             formula=winner.formula,
             seconds=winner.seconds,
             mflops=winner.mflops,
             candidates_tried=len(candidates),
+            candidates_failed=failed,
         )
         if wisdom is not None:
             wisdom.record(

@@ -26,11 +26,13 @@ from repro.core.nodes import (
     twiddle,
 )
 from repro.core.parser import parse_formula_text
+from repro.core.errors import SplError
 from repro.core.pattern import PatParam
 from repro.core.templates import Template
+from repro.perfeval.sandbox import Quarantine, SandboxPolicy
 from repro.search.dp import SearchResult
 from repro.search.measure import Measurement, measure_formula, \
-    measure_formulas
+    measure_formulas, validate_fft_formula
 from repro.wisdom.store import WisdomStore
 
 LARGE_TRANSFORM = "fft-large"
@@ -86,6 +88,8 @@ class LargeSearch:
                  min_time: float = 0.005,
                  wisdom: WisdomStore | None = None,
                  jobs: int = 1,
+                 sandbox: SandboxPolicy | None = None,
+                 quarantine: Quarantine | None = None,
                  verbose: bool = False):
         self.keep = keep
         self.max_codelet = max_codelet
@@ -93,6 +97,9 @@ class LargeSearch:
         self.min_time = min_time
         self.wisdom = wisdom
         self.jobs = jobs
+        self.sandbox = sandbox
+        self.quarantine = quarantine
+        self.candidates_failed = 0  # skipped/quarantined, all sizes
         self.verbose = verbose
         self.compiler = compiler or default_large_compiler()
         self.codelet_sizes: list[int] = []
@@ -145,10 +152,10 @@ class LargeSearch:
 
     def _search_size(self, n: int) -> None:
         if self.wisdom is not None:
-            entry = self.wisdom.lookup(LARGE_TRANSFORM, n,
-                                       self._wisdom_options())
-            if entry is not None:
-                self.best[n] = [
+            replayed: dict[str, list[LargeCandidate]] = {}
+
+            def check(entry, n=n, replayed=replayed) -> bool:
+                kept = [
                     LargeCandidate(
                         n=n, radix=int(item["radix"]),
                         formula=parse_formula_text(item["formula"],
@@ -158,6 +165,17 @@ class LargeSearch:
                     )
                     for item in entry.meta["kept"]
                 ]
+                if not kept or not validate_fft_formula(
+                        self.compiler, kept[0].formula, n):
+                    return False
+                replayed["kept"] = kept
+                return True
+
+            entry = self.wisdom.validated_lookup(LARGE_TRANSFORM, n,
+                                                 self._wisdom_options(),
+                                                 validate=check)
+            if entry is not None:
+                self.best[n] = replayed["kept"]
                 return
         pairs: list[tuple[int, Formula]] = []
         for a in self.radix_log2_range:
@@ -174,12 +192,27 @@ class LargeSearch:
         measurements = measure_formulas(
             self.compiler, [formula for _, formula in pairs],
             name_prefix=f"spl_fft{n}_v", min_time=self.min_time,
-            jobs=self.jobs,
+            jobs=self.jobs, sandbox=self.sandbox,
+            quarantine=self.quarantine,
         )
+        # getattr: stubbed/duck-typed measurements count as successes.
+        failed = sum(1 for measured in measurements
+                     if not getattr(measured, "ok", True))
+        self.candidates_failed += failed
+        if measurements and failed == len(measurements):
+            details = "; ".join(
+                measured.failure.describe() for measured in measurements
+                if getattr(measured, "failure", None) is not None
+            )
+            raise SplError(
+                f"large-size search: every candidate for F_{n} failed "
+                f"measurement ({details[:400]})"
+            )
         kept = [
             LargeCandidate(n=n, radix=r, formula=measured.formula,
                            seconds=measured.seconds, mflops=measured.mflops)
             for (r, _), measured in zip(pairs, measurements)
+            if getattr(measured, "ok", True)
         ]
         # Stable sort: equal timings keep candidate (index) order, so
         # parallel and serial runs agree on the kept set.

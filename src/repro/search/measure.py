@@ -4,40 +4,162 @@ The measurement path is: SPL compiler (straight-line or looped code)
 -> C backend -> host C compiler at -O3 -> ctypes -> best-of timing.
 When no C compiler is available the Python backend is timed instead
 (relative comparisons between candidates remain meaningful).
+
+Fault tolerance: with a :class:`repro.perfeval.sandbox.SandboxPolicy`,
+the risky half — executing generated native code — runs in a worker
+process per candidate (wall-clock timeout, memory cap, crash
+detection).  A candidate that segfaults, hangs or emits NaN comes back
+as a :class:`Measurement` carrying a structured
+:class:`~repro.perfeval.sandbox.CandidateFailure` (``ok`` is False,
+``seconds`` is inf) instead of raising, and is quarantined by plan key
+so no later search re-measures it.  The search layers above simply
+skip non-``ok`` measurements and keep going.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
 from typing import Sequence
 
 from repro.core.compiler import CompiledRoutine, SplCompiler
 from repro.core.nodes import Formula
 from repro.perfeval import ccompile
 from repro.perfeval.runner import ExecutableRoutine, build_executable
+from repro.perfeval.sandbox import (
+    CandidateFailure,
+    Quarantine,
+    SandboxPolicy,
+    SandboxResult,
+    default_quarantine,
+    sandbox_supported,
+)
 from repro.perfeval.timing import pseudo_mflops, time_callable
 from repro.wisdom.parallel import map_indexed, precompile_sources
 
 
 @dataclass
 class Measurement:
-    """One timed candidate."""
+    """One timed candidate (or its structured failure).
+
+    ``executable`` is None for sandboxed measurements (the executable
+    lives and dies in the worker; the winner can be rebuilt from its
+    formula) and for failed candidates.  ``ok`` distinguishes a real
+    timing from a failure: failed candidates time as ``inf`` so a
+    naive min() can never crown them, but callers should filter on
+    ``ok`` and surface ``failure.describe()``.
+    """
 
     formula: Formula
     routine: CompiledRoutine
-    executable: ExecutableRoutine
+    executable: ExecutableRoutine | None
     seconds: float
+    failure: CandidateFailure | None = None
+    sandboxed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
     @property
     def mflops(self) -> float:
+        if not self.ok:
+            return 0.0
         return pseudo_mflops(self.routine.in_size, self.seconds)
+
+
+def validate_fft_formula(compiler: SplCompiler, formula: Formula, n: int, *,
+                         rtol: float = 1e-6, atol: float = 1e-8,
+                         seed: int = 5) -> bool:
+    """Check that ``formula`` really computes the ``n``-point DFT.
+
+    Runs the compiled i-code through the reference interpreter (the
+    backend every other backend must agree with) on one random complex
+    vector and compares against ``numpy.fft.fft``.  Used to re-validate
+    plans replayed from a wisdom store before they are trusted; any
+    compile/parse/run failure counts as invalid.
+    """
+    import numpy as np
+
+    from repro.core.interpreter import run_program
+
+    try:
+        routine = compiler.compile_formula(formula, f"spl_check{n}",
+                                           language="c")
+    except Exception:  # noqa: BLE001 - invalid wisdom must not raise
+        return False
+    program = routine.program
+    if program.in_size != n or program.out_size != n or program.strided:
+        return False
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    try:
+        if program.element_width == 2:
+            buf = np.zeros(2 * n)
+            buf[0::2] = x.real
+            buf[1::2] = x.imag
+            out = run_program(program, list(buf))
+            y = np.asarray(out[0::2]) + 1j * np.asarray(out[1::2])
+        else:
+            out = run_program(program, list(x.astype(complex)))
+            y = np.asarray(out, dtype=complex)
+    except Exception:  # noqa: BLE001
+        return False
+    return bool(np.allclose(y, np.fft.fft(x), rtol=rtol, atol=atol))
+
+
+def _use_sandbox(sandbox: SandboxPolicy | None,
+                 routine: CompiledRoutine) -> bool:
+    return (
+        sandbox is not None
+        and sandbox.enabled
+        and sandbox_supported()
+        and routine.language == "c"
+        and ccompile.have_c_compiler()
+    )
+
+
+def _measure_sandboxed(routine: CompiledRoutine, formula: Formula, *,
+                       sandbox: SandboxPolicy,
+                       quarantine: Quarantine | None,
+                       min_time: float, repeats: int) -> Measurement:
+    from repro.perfeval import sandbox as sandbox_mod
+
+    program = routine.program
+    outcome = sandbox_mod.measure_candidate(
+        routine.source, routine.name,
+        in_len=program.in_size * program.element_width,
+        out_len=program.out_size * program.element_width,
+        strided=program.strided,
+        policy=sandbox,
+        min_time=min_time, repeats=repeats,
+        quarantine=quarantine,
+    )
+    if isinstance(outcome, SandboxResult):
+        return Measurement(formula=formula, routine=routine,
+                           executable=None, seconds=outcome.seconds,
+                           sandboxed=True)
+    return Measurement(formula=formula, routine=routine, executable=None,
+                       seconds=math.inf, failure=outcome, sandboxed=True)
 
 
 def measure_formula(compiler: SplCompiler, formula: Formula, name: str, *,
                     min_time: float = 0.005,
-                    repeats: int = 2) -> Measurement:
-    """Compile ``formula`` with ``compiler`` and time it."""
+                    repeats: int = 2,
+                    sandbox: SandboxPolicy | None = None,
+                    quarantine: Quarantine | None = None) -> Measurement:
+    """Compile ``formula`` with ``compiler`` and time it.
+
+    With a ``sandbox`` policy the timing runs in an isolated worker
+    process and misbehaving candidates come back as failed
+    measurements instead of taking the caller down.
+    """
     routine = compiler.compile_formula(formula, name, language="c")
+    if _use_sandbox(sandbox, routine):
+        return _measure_sandboxed(routine, formula, sandbox=sandbox,
+                                  quarantine=quarantine,
+                                  min_time=min_time, repeats=repeats)
     executable = build_executable(routine)
     seconds = time_callable(executable.timer_closure(),
                             min_time=min_time, repeats=repeats)
@@ -49,7 +171,10 @@ def measure_formulas(compiler: SplCompiler, formulas: Sequence[Formula], *,
                      name_prefix: str = "spl_cand",
                      min_time: float = 0.005,
                      repeats: int = 2,
-                     jobs: int = 1) -> list[Measurement]:
+                     jobs: int = 1,
+                     sandbox: SandboxPolicy | None = None,
+                     quarantine: Quarantine | None = None,
+                     ) -> list[Measurement]:
     """Compile and time a batch of candidates, optionally in parallel.
 
     With ``jobs > 1`` the expensive half of the C path — the host
@@ -58,6 +183,13 @@ def measure_formulas(compiler: SplCompiler, formulas: Sequence[Formula], *,
     runs fan out over a thread pool.  Results are returned in candidate
     order, so selecting the first minimum yields the same winner as a
     serial run given the same timings.
+
+    With a ``sandbox`` policy each timing runs in a worker process;
+    the returned list keeps one :class:`Measurement` per candidate in
+    order — failed candidates included, marked ``ok=False`` — so
+    callers can both skip failures and report them.  ``quarantine``
+    (default: the process-wide one) suppresses re-measurement of
+    candidates that already failed.
     """
     formulas = list(formulas)
     routines = [
@@ -68,10 +200,20 @@ def measure_formulas(compiler: SplCompiler, formulas: Sequence[Formula], *,
     if jobs > 1 and len(routines) > 1 and ccompile.have_c_compiler():
         # Warm the shared-object cache concurrently; the build step
         # below then loads the cached .so without re-invoking cc.
-        precompile_sources([routine.source for routine in routines],
-                           jobs=jobs)
+        # Candidates whose *compilation* fails are reported one at a
+        # time below, so a bad apple here must not abort the batch.
+        try:
+            precompile_sources([routine.source for routine in routines],
+                               jobs=jobs)
+        except ccompile.CCompileError:
+            pass
 
     def measure_one(index: int, routine: CompiledRoutine) -> Measurement:
+        if _use_sandbox(sandbox, routine):
+            return _measure_sandboxed(
+                routine, formulas[index], sandbox=sandbox,
+                quarantine=quarantine, min_time=min_time, repeats=repeats,
+            )
         executable = build_executable(routine)
         seconds = time_callable(executable.timer_closure(),
                                 min_time=min_time, repeats=repeats)

@@ -8,19 +8,40 @@ gracefully — a corrupt, version-mismatched or foreign-platform file is
 *discarded*, never an error — so callers can always pass a path and let
 the store sort out whether its contents are usable.
 
-Counters (hits / misses / stores / bytes written, load failures) are
-surfaced through :meth:`WisdomStore.stats` and
-:meth:`WisdomStore.describe` so benchmarks can report cache
-effectiveness.
+Crash safety and concurrency:
+
+* **Atomic writes** — every save goes through a temp file plus
+  ``rename``, so a writer killed mid-save leaves either the old file
+  or the new one, never a truncated hybrid.
+* **Content checksum** — the payload carries a SHA-256 over its
+  entries; a file whose bytes no longer match (bit rot, manual edits,
+  a partial write from a non-atomic writer) is detected at load.
+* **Corruption quarantine** — an unparseable or checksum-failing file
+  is renamed to ``<name>.corrupt`` (kept for forensics) and the store
+  starts fresh; loading never raises.
+* **Advisory locking + merge** — saves take an advisory ``flock`` on a
+  sidecar ``<name>.lock`` and merge entries already on disk before
+  rewriting, so concurrent processes recording different keys do not
+  lose each other's updates (local entries win on key conflicts).
+* **Validated lookup** — :meth:`WisdomStore.validated_lookup` runs a
+  caller-supplied check against an entry before trusting it, evicting
+  entries that fail (stale plans, foreign tampering).
+
+Counters (hits / misses / stores / bytes written, load failures,
+quarantines, merges, evictions) are surfaced through
+:meth:`WisdomStore.stats` and :meth:`WisdomStore.describe` so
+benchmarks can report cache effectiveness.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.wisdom.keys import (
     platform_description,
@@ -28,8 +49,50 @@ from repro.wisdom.keys import (
     wisdom_key,
 )
 
+try:  # POSIX advisory locking; harmless no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 WISDOM_FORMAT = "spl-wisdom"
-WISDOM_VERSION = 1
+#: Version 2 added the content checksum; version-1 files load as a
+#: (counted) version mismatch and are discarded, not quarantined.
+WISDOM_VERSION = 2
+
+
+def _entries_checksum(entries: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON rendering of the entries table."""
+    canonical = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@contextmanager
+def _advisory_lock(path: Path | None):
+    """Exclusive advisory lock on ``<path>.lock`` (no-op without fcntl).
+
+    Advisory only: it coordinates cooperating WisdomStore writers, not
+    arbitrary programs.  The sidecar keeps the lock separate from the
+    data file, which is replaced by rename on every save.
+    """
+    if fcntl is None or path is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(lock_path, "w")
+    except OSError:
+        yield  # unlockable location: proceed unlocked (best effort)
+        return
+    try:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover
+            pass
+        handle.close()
 
 
 @dataclass
@@ -100,51 +163,116 @@ class WisdomStore:
         self.version_mismatches = 0
         self.platform_mismatches = 0
         self.invalidated = 0
+        self.quarantined = 0
+        self.merged = 0
+        self.evictions = 0
         if self.path is not None and autoload:
             self.load()
 
     # -- persistence ----------------------------------------------------
 
-    def load(self) -> bool:
-        """(Re)load from ``path``; returns True iff entries were usable.
+    def _read_payload(self) -> tuple[dict[str, WisdomEntry] | None, str]:
+        """Parse the file at ``path``: ``(entries, "ok")`` or
+        ``(None, reason)``.
 
-        Every failure mode — missing file, unreadable file, malformed
-        JSON, wrong format/version, foreign platform — leaves the store
-        empty and bumps the matching counter instead of raising.
+        Reasons distinguish *corruption* (``json``, ``checksum``,
+        ``entries`` — the file is ours but damaged) from benign
+        mismatches (``missing``, ``io``, ``format``, ``version``,
+        ``platform``) so the caller can quarantine only the former.
         """
-        self.entries = {}
         if self.path is None or not self.path.exists():
-            return False
+            return None, "missing"
         try:
-            data = json.loads(self.path.read_text(encoding="utf-8"))
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
-            self.load_errors += 1
-            return False
+            text = self.path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None, "io"
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            return None, "json"
         if not isinstance(data, dict) or data.get("format") != WISDOM_FORMAT:
-            self.load_errors += 1
-            return False
+            # Some other program's JSON: not ours to quarantine.
+            return None, "format"
         if data.get("version") != WISDOM_VERSION:
-            self.version_mismatches += 1
-            return False
+            return None, "version"
         if data.get("platform") != self.platform:
-            self.platform_mismatches += 1
-            return False
+            return None, "platform"
         raw = data.get("entries")
         if not isinstance(raw, dict):
-            self.load_errors += 1
-            return False
+            return None, "entries"
+        checksum = data.get("checksum")
+        if checksum != _entries_checksum(raw):
+            return None, "checksum"
         loaded: dict[str, WisdomEntry] = {}
         try:
             for key, value in raw.items():
                 loaded[key] = WisdomEntry.from_json(value)
         except (KeyError, TypeError, ValueError):
-            self.load_errors += 1
-            return False
-        self.entries = loaded
-        return True
+            return None, "entries"
+        return loaded, "ok"
 
-    def save(self) -> bool:
+    def _quarantine_file(self) -> None:
+        """Move the damaged file aside as ``<name>.corrupt``."""
+        if self.path is None:
+            return
+        corpse = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, corpse)
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - unmovable file
+            pass
+
+    def load(self) -> bool:
+        """(Re)load from ``path``; returns True iff entries were usable.
+
+        Every failure mode — missing file, unreadable file, malformed
+        JSON, checksum mismatch, wrong format/version, foreign platform
+        — leaves the store empty and bumps the matching counter instead
+        of raising.  Corrupted files (bad JSON, failed checksum,
+        malformed entries) are additionally renamed to ``.corrupt`` so
+        the next save starts fresh and the evidence is preserved.
+        """
+        entries, reason = self._read_payload()
+        if entries is not None:
+            self.entries = entries
+            return True
+        self.entries = {}
+        if reason == "missing":
+            return False
+        if reason == "version":
+            self.version_mismatches += 1
+        elif reason == "platform":
+            self.platform_mismatches += 1
+        else:
+            self.load_errors += 1
+            if reason in ("json", "checksum", "entries"):
+                self._quarantine_file()
+        return False
+
+    def _merge_from_disk(self) -> None:
+        """Adopt on-disk entries recorded by concurrent writers.
+
+        Called under the advisory lock just before rewriting the file:
+        any key present on disk but not in memory is kept, so two
+        processes recording different keys both survive.  Keys we hold
+        locally win (ours is the most recent measurement).
+        """
+        entries, reason = self._read_payload()
+        if entries is None:
+            return
+        for key, entry in entries.items():
+            if key not in self.entries:
+                self.entries[key] = entry
+                self.merged += 1
+
+    def save(self, *, merge: bool = True) -> bool:
         """Write the store to ``path`` (atomically, via a temp file).
+
+        Under an advisory file lock, on-disk entries from concurrent
+        writers are merged in first (``merge=False`` skips that and
+        overwrites), then the payload — entries plus their SHA-256
+        checksum — is written to a temp file and renamed into place, so
+        a writer killed mid-save can never leave a truncated store.
 
         An unwritable path (missing permissions, path is a directory)
         bumps ``save_errors`` and returns False instead of raising —
@@ -153,28 +281,35 @@ class WisdomStore:
         """
         if self.path is None:
             return False
-        payload = {
-            "format": WISDOM_FORMAT,
-            "version": WISDOM_VERSION,
-            "platform": self.platform,
-            "platform_info": platform_description(),
-            "entries": {
+        with _advisory_lock(self.path):
+            if merge:
+                self._merge_from_disk()
+            raw_entries = {
                 key: entry.to_json() for key, entry in self.entries.items()
-            },
-        }
-        text = json.dumps(payload, indent=1, sort_keys=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(text, encoding="utf-8")
-            tmp.replace(self.path)
-        except OSError:
-            self.save_errors += 1
+            }
+            payload = {
+                "format": WISDOM_FORMAT,
+                "version": WISDOM_VERSION,
+                "platform": self.platform,
+                "platform_info": platform_description(),
+                "checksum": _entries_checksum(raw_entries),
+                "entries": raw_entries,
+            }
+            text = json.dumps(payload, indent=1, sort_keys=True)
+            tmp = self.path.with_name(
+                f"{self.path.name}.{os.getpid()}.tmp"
+            )
             try:
-                tmp.unlink(missing_ok=True)
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_text(text, encoding="utf-8")
+                tmp.replace(self.path)
             except OSError:
-                pass
-            return False
+                self.save_errors += 1
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                return False
         self.saves += 1
         self.bytes_written += len(text.encode())
         return True
@@ -190,6 +325,35 @@ class WisdomStore:
         else:
             self.hits += 1
         return entry
+
+    def validated_lookup(self, transform: str, n: int,
+                         options: object | None = None, *,
+                         validate: Callable[[WisdomEntry], bool],
+                         ) -> WisdomEntry | None:
+        """Fetch wisdom, but only if ``validate(entry)`` accepts it.
+
+        An entry the validator rejects — or that makes it raise — is
+        *evicted* (removed and, when autosave is on, persisted away):
+        stale plans, entries for codelets that no longer exist, or a
+        tampered store never poison the caller twice.  Returns None as
+        if the entry had never existed.
+        """
+        entry = self.lookup(transform, n, options)
+        if entry is None:
+            return None
+        try:
+            accepted = bool(validate(entry))
+        except Exception:  # noqa: BLE001 - invalid wisdom must not raise
+            accepted = False
+        if accepted:
+            return entry
+        self.entries.pop(wisdom_key(transform, n, options), None)
+        self.evictions += 1
+        if self.autosave:
+            # merge=False: the evicted key must not be re-adopted from
+            # the on-disk copy we just rejected.
+            self.save(merge=False)
+        return None
 
     def record(self, transform: str, n: int, options: object | None = None,
                *, formula: str, seconds: float, mflops: float,
@@ -208,7 +372,8 @@ class WisdomStore:
         """Drop entries matching ``transform`` and/or ``n`` (None = all).
 
         Returns the number of entries removed; the file (if any) is
-        rewritten when autosave is on.
+        rewritten when autosave is on (without merging, so concurrent
+        copies of the invalidated keys are dropped too).
         """
         doomed = [
             key for key, entry in self.entries.items()
@@ -219,7 +384,7 @@ class WisdomStore:
             del self.entries[key]
         self.invalidated += len(doomed)
         if doomed and self.autosave:
-            self.save()
+            self.save(merge=False)
         return len(doomed)
 
     def __len__(self) -> int:
@@ -244,6 +409,9 @@ class WisdomStore:
             "version_mismatches": self.version_mismatches,
             "platform_mismatches": self.platform_mismatches,
             "invalidated": self.invalidated,
+            "quarantined": self.quarantined,
+            "merged": self.merged,
+            "evictions": self.evictions,
         }
 
     def describe(self) -> str:

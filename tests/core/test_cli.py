@@ -108,3 +108,26 @@ class TestCliSearch:
     def test_bad_sizes_rejected(self, capsys):
         assert main(["--search-fft", "two,four"]) == 2
         assert main(["--search-fft", ","]) == 2
+
+    def test_search_with_explicit_sandbox_knobs(self, capsys):
+        assert main(["--search-fft", "2,4", "--min-time", "0.0005",
+                     "--max-candidates", "2",
+                     "--measure-timeout", "15"]) == 0
+        assert "pseudo-MFlops" in capsys.readouterr().out
+
+    def test_search_with_sandbox_disabled(self, capsys):
+        assert main(["--search-fft", "2,4", "--min-time", "0.0005",
+                     "--max-candidates", "2", "--no-sandbox"]) == 0
+        assert "pseudo-MFlops" in capsys.readouterr().out
+
+    def test_sandbox_flags_parse(self):
+        from repro.core.cli import build_arg_parser
+
+        args = build_arg_parser().parse_args(
+            ["--search-fft", "8", "--measure-timeout", "2.5",
+             "--no-sandbox"])
+        assert args.measure_timeout == 2.5
+        assert args.no_sandbox is True
+        defaults = build_arg_parser().parse_args(["--search-fft", "8"])
+        assert defaults.measure_timeout == 30.0
+        assert defaults.no_sandbox is False

@@ -1,0 +1,199 @@
+"""Fault-tolerance tests for the FFTW-style planner.
+
+Uses duck-typed stand-in libraries (no C compiler needed) to inject
+candidate plans that raise or emit NaN, and wisdom entries that are
+stale or unreconstructable; the planner must skip/quarantine/evict and
+still produce a working plan.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fftw.planner import (
+    ESTIMATE_TRANSFORM,
+    MEASURE_TRANSFORM,
+    Plan,
+    Planner,
+)
+from repro.perfeval.sandbox import Quarantine
+from repro.wisdom.store import WisdomStore
+
+
+class _Transform:
+    """A correct reference transform (numpy FFT)."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def apply(self, x):
+        return np.fft.fft(x)
+
+    def timer_closure(self):
+        x = np.arange(self.n, dtype=complex)
+        return lambda: np.fft.fft(x)
+
+
+class _NanTransform(_Transform):
+    def apply(self, x):
+        return np.full(self.n, np.nan, dtype=complex)
+
+
+class _WrongTransform(_Transform):
+    def apply(self, x):
+        return np.zeros(self.n, dtype=complex)  # not the DFT
+
+
+class _Library:
+    """Duck-typed FftwLibrary: per-radix-chain sabotage via ``hostile``.
+
+    ``hostile`` maps a radix chain (tuple) to a mode: ``"raise"`` makes
+    ``transform()`` explode, ``"nan"``/``"wrong"`` swap in a transform
+    with poisoned output.
+    """
+
+    codelet_sizes = (2, 4, 8, 16)
+
+    def __init__(self, hostile=None):
+        self.hostile = dict(hostile or {})
+
+    def codelet_flops(self, n):
+        return 5 * n
+
+    def transform(self, plan):
+        mode = self.hostile.get(plan.radices)
+        if mode == "raise":
+            raise RuntimeError("codelet exploded")
+        if mode == "nan":
+            return _NanTransform(plan.n)
+        if mode == "wrong":
+            return _WrongTransform(plan.n)
+        return _Transform(plan.n)
+
+
+def _planner(library, **kwargs):
+    return Planner(library, min_time=0.0005, **kwargs)
+
+
+class TestMeasureModeFaults:
+    def test_hostile_candidates_skipped_and_quarantined(self):
+        # n=32 over codelets (2,4,8,16) yields four single-radix
+        # candidates; poison two of them, two survive.
+        library = _Library(hostile={(2,): "raise", (4,): "nan"})
+        quarantine = Quarantine()
+        planner = _planner(library, quarantine=quarantine)
+        plan = planner.plan_measure(32)
+        assert plan.radices in ((8,), (16,))
+        assert planner.candidates_failed == 2
+        assert planner.candidates_timed == 2
+        kinds = quarantine.stats()["kinds"]
+        assert kinds == {"error": 1, "nan": 1}
+
+    def test_quarantined_plan_skipped_on_next_pass(self):
+        library = _Library(hostile={(2,): "raise"})
+        quarantine = Quarantine()
+        first = _planner(library, quarantine=quarantine)
+        first.plan_measure(32)
+        skips_before = quarantine.skips
+        # A fresh planner (cold caches) sharing the quarantine never
+        # re-runs the known-bad candidate.
+        second = _planner(_Library(), quarantine=quarantine)
+        plan = second.plan_measure(32)
+        assert quarantine.skips > skips_before
+        assert plan.radices != (2,)
+
+    def test_all_candidates_hostile_raises(self):
+        library = _Library(hostile={
+            (2,): "raise", (4,): "raise", (8,): "nan", (16,): "nan",
+        })
+        planner = _planner(library, quarantine=Quarantine())
+        with pytest.raises(ValueError, match="failed measurement"):
+            planner.plan_measure(32)
+
+    def test_healthy_planning_records_no_failures(self):
+        planner = _planner(_Library(), quarantine=Quarantine())
+        planner.plan_measure(32)
+        assert planner.candidates_failed == 0
+        assert len(planner.quarantine) == 0
+
+
+class TestWisdomPlanValidation:
+    def _seed_wisdom(self, tmp_path, transform, radices):
+        wisdom = WisdomStore(tmp_path / "wisdom.json")
+        wisdom.record(
+            transform, 32, tuple(_Library.codelet_sizes),
+            formula=f"radices={','.join(map(str, radices))}",
+            seconds=1e-9, mflops=1e6, radices=list(radices),
+        )
+        return wisdom
+
+    def test_valid_replayed_plan_skips_timing(self, tmp_path):
+        wisdom = self._seed_wisdom(tmp_path, MEASURE_TRANSFORM, (8,))
+        planner = _planner(_Library(), wisdom=wisdom)
+        plan = planner.plan_measure(32)
+        assert plan.radices == (8,)
+        assert planner.candidates_timed == 0
+        assert planner.plans_evicted == 0
+
+    def test_wrong_output_plan_evicted_and_replanned(self, tmp_path):
+        # The remembered chain rebuilds fine but no longer computes
+        # the DFT (e.g. codelets changed underneath the store).
+        wisdom = self._seed_wisdom(tmp_path, MEASURE_TRANSFORM, (8,))
+        library = _Library(hostile={(8,): "wrong"})
+        planner = _planner(library, wisdom=wisdom)
+        planner.plan_measure(32)
+        # The poisoned entry was evicted and planning re-measured from
+        # scratch instead of trusting the replay.  (The re-measured
+        # winner may legally be the same radix chain — only its
+        # *replayed* form was invalid.)
+        assert planner.plans_evicted == 1
+        assert planner.candidates_timed > 0
+        # The re-measured result replaced the planted entry on disk.
+        fresh = WisdomStore(wisdom.path)
+        key_opts = tuple(_Library.codelet_sizes)
+        entry = fresh.lookup(MEASURE_TRANSFORM, 32, key_opts)
+        assert entry is not None
+        assert entry.seconds != 1e-9  # not the planted timing
+
+    def test_unreconstructable_plan_evicted(self, tmp_path):
+        # Radix 3 cannot be built over power-of-two codelets: the
+        # rebuild raises inside validation, which must count as a
+        # rejection, not an error.
+        wisdom = self._seed_wisdom(tmp_path, MEASURE_TRANSFORM, (3,))
+        planner = _planner(_Library(), wisdom=wisdom)
+        plan = planner.plan_measure(32)
+        assert plan.radices in ((2,), (4,), (8,), (16,))
+        assert planner.plans_evicted == 1
+
+    def test_estimate_mode_replay_validates_too(self, tmp_path):
+        wisdom = self._seed_wisdom(tmp_path, ESTIMATE_TRANSFORM, (3,))
+        planner = _planner(_Library(), wisdom=wisdom)
+        plan = planner.plan_estimate(32)
+        assert plan.radices != (3,)
+        assert planner.plans_evicted == 1
+
+
+class TestPlanValidityCheck:
+    def test_valid_plan_accepted(self):
+        planner = _planner(_Library())
+        plan = Plan.from_radices(32, (2,), _Library.codelet_sizes)
+        assert planner._plan_is_valid(plan)
+
+    def test_wrong_and_nan_plans_rejected(self):
+        plan_key_sizes = _Library.codelet_sizes
+        for mode in ("wrong", "nan", "raise"):
+            planner = _planner(_Library(hostile={(2,): mode}))
+            plan = Plan.from_radices(32, (2,), plan_key_sizes)
+            assert not planner._plan_is_valid(plan), mode
+
+    def test_duck_typed_transform_without_apply_accepted(self):
+        class Opaque:
+            def transform(self, plan):
+                return object()  # no .apply: nothing to check
+
+            codelet_sizes = (2, 4, 8, 16)
+
+        planner = _planner(Opaque())
+        plan = Plan.from_radices(32, (2,), (2, 4, 8, 16))
+        assert planner._plan_is_valid(plan)

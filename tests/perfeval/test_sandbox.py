@@ -1,0 +1,216 @@
+"""Tests for sandboxed candidate measurement (hostile-codelet suite).
+
+Each hostile fixture is a syntactically valid SPL-style C routine that
+misbehaves at runtime — segfault, infinite loop, NaN output — plus one
+that does not compile at all.  The sandbox must convert every one of
+them into a structured :class:`CandidateFailure` (never an exception,
+never a hung test run) and remember it in the quarantine.
+"""
+
+import math
+
+import pytest
+
+from repro.perfeval.sandbox import (
+    CandidateFailure,
+    Quarantine,
+    SandboxPolicy,
+    SandboxResult,
+    TRANSIENT_KINDS,
+    default_quarantine,
+    measure_candidate,
+    plan_key,
+    sandbox_supported,
+    source_key,
+)
+from tests.conftest import HAS_CC
+
+requires_sandbox = pytest.mark.skipif(
+    not (HAS_CC and sandbox_supported()),
+    reason="needs a C compiler and POSIX process isolation",
+)
+
+# -- hostile codelet fixtures -------------------------------------------
+
+GOOD_SOURCE = """
+void good8(double *y, const double *x)
+{
+    int i;
+    for (i = 0; i < 8; i++) y[i] = 2.0 * x[i];
+}
+"""
+
+SEGFAULT_SOURCE = """
+void crash8(double *y, const double *x)
+{
+    volatile double *p = (volatile double *)1;
+    p[0] = x[0];  /* write through a wild pointer */
+    y[0] = p[0];
+}
+"""
+
+HANG_SOURCE = """
+void hang8(double *y, const double *x)
+{
+    volatile int keep = 1;
+    while (keep) { }
+    y[0] = x[0];
+}
+"""
+
+NAN_SOURCE = """
+void nan8(double *y, const double *x)
+{
+    volatile double zero = 0.0;
+    int i;
+    for (i = 0; i < 8; i++) y[i] = zero / zero;
+    (void)x;
+}
+"""
+
+BROKEN_SOURCE = "void broken8(double *y, const double *x) { this is not C"
+
+
+def measure(source, name, *, quarantine, timeout=10.0, **kwargs):
+    policy = kwargs.pop("policy", None) or SandboxPolicy(
+        timeout=timeout, backoff=0.0)
+    return measure_candidate(
+        source, name, in_len=8, out_len=8, policy=policy,
+        min_time=0.0005, quarantine=quarantine, **kwargs,
+    )
+
+
+class TestKeys:
+    def test_plan_key_stable_and_distinct(self):
+        assert plan_key("a", 1) == plan_key("a", 1)
+        assert plan_key("a", 1) != plan_key("a", 2)
+        assert len(plan_key("x")) == 32
+
+    def test_source_key_covers_flags(self):
+        assert source_key("src") == source_key("src")
+        assert source_key("src") != source_key("src", ("-O0",))
+        assert source_key("src") != source_key("other")
+
+
+class TestQuarantine:
+    def _failure(self, key="k1", kind="crash"):
+        return CandidateFailure(kind=kind, plan_key=key)
+
+    def test_add_check_and_skip_counter(self):
+        q = Quarantine()
+        assert q.check("k1") is None
+        assert q.skips == 0
+        q.add(self._failure())
+        assert "k1" in q
+        assert len(q) == 1
+        assert q.check("k1").kind == "crash"
+        assert q.skips == 1
+
+    def test_stats_and_describe(self):
+        q = Quarantine()
+        q.add(self._failure("k1", "crash"))
+        q.add(self._failure("k2", "hang"))
+        stats = q.stats()
+        assert stats["entries"] == 2
+        assert stats["kinds"] == {"crash": 1, "hang": 1}
+        assert "crash=1" in q.describe()
+
+    def test_clear(self):
+        q = Quarantine()
+        q.add(self._failure())
+        q.clear()
+        assert len(q) == 0
+
+    def test_default_quarantine_is_shared(self):
+        assert default_quarantine() is default_quarantine()
+
+    def test_empty_quarantine_is_still_used(self):
+        # Regression: an *empty* Quarantine is falsy (len == 0); the
+        # sandbox must not silently substitute the process-wide one.
+        q = Quarantine()
+        assert not q  # the hazard under test
+        failure = measure_candidate(
+            "nonsense", "nope", in_len=8, out_len=8,
+            policy=SandboxPolicy(retries=0, backoff=0.0),
+            quarantine=q,
+        )
+        assert isinstance(failure, CandidateFailure)
+        assert failure.plan_key in q
+
+
+class TestFailureDescribe:
+    def test_describe_mentions_kind_and_signal(self):
+        failure = CandidateFailure(kind="crash", plan_key="deadbeef" * 4,
+                                   signal=11, attempts=1)
+        text = failure.describe()
+        assert "crash" in text
+        assert "signal 11" in text
+
+
+@requires_sandbox
+class TestSandboxOutcomes:
+    def test_good_candidate_returns_timing(self):
+        q = Quarantine()
+        result = measure(GOOD_SOURCE, "good8", quarantine=q)
+        assert isinstance(result, SandboxResult)
+        assert result.seconds > 0
+        assert math.isfinite(result.seconds)
+        assert len(q) == 0
+
+    def test_segfault_reported_as_crash(self):
+        q = Quarantine()
+        result = measure(SEGFAULT_SOURCE, "crash8", quarantine=q)
+        assert isinstance(result, CandidateFailure)
+        assert result.kind == "crash"
+        assert result.signal == 11  # SIGSEGV
+        assert result.attempts == 1  # deterministic: no retry
+        assert result.plan_key in q
+
+    def test_infinite_loop_reported_as_hang(self):
+        q = Quarantine()
+        result = measure(HANG_SOURCE, "hang8", quarantine=q, timeout=0.5)
+        assert isinstance(result, CandidateFailure)
+        assert result.kind == "hang"
+        assert result.attempts == 1
+        assert result.plan_key in q
+
+    def test_nan_output_rejected(self):
+        q = Quarantine()
+        result = measure(NAN_SOURCE, "nan8", quarantine=q)
+        assert isinstance(result, CandidateFailure)
+        assert result.kind == "nan"
+        assert result.plan_key in q
+
+    def test_nan_check_can_be_disabled(self):
+        q = Quarantine()
+        result = measure(
+            NAN_SOURCE, "nan8", quarantine=q,
+            policy=SandboxPolicy(timeout=10.0, backoff=0.0,
+                                 check_output=False),
+        )
+        assert isinstance(result, SandboxResult)
+
+    def test_compile_failure_is_transient_and_retried(self):
+        assert "compile" in TRANSIENT_KINDS
+        q = Quarantine()
+        result = measure(BROKEN_SOURCE, "broken8", quarantine=q)
+        assert isinstance(result, CandidateFailure)
+        assert result.kind == "compile"
+        assert result.attempts == 2  # default policy grants one retry
+        assert result.detail  # compiler stderr captured
+
+    def test_quarantined_candidate_is_never_rerun(self):
+        q = Quarantine()
+        first = measure(SEGFAULT_SOURCE, "crash8", quarantine=q)
+        assert isinstance(first, CandidateFailure)
+        skips_before = q.skips
+        again = measure(SEGFAULT_SOURCE, "crash8", quarantine=q)
+        assert again is first  # the remembered failure, not a re-run
+        assert q.skips == skips_before + 1
+
+    def test_explicit_key_overrides_source_hash(self):
+        q = Quarantine()
+        key = plan_key("custom", 8)
+        result = measure(SEGFAULT_SOURCE, "crash8", quarantine=q, key=key)
+        assert result.plan_key == key
+        assert key in q

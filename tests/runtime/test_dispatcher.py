@@ -176,3 +176,174 @@ class TestLifecycle:
                              max_delay=0.001) as d:
             d.apply(_vectors(8, 1)[0])
         assert seen == [2]
+
+
+class TestShutdownSemantics:
+    def test_submit_after_close_raises_dispatcher_closed(self):
+        from repro.runtime import DispatcherClosed
+
+        executable = _executable()
+        d = BatchDispatcher(executable)
+        d.close()
+        with pytest.raises(DispatcherClosed):
+            d.apply(_vectors(8, 1)[0])
+
+    def test_close_drains_pending_requests(self):
+        executable = _executable()
+        X = _vectors(8, 3)
+        # A huge deadline: nothing flushes until close() drains it.
+        d = BatchDispatcher(executable, max_batch=64, max_delay=30.0)
+        outs = [None] * 3
+        threads = [threading.Thread(target=lambda i=i: outs.__setitem__(
+            i, d.apply(X[i]))) for i in range(3)]
+        for t in threads:
+            t.start()
+        while d.stats.requests < 3:
+            time.sleep(0.001)
+        start = time.monotonic()
+        d.close()  # drain=True: pending requests execute as final batches
+        assert time.monotonic() - start < 5.0
+        for t in threads:
+            t.join()
+        assert d.stats.close_flushes >= 1
+        for i in range(3):
+            np.testing.assert_array_equal(outs[i], executable.apply(X[i]))
+
+    def test_close_without_drain_cancels_with_dispatcher_closed(self):
+        from repro.runtime import DispatcherClosed
+
+        executable = _executable()
+
+        class Gated:
+            """Blocks the worker inside the first batch until released."""
+
+            n = executable.n
+
+            def __init__(self):
+                self.started = threading.Event()
+                self.release = threading.Event()
+
+            def apply_many(self, X):
+                self.started.set()
+                assert self.release.wait(30)
+                return executable.apply_many(X)
+
+        target = Gated()
+        d = BatchDispatcher(target, max_batch=1, max_delay=0.0)
+        X = _vectors(8, 3)
+        outcomes = [None] * 3
+
+        def client(i):
+            try:
+                outcomes[i] = ("ok", d.apply(X[i]))
+            except DispatcherClosed as exc:
+                outcomes[i] = ("closed", exc)
+
+        first = threading.Thread(target=client, args=(0,))
+        first.start()
+        assert target.started.wait(10)  # worker now stuck in batch 0
+        rest = [threading.Thread(target=client, args=(i,))
+                for i in (1, 2)]
+        for t in rest:
+            t.start()
+        while d.stats.requests < 3:
+            time.sleep(0.001)
+        closer = threading.Thread(target=d.close, args=(False,))
+        closer.start()
+        # The pending (never-executed) requests resolve immediately
+        # with DispatcherClosed even while the worker is still blocked.
+        for t in rest:
+            t.join(10)
+            assert not t.is_alive()
+        assert outcomes[1][0] == "closed"
+        assert outcomes[2][0] == "closed"
+        target.release.set()  # let the in-flight batch finish
+        first.join(10)
+        closer.join(10)
+        assert not first.is_alive() and not closer.is_alive()
+        assert outcomes[0][0] == "ok"
+        np.testing.assert_array_equal(outcomes[0][1], executable.apply(X[0]))
+        assert d.stats.cancelled_requests == 2
+
+    def test_no_request_outlives_a_dead_worker(self):
+        from repro.runtime import DispatcherClosed
+        from repro.runtime.dispatcher import _Request
+
+        executable = _executable()
+        d = BatchDispatcher(executable, max_batch=64, max_delay=30.0)
+        # Simulate requests stranded when the worker exits: inject them
+        # behind the worker's back, then close with drain=False.
+        stranded = _Request(np.zeros(8, dtype=complex))
+        with d._lock:
+            d._pending.append(stranded)
+        d.close(drain=False)
+        assert stranded.done.is_set()
+        assert isinstance(stranded.error, DispatcherClosed)
+
+
+class TestFaultIsolation:
+    class Poisonable:
+        """Raises on any vector whose first element is NaN."""
+
+        def __init__(self, executable):
+            self._inner = executable
+            self.n = executable.n
+
+        def apply_many(self, X):
+            if np.isnan(X[:, 0].real).any():
+                raise ValueError("poisoned vector")
+            return self._inner.apply_many(X)
+
+    def test_poisoned_request_fails_alone(self):
+        executable = _executable()
+        target = self.Poisonable(executable)
+        X = _vectors(8, 4)
+        poison = X[2].copy()
+        poison[0] = np.nan
+        vectors = [X[0], X[1], poison, X[3]]
+        outcomes = [None] * 4
+        barrier = threading.Barrier(4)
+        with BatchDispatcher(target, max_batch=4, max_delay=0.25) as d:
+
+            def client(i):
+                barrier.wait()
+                try:
+                    outcomes[i] = ("ok", d.apply(vectors[i]))
+                except ValueError as exc:
+                    outcomes[i] = ("error", exc)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = d.stats
+        # Exactly the poisoned caller saw the error...
+        assert outcomes[2][0] == "error"
+        assert "poisoned" in str(outcomes[2][1])
+        # ... everyone else got their correct row.
+        for i in (0, 1, 3):
+            assert outcomes[i][0] == "ok"
+            np.testing.assert_array_equal(outcomes[i][1],
+                                          executable.apply(vectors[i]))
+        assert stats.failed_requests == 1
+        if stats.max_batch >= 2:
+            # When coalescing actually happened, the failed batch was
+            # split and retried per-request.
+            assert stats.isolation_splits >= 1
+
+    def test_single_request_error_not_counted_as_split(self):
+        executable = _executable()
+        target = self.Poisonable(executable)
+        poison = np.zeros(8, dtype=complex)
+        poison[0] = np.nan
+        with BatchDispatcher(target, max_batch=1, max_delay=0.0) as d:
+            with pytest.raises(ValueError, match="poisoned"):
+                d.apply(poison)
+            good = _vectors(8, 1)[0]
+            np.testing.assert_array_equal(d.apply(good),
+                                          executable.apply(good))
+            stats = d.stats
+        assert stats.isolation_splits == 0
+        assert stats.failed_requests == 1

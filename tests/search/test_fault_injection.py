@@ -1,0 +1,164 @@
+"""End-to-end fault injection: hostile codelets through the real search.
+
+A :class:`HostileCompiler` swaps the generated C of *targeted*
+candidates for code that segfaults, hangs forever, or emits NaN —
+exactly what a miscompiled codelet would do.  The small-size search
+must complete anyway: hostile candidates are measured in sandboxed
+workers, reported as structured failures, quarantined, and the winner
+is picked from the survivors (and still computes a correct DFT).
+
+This is the suite the CI fault-injection job runs under
+``SPL_FAULT_INJECT=1``; it skips (never fails) without a C compiler.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplError
+from repro.core.nodes import fourier
+from repro.formulas import to_matrix
+from repro.perfeval.sandbox import Quarantine, SandboxPolicy, \
+    sandbox_supported
+from repro.search.dp import search_small_sizes
+from tests.conftest import HAS_CC
+
+requires_sandbox = pytest.mark.skipif(
+    not (HAS_CC and sandbox_supported()),
+    reason="needs a C compiler and POSIX process isolation",
+)
+
+# Hostile codelet bodies, keyed by failure mode; ``{name}`` is filled
+# with the candidate's routine name so the sandbox loads the saboteur
+# instead of the real codelet.
+HOSTILE = {
+    "crash": (
+        "void {name}(double *y, const double *x)\n"
+        "{{\n"
+        "    volatile double *p = (volatile double *)1;\n"
+        "    p[0] = x[0];\n"
+        "    y[0] = p[0];\n"
+        "}}\n"
+    ),
+    "hang": (
+        "void {name}(double *y, const double *x)\n"
+        "{{\n"
+        "    volatile int keep = 1;\n"
+        "    while (keep) {{ }}\n"
+        "    y[0] = x[0];\n"
+        "}}\n"
+    ),
+    "nan": (
+        "void {name}(double *y, const double *x)\n"
+        "{{\n"
+        "    volatile double zero = 0.0;\n"
+        "    int i;\n"
+        "    for (i = 0; i < 16; i++) y[i] = zero / zero;\n"
+        "    (void)x;\n"
+        "}}\n"
+    ),
+}
+
+
+class HostileCompiler(SplCompiler):
+    """An SplCompiler that sabotages the C source of chosen candidates.
+
+    ``hostile`` maps routine names (``spl_fft8_c0``...) to a failure
+    mode from :data:`HOSTILE`.  Only the *source* is replaced — the
+    i-code program (sizes, datatype) stays real, so every layer above
+    treats the candidate as ordinary until its native code runs.
+    """
+
+    def __init__(self, options=None, *, hostile=None):
+        super().__init__(options)
+        self.hostile = dict(hostile or {})
+        self.injected: list[str] = []
+
+    def compile_formula(self, formula, name="spl_0", **kwargs):
+        routine = super().compile_formula(formula, name, **kwargs)
+        mode = self.hostile.get(routine.name)
+        if mode is None:
+            return routine
+        self.injected.append(routine.name)
+        return dataclasses.replace(
+            routine, source=HOSTILE[mode].format(name=routine.name)
+        )
+
+
+def hostile_compiler(hostile):
+    return HostileCompiler(
+        CompilerOptions(unroll=True, optimize="default",
+                        datatype="complex", codetype="real", language="c"),
+        hostile=hostile,
+    )
+
+
+def fast_policy():
+    # A short hang timeout keeps the suite quick; hangs are
+    # deterministic, so no retry ever re-waits it.
+    return SandboxPolicy(timeout=0.75, backoff=0.0)
+
+
+@requires_sandbox
+class TestHostileSearch:
+    def test_search_survives_crash_hang_and_nan(self):
+        # n=8 enumerates 4 candidates (spl_fft8_c0..c3); sabotage the
+        # first three with one failure mode each and let c3 win.
+        compiler = hostile_compiler({
+            "spl_fft8_c0": "crash",
+            "spl_fft8_c1": "hang",
+            "spl_fft8_c2": "nan",
+        })
+        quarantine = Quarantine()
+        results = search_small_sizes(
+            (8,), compiler=compiler, min_time=0.001,
+            sandbox=fast_policy(), quarantine=quarantine,
+        )
+        result = results[8]
+        assert sorted(compiler.injected)[:3] == [
+            "spl_fft8_c0", "spl_fft8_c1", "spl_fft8_c2"
+        ]
+        assert result.candidates_failed == 3
+        assert result.candidates_tried == 4
+        # Every failure mode landed in the quarantine.
+        kinds = quarantine.stats()["kinds"]
+        assert kinds == {"crash": 1, "hang": 1, "nan": 1}
+        # The surviving winner still computes the 8-point DFT.
+        np.testing.assert_allclose(
+            to_matrix(result.formula), to_matrix(fourier(8)), atol=1e-9
+        )
+        assert np.isfinite(result.seconds)
+        assert result.mflops > 0
+
+    def test_quarantine_suppresses_remeasurement(self):
+        hostile = {"spl_fft8_c0": "crash"}
+        quarantine = Quarantine()
+        first = search_small_sizes(
+            (8,), compiler=hostile_compiler(hostile), min_time=0.001,
+            sandbox=fast_policy(), quarantine=quarantine,
+        )
+        assert first[8].candidates_failed == 1
+        skips_before = quarantine.skips
+        # A second search generates byte-identical hostile source, so
+        # its plan key hits the quarantine instead of re-crashing.
+        second = search_small_sizes(
+            (8,), compiler=hostile_compiler(hostile), min_time=0.001,
+            sandbox=fast_policy(), quarantine=quarantine,
+        )
+        assert second[8].candidates_failed == 1
+        assert quarantine.skips > skips_before
+
+    def test_all_candidates_hostile_raises_with_details(self):
+        # n=4 has exactly 2 candidates; kill both and the search must
+        # raise a descriptive SplError, not hang or crash.
+        compiler = hostile_compiler({
+            "spl_fft4_c0": "crash",
+            "spl_fft4_c1": "nan",
+        })
+        with pytest.raises(SplError, match="no measurable candidate"):
+            search_small_sizes(
+                (4,), compiler=compiler, min_time=0.001,
+                sandbox=fast_policy(), quarantine=Quarantine(),
+            )

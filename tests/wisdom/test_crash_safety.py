@@ -1,0 +1,246 @@
+"""Crash-safety and concurrency tests for the persistent wisdom store.
+
+Covers the failure matrix the store promises to absorb: truncated
+files (a writer killed mid-write by a non-atomic editor), checksum
+mismatches (bit rot, manual tampering), foreign JSON, version skew,
+concurrent multi-process writers, and stale-entry eviction through
+``validated_lookup``.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.search.dp import SMALL_TRANSFORM, search_small_sizes
+from repro.wisdom.store import WISDOM_FORMAT, WISDOM_VERSION, WisdomStore
+
+FAULT_INJECT = os.environ.get("SPL_FAULT_INJECT") == "1"
+
+requires_posix = pytest.mark.skipif(
+    os.name != "posix", reason="fork-based concurrency test"
+)
+
+
+def seeded_store(path, n=8):
+    """A saved store with one entry, returning (store, file text)."""
+    store = WisdomStore(path)
+    store.record("fft-small", n, formula=f"(F {n})", seconds=1.0,
+                 mflops=2.0)
+    return store, path.read_text()
+
+
+class TestTruncationRecovery:
+    def test_truncated_file_recovers_cleanly(self, tmp_path):
+        # Regression: a file cut off mid-write (non-atomic writer,
+        # full disk) must load as empty — no exception — and be
+        # quarantined aside so the next save starts fresh.
+        path = tmp_path / "wisdom.json"
+        _, text = seeded_store(path)
+        path.write_text(text[: len(text) // 2])
+        store = WisdomStore(path)
+        assert len(store) == 0
+        assert store.load_errors == 1
+        assert store.quarantined == 1
+        corpse = tmp_path / "wisdom.json.corrupt"
+        assert corpse.exists()
+        assert not path.exists()  # moved, not copied
+        # The store is fully usable afterwards.
+        store.record("fft-small", 4, formula="(F 4)", seconds=1.0,
+                     mflops=2.0)
+        assert WisdomStore(path).lookup("fft-small", 4) is not None
+
+    def test_empty_file_recovers(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        path.write_text("")
+        store = WisdomStore(path)
+        assert len(store) == 0
+        assert store.load_errors == 1
+
+
+class TestChecksum:
+    def test_tampered_entries_fail_checksum(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        _, text = seeded_store(path)
+        data = json.loads(text)
+        key = next(iter(data["entries"]))
+        data["entries"][key]["seconds"] = 0.0  # the tampering
+        path.write_text(json.dumps(data))
+        store = WisdomStore(path)
+        assert len(store) == 0
+        assert store.load_errors == 1
+        assert store.quarantined == 1
+        assert (tmp_path / "wisdom.json.corrupt").exists()
+
+    def test_saved_payload_carries_valid_checksum(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        _, text = seeded_store(path)
+        data = json.loads(text)
+        assert data["format"] == WISDOM_FORMAT
+        assert data["version"] == WISDOM_VERSION
+        assert "checksum" in data
+        # Round-trip: an untampered file loads its entry back.
+        assert WisdomStore(path).lookup("fft-small", 8) is not None
+
+
+class TestBenignMismatches:
+    def test_foreign_json_is_not_quarantined(self, tmp_path):
+        # Some other program's file: discard, but never rename — it is
+        # not ours to destroy.
+        path = tmp_path / "wisdom.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        store = WisdomStore(path)
+        assert len(store) == 0
+        assert store.quarantined == 0
+        assert path.exists()
+
+    def test_version_mismatch_discards_without_quarantine(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        _, text = seeded_store(path)
+        data = json.loads(text)
+        data["version"] = WISDOM_VERSION - 1
+        path.write_text(json.dumps(data))
+        store = WisdomStore(path)
+        assert len(store) == 0
+        assert store.version_mismatches == 1
+        assert store.quarantined == 0
+        assert path.exists()
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        seeded_store(path)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_unwritable_path_counts_error_not_raise(self, tmp_path):
+        store = WisdomStore(tmp_path)  # a directory: unwritable target
+        store.record("fft-small", 8, formula="(F 8)", seconds=1.0,
+                     mflops=2.0)
+        assert store.save_errors >= 1
+
+
+class TestMergeOnSave:
+    def test_two_instances_merge_distinct_keys(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        a = WisdomStore(path)
+        b = WisdomStore(path)  # loaded before a ever saved
+        a.record("fft-small", 4, formula="(F 4)", seconds=1.0, mflops=2.0)
+        b.record("fft-small", 8, formula="(F 8)", seconds=1.0, mflops=2.0)
+        assert b.merged == 1  # b adopted a's entry before rewriting
+        final = WisdomStore(path)
+        assert final.lookup("fft-small", 4) is not None
+        assert final.lookup("fft-small", 8) is not None
+
+    def test_local_entry_wins_key_conflicts(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        a = WisdomStore(path)
+        b = WisdomStore(path)
+        a.record("fft-small", 8, formula="(F 8)", seconds=9.0, mflops=1.0)
+        b.record("fft-small", 8, formula="(F 8)", seconds=3.0, mflops=2.0)
+        final = WisdomStore(path)
+        assert final.lookup("fft-small", 8).seconds == 3.0
+
+
+def _writer(path, sizes, start):
+    start.wait()
+    store = WisdomStore(path)
+    for n in sizes:
+        store.record("fft-small", n, formula=f"(F {n})",
+                     seconds=float(n), mflops=1.0)
+
+
+@requires_posix
+class TestConcurrentWriters:
+    def test_concurrent_processes_lose_no_updates(self, tmp_path):
+        # The concurrent-writers test the CI fault-injection job runs:
+        # several processes hammer one store file with distinct keys;
+        # advisory locking + merge-on-save must preserve every one.
+        writers = 8 if FAULT_INJECT else 4
+        per_writer = 3
+        path = tmp_path / "wisdom.json"
+        ctx = multiprocessing.get_context("fork")
+        start = ctx.Event()
+        jobs = []
+        for i in range(writers):
+            sizes = [1000 * (i + 1) + j for j in range(per_writer)]
+            jobs.append(ctx.Process(target=_writer,
+                                    args=(path, sizes, start)))
+        for job in jobs:
+            job.start()
+        start.set()  # release every writer at once
+        for job in jobs:
+            job.join(60)
+            assert job.exitcode == 0
+        final = WisdomStore(path)
+        for i in range(writers):
+            for j in range(per_writer):
+                n = 1000 * (i + 1) + j
+                assert final.lookup("fft-small", n) is not None, n
+        assert len(final) == writers * per_writer
+
+
+class TestValidatedLookup:
+    def _store_with_entry(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        store = WisdomStore(path)
+        store.record("fft-small", 8, formula="(F 8)", seconds=1.0,
+                     mflops=2.0)
+        return store
+
+    def test_rejected_entry_is_evicted_and_persisted_away(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        assert store.validated_lookup(
+            "fft-small", 8, validate=lambda entry: False) is None
+        assert store.evictions == 1
+        assert len(store) == 0
+        # The eviction reached disk: a fresh load misses too.
+        assert WisdomStore(store.path).lookup("fft-small", 8) is None
+
+    def test_raising_validator_counts_as_rejection(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+
+        def explode(entry):
+            raise RuntimeError("validator bug")
+
+        assert store.validated_lookup(
+            "fft-small", 8, validate=explode) is None
+        assert store.evictions == 1
+
+    def test_accepted_entry_survives(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        entry = store.validated_lookup(
+            "fft-small", 8, validate=lambda e: e.formula == "(F 8)")
+        assert entry is not None
+        assert store.evictions == 0
+
+
+class TestSearchReplayValidation:
+    def test_stale_wisdom_formula_is_evicted_and_remeasured(self, tmp_path):
+        # Plant a wisdom entry whose formula is *not* an 8-point DFT
+        # (the identity): the search must re-validate on replay, evict
+        # it, and fall back to a real measured search.
+        compiler = SplCompiler(CompilerOptions(
+            unroll=True, optimize="default", datatype="complex",
+            codetype="real", language="c",
+        ))
+        path = tmp_path / "wisdom.json"
+        store = WisdomStore(path)
+        store.record(SMALL_TRANSFORM, 8, compiler.options,
+                     formula="(I 8)", seconds=1e-9, mflops=1e6)
+        results = search_small_sizes(
+            (8,), compiler=compiler, min_time=0.001, wisdom=store,
+        )
+        assert store.evictions == 1
+        result = results[8]
+        assert not result.from_wisdom
+        assert result.candidates_tried > 0
+        # The re-measured winner replaced the poison on disk.
+        fresh = WisdomStore(path)
+        entry = fresh.lookup(SMALL_TRANSFORM, 8, compiler.options)
+        assert entry is not None
+        assert entry.formula != "(I 8)"
