@@ -18,17 +18,22 @@ from repro.core.compiler import CompiledRoutine, CompilerOptions, SplCompiler
 from repro.core.errors import (
     SplError,
     SplNameError,
+    SplResourceError,
     SplSemanticError,
     SplSyntaxError,
     SplTemplateError,
 )
+from repro.core.limits import CompileLimits, DEFAULT_LIMITS
 
 __all__ = [
     "CompiledRoutine",
+    "CompileLimits",
     "CompilerOptions",
+    "DEFAULT_LIMITS",
     "SplCompiler",
     "SplError",
     "SplNameError",
+    "SplResourceError",
     "SplSemanticError",
     "SplSyntaxError",
     "SplTemplateError",

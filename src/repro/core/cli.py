@@ -33,6 +33,7 @@ import sys
 
 from repro.core.compiler import CompilerOptions, SplCompiler
 from repro.core.errors import SplError
+from repro.core.limits import DEFAULT_LIMITS
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -76,6 +77,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
     arg_parser.add_argument(
         "--automatic", action="store_true",
         help="declare Fortran temporaries 'automatic' (stack allocation)",
+    )
+    arg_parser.add_argument(
+        "--max-icode", type=int, metavar="N", default=None,
+        help="abort compilation past N intermediate-code statements "
+             f"(default {DEFAULT_LIMITS.max_icode_statements})",
+    )
+    arg_parser.add_argument(
+        "--max-unroll", type=int, metavar="N", default=None,
+        help="reject loop unrolling past N total statements "
+             f"(default {DEFAULT_LIMITS.max_unroll_statements})",
+    )
+    arg_parser.add_argument(
+        "--compile-deadline", type=float, metavar="SECONDS", default=None,
+        help="wall-clock limit per compiled routine "
+             f"(default {DEFAULT_LIMITS.compile_deadline:g})",
     )
     arg_parser.add_argument(
         "--stats", action="store_true",
@@ -280,7 +296,21 @@ def _run_batch(routines, args: argparse.Namespace) -> int:
     return 0
 
 
+def _report(exc: SplError, source: str, filename: str) -> None:
+    """Print one rendered diagnostic (caret snippet and all) to stderr."""
+    print(f"spl-compile: {exc.render(source, filename=filename)}",
+          file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("spl-compile: interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     if args.search_fft is not None:
         return _run_search(args)
@@ -290,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.file == "-":
         source = sys.stdin.read()
+        filename = "<stdin>"
     else:
         try:
             with open(args.file, "r", encoding="utf-8") as handle:
@@ -297,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             print(f"spl-compile: {exc}", file=sys.stderr)
             return 2
+        filename = args.file
     options = CompilerOptions(
         language=args.language,
         datatype=args.datatype,
@@ -307,10 +339,31 @@ def main(argv: list[str] | None = None) -> int:
         peephole=args.peephole,
         automatic_storage=args.automatic,
     )
-    try:
-        routines = SplCompiler(options).compile_text(source)
-    except SplError as exc:
-        print(f"spl-compile: {exc}", file=sys.stderr)
+    limits = DEFAULT_LIMITS.with_overrides(
+        max_icode_statements=args.max_icode,
+        max_unroll_statements=args.max_unroll,
+        compile_deadline=args.compile_deadline,
+    )
+    compiler = SplCompiler(options, limits=limits)
+    # Parse in recovery mode so one bad unit does not hide the errors
+    # in the rest of the file; every diagnostic is reported at once.
+    program = compiler.parse(source, recover=True)
+    if program.errors:
+        for exc in program.errors:
+            _report(exc, source, filename)
+        return 1
+    compiler.defines.update(program.defines)
+    routines = []
+    failures = 0
+    for unit in program.units:
+        try:
+            routines.append(compiler.compile_unit(unit))
+        except SplError as exc:
+            if exc.line is None and unit.line:
+                exc.line = unit.line
+            _report(exc, source, filename)
+            failures += 1
+    if failures:
         return 1
     if args.batch is not None:
         status = _run_batch(routines, args)

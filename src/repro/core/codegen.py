@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.core import nodes
 from repro.core.errors import SplSemanticError, SplTemplateError
+from repro.core.limits import CompileBudget
 from repro.core.icode import (
     FConst,
     FVar,
@@ -79,19 +80,27 @@ class CodeGenerator:
 
     def __init__(self, table: TemplateTable, *,
                  unroll_all: bool = False,
-                 unroll_threshold: int | None = None):
+                 unroll_threshold: int | None = None,
+                 budget: CompileBudget | None = None):
         self.table = table
         self.unroll_all = unroll_all
         self.unroll_threshold = unroll_threshold
+        self.budget = budget or CompileBudget()
         self._loop_counter = 0
         self._scalar_counter = 0
         self._temp_counter = 0
         self._temps: dict[str, VecInfo] = {}
         self._expansion_stack: set[int] = set()
+        self._depth = 0
+        self._path: list[str] = []
 
     def generate(self, formula: nodes.Formula, name: str,
                  datatype: str = "complex", *,
                  strided: bool = False) -> Program:
+        # Bound the AST depth *before* entering any recursive machinery
+        # (size computation, matching, expansion) so a hostile nest is
+        # diagnosed instead of overflowing the interpreter stack.
+        self.budget.check_formula_depth(formula)
         in_size, out_size = self.table.sizes(formula)
         if strided:
             in_ctx = VecContext(INPUT_VEC, IExpr.var("iofs"),
@@ -121,6 +130,26 @@ class CodeGenerator:
 
     def _expand(self, formula: nodes.Formula, in_ctx: VecContext,
                 out_ctx: VecContext, inherited_unroll: bool) -> list[Instr]:
+        construct = _describe(formula)
+        self._depth += 1
+        self._path.append(construct)
+        try:
+            self.budget.check_depth(self._depth, construct,
+                                    self.formula_path())
+            self.budget.charge_expansion(construct, self.formula_path())
+            return self._expand_dispatch(formula, in_ctx, out_ctx,
+                                         inherited_unroll, construct)
+        finally:
+            self._path.pop()
+            self._depth -= 1
+
+    def formula_path(self, last: int = 8) -> tuple[str, ...]:
+        """The chain of enclosing constructs, innermost first."""
+        return tuple(reversed(self._path[-last:]))
+
+    def _expand_dispatch(self, formula: nodes.Formula, in_ctx: VecContext,
+                         out_ctx: VecContext, inherited_unroll: bool,
+                         construct: str) -> list[Instr]:
         unroll = formula.unroll if formula.unroll is not None \
             else inherited_unroll
         if isinstance(formula, nodes.DiagonalLit):
@@ -132,7 +161,8 @@ class CodeGenerator:
         found = self.table.find(formula)
         if found is None:
             raise SplTemplateError(
-                f"no template matches {formula.to_spl()}"
+                f"no template matches {formula.to_spl()}",
+                formula_path=self.formula_path(),
             )
         template, info = found
         if template.expansion is not None:
@@ -141,7 +171,8 @@ class CodeGenerator:
             if id(template) in self._expansion_stack:
                 raise SplTemplateError(
                     f"recursive expansion of template "
-                    f"{template.describe()}"
+                    f"{template.describe()}",
+                    formula_path=self.formula_path(),
                 )
             self._expansion_stack.add(id(template))
             try:
@@ -201,6 +232,8 @@ class CodeGenerator:
         if count <= 0:
             return []
         var = self._fresh_loop_var()
+        self.budget.charge_statements(1, f"loop over ${stmt.var}",
+                                      self.formula_path())
         saved = frame.env.index_vars.get(stmt.var)
         frame.env.index_vars[stmt.var] = IExpr.var(var) + lo
         body = self._expand_body(stmt.body, frame)
@@ -211,6 +244,7 @@ class CodeGenerator:
         return [Loop(var, count, body, unroll=frame.should_unroll)]
 
     def _expand_assign(self, stmt: TAssign, frame: "_Frame") -> Op:
+        self.budget.charge_statements(1, "assignment", self.formula_path())
         dest = self._operand(stmt.dest, frame)
         if not isinstance(dest, (FVar, VecRef)):
             raise SplTemplateError("invalid assignment destination")
@@ -254,6 +288,9 @@ class CodeGenerator:
     def _expand_diagonal(self, formula: nodes.DiagonalLit,
                          in_ctx: VecContext,
                          out_ctx: VecContext) -> list[Instr]:
+        self.budget.charge_statements(len(formula.values),
+                                      "diagonal literal",
+                                      self.formula_path())
         body: list[Instr] = []
         for i, value in enumerate(formula.values):
             index = IExpr.const(i)
@@ -266,6 +303,9 @@ class CodeGenerator:
                             out_ctx: VecContext) -> list[Instr]:
         # Direct gather: $in and $out never alias in generated code
         # (see the F_2 template note in startup.spl).
+        self.budget.charge_statements(len(formula.perm),
+                                      "permutation literal",
+                                      self.formula_path())
         body: list[Instr] = []
         for i, k in enumerate(formula.perm):
             body.append(Op("=", out_ctx.ref(IExpr.const(i)),
@@ -274,6 +314,10 @@ class CodeGenerator:
 
     def _expand_matrix(self, formula: nodes.MatrixLit, in_ctx: VecContext,
                        out_ctx: VecContext) -> list[Instr]:
+        self.budget.charge_statements(
+            len(formula.rows) * len(formula.rows[0]), "matrix literal",
+            self.formula_path(),
+        )
         body: list[Instr] = []
         for i, row in enumerate(formula.rows):
             dest = out_ctx.ref(IExpr.const(i))
@@ -314,6 +358,20 @@ class CodeGenerator:
         self._temp_counter += 1
         self._temps[name] = VecInfo(name, 0, VEC_TEMP)
         return name
+
+
+def _describe(formula: nodes.Formula) -> str:
+    """A constant-size label for one formula node (no recursion)."""
+    if isinstance(formula, nodes.Param):
+        return formula.to_spl()
+    if isinstance(formula, nodes.DiagonalLit):
+        return f"(diagonal …)[{len(formula.values)}]"
+    if isinstance(formula, nodes.PermutationLit):
+        return f"(permutation …)[{len(formula.perm)}]"
+    if isinstance(formula, nodes.MatrixLit):
+        return f"(matrix …)[{len(formula.rows)}x{len(formula.rows[0])}]"
+    name = getattr(formula, "op_name", "") or type(formula).__name__.lower()
+    return f"({name} …)"
 
 
 @dataclass

@@ -31,6 +31,7 @@ from repro.core.codegen import CodeGenerator
 from repro.core.errors import SplError, SplSemanticError
 from repro.core.icode import Program
 from repro.core.intrinsics import evaluate_intrinsics
+from repro.core.limits import CompileBudget, CompileLimits, DEFAULT_LIMITS
 from repro.core.nodes import Formula
 from repro.core.optimizer import optimize
 from repro.core.parser import FormulaUnit, ParsedProgram
@@ -151,8 +152,10 @@ class SplCompiler:
     then the user program.
     """
 
-    def __init__(self, options: CompilerOptions | None = None):
+    def __init__(self, options: CompilerOptions | None = None,
+                 limits: CompileLimits | None = None):
         self.options = options or CompilerOptions()
+        self.limits = limits or DEFAULT_LIMITS
         self.templates = TemplateTable()
         self.defines: dict[str, Formula] = {}
         # In-process wisdom: compile_formula results memoized per session.
@@ -171,9 +174,16 @@ class SplCompiler:
 
     # -- public API ----------------------------------------------------------
 
-    def parse(self, source: str) -> ParsedProgram:
+    def parse(self, source: str, *, recover: bool = False) -> ParsedProgram:
+        """Parse a program against this session's templates/defines.
+
+        With ``recover=True``, syntax errors are collected in
+        ``ParsedProgram.errors`` (resynchronizing at top-level
+        S-expression boundaries) instead of raising on the first one.
+        """
         return parser.parse_program(
-            source, templates=self.templates, defines=self.defines
+            source, templates=self.templates, defines=self.defines,
+            recover=recover, max_depth=self.limits.max_formula_depth,
         )
 
     def add_definitions(self, source: str) -> None:
@@ -188,14 +198,25 @@ class SplCompiler:
     def compile_text(self, source: str) -> list[CompiledRoutine]:
         """Compile every formula in an SPL program."""
         program = self.parse(source)
+        return self.compile_parsed(program)
+
+    def compile_parsed(self, program: ParsedProgram) -> list[CompiledRoutine]:
+        """Compile every unit of an already-parsed program."""
         self.defines.update(program.defines)
-        return [self._compile_unit(unit) for unit in program.units]
+        return [self.compile_unit(unit) for unit in program.units]
+
+    def compile_unit(self, unit: FormulaUnit, *,
+                     limits: CompileLimits | None = None) -> CompiledRoutine:
+        """Compile a single parsed unit under its directive context."""
+        return self._compile_unit(unit, limits=limits)
 
     def compile_formula(self, formula: Formula | str, name: str = "spl_0",
                         *, datatype: str | None = None,
                         language: str | None = None,
                         strided: bool = False,
-                        vectorize: int = 1) -> CompiledRoutine:
+                        vectorize: int = 1,
+                        limits: CompileLimits | None = None
+                        ) -> CompiledRoutine:
         """Compile a single formula (AST or SPL text).
 
         ``vectorize=m`` applies Section 3.5's vectorization: "adding an
@@ -214,8 +235,11 @@ class SplCompiler:
         ``name``).  Registering templates invalidates the memo.  See
         :meth:`compile_cache_stats` / :meth:`clear_compile_cache`.
         """
+        limits = limits or self.limits
         if isinstance(formula, str):
-            formula = parser.parse_formula_text(formula, self.defines)
+            formula = parser.parse_formula_text(
+                formula, self.defines, max_depth=limits.max_formula_depth
+            )
         if vectorize < 1:
             raise SplSemanticError("vectorize factor must be >= 1")
         if vectorize > 1:
@@ -223,11 +247,15 @@ class SplCompiler:
 
             formula = nodes.Tensor(left=formula,
                                    right=nodes.identity(vectorize))
+        # Depth-check iteratively before to_spl() below recurses over a
+        # possibly hostile programmatically-built AST.
+        CompileBudget(limits).check_formula_depth(formula)
         key = wisdom_keys.compile_key(
             formula.to_spl(), self.options,
             datatype=datatype, language=language,
             strided=strided, vectorize=vectorize,
             template_version=self.templates.version,
+            limits_fingerprint=limits.fingerprint(),
         )
         cached = self._compile_memo.get(key)
         if cached is not None:
@@ -242,7 +270,8 @@ class SplCompiler:
             or self.options.datatype or "complex",
             language=language or self.options.language or "fortran",
         )
-        routine = self._compile_unit(unit, strided=strided, resolved=True)
+        routine = self._compile_unit(unit, strided=strided, resolved=True,
+                                     limits=limits)
         self._compile_memo[key] = routine
         return routine
 
@@ -260,8 +289,14 @@ class SplCompiler:
     # -- the pipeline ----------------------------------------------------------
 
     def _compile_unit(self, unit: FormulaUnit, *, strided: bool = False,
-                      resolved: bool = False) -> CompiledRoutine:
+                      resolved: bool = False,
+                      limits: CompileLimits | None = None) -> CompiledRoutine:
         opts = self.options
+        limits = limits or self.limits
+        # One budget covers the unit's whole pipeline: the deadline
+        # clock starts here and every phase charges against it.
+        budget = CompileBudget(limits, what=f"compiling {unit.name}")
+        budget.check_formula_depth(unit.formula)
         if resolved:
             # compile_formula already applied explicit-argument-over-
             # session-option precedence; do not let session defaults
@@ -281,26 +316,34 @@ class SplCompiler:
             self.templates,
             unroll_all=opts.unroll,
             unroll_threshold=opts.unroll_threshold,
+            budget=budget,
         )
         program = generator.generate(
             unit.formula, unit.name, datatype, strided=strided
         )
 
         # Phase 3: restructuring.
-        unroll_loops(program)
+        unroll_loops(program, budget)
         if opts.optimize in ("scalars", "default"):
+            budget.check_deadline("scalarization")
             scalarize_temps(program)
-        evaluate_intrinsics(program)
+        evaluate_intrinsics(program, budget)
         wants_real = codetype == "real" or language == "c"
         # The numpy backend, like the Python one, runs complex natively.
         if datatype == "complex" and wants_real:
+            budget.check_deadline("type transformation")
             complex_to_real(program)
 
         # Phase 4: optimization.
         if opts.optimize == "default":
+            budget.check_deadline("optimization")
             optimize(program)
         if opts.peephole:
             avoid_unary_minus(program)
+
+        # Phase 5 below emits text proportional to the (already budgeted)
+        # statement count; one last deadline check before it runs.
+        budget.check_deadline("target code generation")
 
         # Phase 5: target code generation.
         if language == "c":

@@ -1,24 +1,121 @@
-"""Exception hierarchy for the SPL compiler."""
+"""Exception hierarchy and structured diagnostics for the SPL compiler.
+
+Every compiler error carries:
+
+* a bare ``message`` (no location baked in — formatting happens only in
+  ``__str__``/``render``, so wrapping or re-raising never duplicates a
+  ``line N:`` prefix);
+* an optional source span: 1-based ``line`` and ``col``;
+* a stable error ``code`` (``SPL-Exxx``, catalogued in
+  ``docs/robustness.md``) so tools and tests can match errors without
+  parsing prose;
+* for errors raised during formula expansion, a ``formula_path`` — the
+  chain of enclosing constructs leading to the offending node.
+
+:meth:`SplError.render` produces a human-facing diagnostic with a caret
+snippet when the source text is available; the CLI prints exactly that
+instead of a traceback.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 
 class SplError(Exception):
     """Base class for every error raised by the SPL compiler."""
 
-    def __init__(self, message: str, line: int | None = None):
-        self.line = line
-        if line is not None:
-            message = f"line {line}: {message}"
+    #: Stable machine-matchable error code; subclasses override.
+    default_code = "SPL-E000"
+
+    def __init__(self, message: str, line: int | None = None, *,
+                 col: int | None = None, code: str | None = None,
+                 formula_path: Sequence[str] | None = None):
         super().__init__(message)
+        self.message = message
+        self.line = line
+        self.col = col
+        self.code = code or self.default_code
+        self.formula_path = tuple(formula_path or ())
+
+    @property
+    def location(self) -> str:
+        """``"line 3, col 7"``, ``"line 3"``, or ``""``."""
+        if self.line is None:
+            return ""
+        if self.col is None:
+            return f"line {self.line}"
+        return f"line {self.line}, col {self.col}"
+
+    def __str__(self) -> str:
+        location = self.location
+        if location:
+            return f"{location}: {self.message}"
+        return self.message
+
+    def render(self, source: str | None = None,
+               filename: str | None = None) -> str:
+        """A multi-line diagnostic with an optional caret snippet.
+
+        ``source`` is the program text the error was raised for; when
+        given (and the error has a line), the offending line is shown
+        with a caret under the error column.
+        """
+        where = filename or "<spl>"
+        head = f"{where}: error {self.code}"
+        location = self.location
+        if location:
+            head += f" at {location}"
+        lines = [f"{head}: {self.message}"]
+        snippet = self._snippet(source)
+        if snippet:
+            lines.extend(snippet)
+        for step in self.formula_path:
+            lines.append(f"    in {step}")
+        return "\n".join(lines)
+
+    #: Widest snippet line shown; longer source lines (e.g. a one-line
+    #: recursion bomb) are windowed around the error column.
+    SNIPPET_WIDTH = 76
+
+    def _snippet(self, source: str | None) -> list[str]:
+        if source is None or self.line is None:
+            return []
+        source_lines = source.split("\n")
+        if not 1 <= self.line <= len(source_lines):
+            return []
+        text = source_lines[self.line - 1].rstrip("\n")
+        col = self.col if self.col is not None and self.col >= 1 else None
+        width = self.SNIPPET_WIDTH
+        if len(text) > width:
+            anchor = (col - 1) if col is not None else 0
+            start = max(0, min(anchor - width // 2, len(text) - width))
+            window = text[start:start + width]
+            if start > 0:
+                window = "..." + window[3:]
+            if start + width < len(text):
+                window = window[:-3] + "..."
+            text = window
+            if col is not None:
+                col = col - start
+        prefix = f"  {self.line} | "
+        out = [f"{prefix}{text}"]
+        if col is not None:
+            pad = " " * (len(prefix) - 2) + "| " + " " * (col - 1)
+            out.append(f"{pad}^")
+        return out
 
 
 class SplSyntaxError(SplError):
     """Raised when an SPL program cannot be tokenized or parsed."""
 
+    default_code = "SPL-E100"
+
 
 class SplNameError(SplError):
     """Raised for references to undefined symbols or unknown directives."""
+
+    default_code = "SPL-E101"
 
 
 class SplSemanticError(SplError):
@@ -29,6 +126,37 @@ class SplSemanticError(SplError):
     that violate its template's condition.
     """
 
+    default_code = "SPL-E102"
+
 
 class SplTemplateError(SplError):
     """Raised when no template matches a formula, or a template is ill-formed."""
+
+    default_code = "SPL-E103"
+
+
+class SplResourceError(SplError):
+    """A configurable compile-time resource limit was exceeded.
+
+    Raised by the resource-governance layer (:mod:`repro.core.limits`)
+    when a compilation would blow an explicit bound — template-expansion
+    depth, i-code statement budget, unroll explosion, twiddle-table
+    bytes, or the wall-clock deadline — instead of hanging, OOMing or
+    overflowing the Python stack.  ``limit_name``/``limit``/``actual``
+    identify the bound numerically; the message names the offending
+    construct.
+    """
+
+    default_code = "SPL-E200"
+
+    def __init__(self, message: str, line: int | None = None, *,
+                 col: int | None = None, code: str | None = None,
+                 formula_path: Sequence[str] | None = None,
+                 limit_name: str | None = None,
+                 limit: float | int | None = None,
+                 actual: float | int | None = None):
+        super().__init__(message, line, col=col, code=code,
+                         formula_path=formula_path)
+        self.limit_name = limit_name
+        self.limit = limit
+        self.actual = actual

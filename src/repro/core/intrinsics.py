@@ -32,6 +32,7 @@ from repro.core.icode import (
     Program,
     VecRef,
 )
+from repro.core.limits import CompileBudget
 from repro.core.scalars import Number, omega, simplify_number
 
 
@@ -60,16 +61,24 @@ def register_intrinsic(name: str, fn: Callable[..., Number]) -> None:
     INTRINSICS[name.upper()] = fn
 
 
-def evaluate_intrinsics(program: Program) -> Program:
-    """Replace every intrinsic invocation with a constant or table lookup."""
-    builder = _TableBuilder(program)
+def evaluate_intrinsics(program: Program,
+                        budget: CompileBudget | None = None) -> Program:
+    """Replace every intrinsic invocation with a constant or table lookup.
+
+    Table sizes are pre-checked against the budget's
+    ``max_table_bytes`` (from the index-space dimensions, before any
+    value is computed), so an oversized twiddle table is rejected
+    instead of materialized.
+    """
+    builder = _TableBuilder(program, budget or CompileBudget())
     program.body = builder.rewrite(program.body, {})
     return program
 
 
 class _TableBuilder:
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, budget: CompileBudget):
         self.program = program
+        self.budget = budget
         self._by_content: dict[tuple, str] = {
             values: name for name, values in program.tables.items()
         }
@@ -123,8 +132,15 @@ class _TableBuilder:
                 f"{missing} that are not loop indices"
             )
         dims = [ranges[name] for name in ordered]
+        elements = 1
+        for dim in dims:
+            elements *= dim
+        self.budget.check_table(self.program.table_elements() + elements,
+                                f"intrinsic {operand.name}")
         values: list[Number] = []
         for point in itertools.product(*(range(d) for d in dims)):
+            if len(values) % 4096 == 4095:
+                self.budget.check_deadline("intrinsic table construction")
             bindings = {
                 name: IExpr.const(v) for name, v in zip(ordered, point)
             }

@@ -40,14 +40,20 @@ EOF = "EOF"
 
 @dataclass(frozen=True)
 class Token:
-    """A single lexical token with its source line for error reporting."""
+    """A single lexical token with its source span for error reporting.
+
+    ``line`` and ``col`` are 1-based; ``col`` is 0 only for synthetic
+    tokens constructed without a source position.
+    """
 
     kind: str
     value: str
     line: int
+    col: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+        return (f"Token({self.kind}, {self.value!r}, "
+                f"line={self.line}, col={self.col})")
 
 
 _TOKEN_RE = re.compile(
@@ -93,8 +99,9 @@ def _iter_tokens(source: str) -> Iterator[Token]:
         line = raw_line.split(";", 1)[0]
         stripped = line.lstrip()
         if stripped.startswith("#"):
-            yield Token(DIRECTIVE, stripped[1:].strip(), lineno)
-            yield Token(NEWLINE, "\n", lineno)
+            col = len(line) - len(stripped) + 1
+            yield Token(DIRECTIVE, stripped[1:].strip(), lineno, col)
+            yield Token(NEWLINE, "\n", lineno, len(line) + 1)
             continue
         pos = 0
         emitted = False
@@ -102,17 +109,20 @@ def _iter_tokens(source: str) -> Iterator[Token]:
             match = _TOKEN_RE.match(line, pos)
             if match is None:
                 raise SplSyntaxError(
-                    f"unexpected character {line[pos]!r}", line=lineno
+                    f"unexpected character {line[pos]!r}",
+                    line=lineno, col=pos + 1,
                 )
+            start = pos
             pos = match.end()
             group = match.lastgroup
             if group == "ws":
                 continue
-            yield Token(_GROUP_TO_KIND[group], match.group(), lineno)
+            yield Token(_GROUP_TO_KIND[group], match.group(), lineno,
+                        start + 1)
             emitted = True
         if emitted or stripped:
-            yield Token(NEWLINE, "\n", lineno)
-    yield Token(EOF, "", len(lines))
+            yield Token(NEWLINE, "\n", lineno, len(line) + 1)
+    yield Token(EOF, "", len(lines), len(lines[-1]) + 1 if lines else 1)
 
 
 class TokenStream:
@@ -152,7 +162,7 @@ class TokenStream:
             want = kind if value is None else f"{kind} {value!r}"
             raise SplSyntaxError(
                 f"expected {want}, found {token.kind} {token.value!r}",
-                line=token.line,
+                line=token.line, col=token.col or None,
             )
         return token
 

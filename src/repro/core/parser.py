@@ -11,15 +11,27 @@ Formulas are returned as closed ASTs: references to ``define``d names
 are substituted at parse time (the defined subtree keeps the ``#unroll``
 state that was active when it was defined, which is how the paper's
 ``I64F2`` example selectively unrolls an inner formula).
+
+Robustness: formula nesting is bounded (a ``(((((...`` bomb yields a
+typed :class:`~repro.core.errors.SplResourceError`, never a Python
+``RecursionError``), and ``parse_program(recover=True)`` resynchronizes
+at top-level S-expression boundaries after an error so one file can
+report every diagnostic, not just the first.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core import icode_parser, lexer, scalars
-from repro.core.errors import SplNameError, SplSyntaxError
+from repro.core.errors import (
+    SplError,
+    SplNameError,
+    SplResourceError,
+    SplSyntaxError,
+)
 from repro.core.lexer import TokenStream
+from repro.core.limits import CODE_DEPTH, DEFAULT_LIMITS
 from repro.core.nodes import (
     Compose,
     DiagonalLit,
@@ -64,6 +76,7 @@ class FormulaUnit:
     datatype: str
     codetype: str
     language: str
+    line: int = 0  # source line of the formula's first token
 
 
 @dataclass
@@ -71,27 +84,72 @@ class ParsedProgram:
     units: list[FormulaUnit] = field(default_factory=list)
     defines: dict[str, Formula] = field(default_factory=dict)
     templates: list[Template] = field(default_factory=list)
+    #: Diagnostics collected in ``recover`` mode (empty otherwise —
+    #: without recovery the first error raises).
+    errors: list[SplError] = field(default_factory=list)
+
+
+@dataclass
+class _ParseContext:
+    """Shared knobs threaded through the recursive-descent routines."""
+
+    defines: dict[str, Formula]
+    max_depth: int
+
+    def check_depth(self, depth: int, token: lexer.Token) -> None:
+        if depth > self.max_depth:
+            raise SplResourceError(
+                f"formula nesting exceeds max_formula_depth="
+                f"{self.max_depth} levels",
+                line=token.line, col=token.col or None, code=CODE_DEPTH,
+                limit_name="max_formula_depth",
+                limit=self.max_depth, actual=depth,
+            )
 
 
 def parse_program(source: str,
                   templates: TemplateTable | None = None,
-                  defines: dict[str, Formula] | None = None) -> ParsedProgram:
+                  defines: dict[str, Formula] | None = None, *,
+                  recover: bool = False,
+                  max_depth: int | None = None) -> ParsedProgram:
     """Parse a whole SPL program.
 
     Templates are appended to ``templates`` (if given) as they are
     parsed, so formulas later in the same program can use them.
+
+    With ``recover=True``, an error does not raise: it is recorded in
+    ``ParsedProgram.errors`` and parsing resynchronizes at the next
+    top-level S-expression (or directive line), so a single run reports
+    every independent diagnostic in the file.
     """
-    stream = TokenStream(lexer.tokenize(source))
     program = ParsedProgram(defines=dict(defines or {}))
+    try:
+        stream = TokenStream(lexer.tokenize(source))
+    except SplError as exc:
+        if not recover:
+            raise
+        program.errors.append(exc)
+        return program
+    context = _ParseContext(
+        defines=program.defines,
+        max_depth=max_depth or DEFAULT_LIMITS.max_formula_depth,
+    )
     state = DirectiveState()
     counter = 0
     while not stream.at_eof():
         token = stream.peek(skip_newlines=True)
-        if token.kind == lexer.DIRECTIVE:
-            stream.next(skip_newlines=True)
-            _apply_directive(token.value, state, token.line)
+        try:
+            if token.kind == lexer.DIRECTIVE:
+                stream.next(skip_newlines=True)
+                _apply_directive(token.value, state, token.line)
+                continue
+            item = _parse_item(stream, context, state)
+        except SplError as exc:
+            if not recover:
+                raise
+            program.errors.append(exc)
+            _resynchronize(stream, token)
             continue
-        item = _parse_item(stream, program.defines, state)
         if item is None:
             continue
         if isinstance(item, Template):
@@ -109,20 +167,60 @@ def parse_program(source: str,
                 datatype=state.datatype,
                 codetype=state.codetype or state.datatype,
                 language=state.language,
+                line=token.line,
             )
         )
     return program
 
 
+def _resynchronize(stream: TokenStream, failed: lexer.Token) -> None:
+    """Skip past the item that failed to parse.
+
+    Recovery boundary: if the failed item opened with ``(``, skip its
+    whole balanced S-expression (or to EOF if unbalanced); otherwise
+    skip to the end of the current line.  Afterwards the stream is at a
+    top-level position again and parsing can continue.
+    """
+    # The error may have consumed an arbitrary amount of the stream;
+    # scanning forward from the current position is always safe because
+    # tokens before it already failed to form an item.
+    if failed.kind != lexer.LPAREN:
+        while True:
+            token = stream.next()
+            if token.kind in (lexer.NEWLINE, lexer.EOF):
+                return
+    depth = 0
+    started = False
+    while True:
+        token = stream.next()
+        if token.kind == lexer.EOF:
+            return
+        if token.kind == lexer.LPAREN:
+            depth += 1
+            started = True
+        elif token.kind == lexer.RPAREN:
+            depth -= 1
+            if started and depth <= 0:
+                return
+        elif started and depth <= 0 and token.kind == lexer.NEWLINE:
+            return
+
+
 def parse_formula_text(source: str,
-                       defines: dict[str, Formula] | None = None) -> Formula:
+                       defines: dict[str, Formula] | None = None, *,
+                       max_depth: int | None = None) -> Formula:
     """Parse a single formula from text (convenience for tests/tools)."""
     stream = TokenStream(lexer.tokenize(source))
-    formula = _parse_formula(stream, dict(defines or {}), DirectiveState())
+    context = _ParseContext(
+        defines=dict(defines or {}),
+        max_depth=max_depth or DEFAULT_LIMITS.max_formula_depth,
+    )
+    formula = _parse_formula(stream, context, DirectiveState())
     trailing = stream.peek(skip_newlines=True)
     if trailing.kind != lexer.EOF:
         raise SplSyntaxError(
-            f"unexpected {trailing.value!r} after formula", line=trailing.line
+            f"unexpected {trailing.value!r} after formula",
+            line=trailing.line, col=trailing.col or None,
         )
     return formula
 
@@ -161,16 +259,16 @@ def _one_of(args: list[str], allowed: tuple[str, ...], what: str,
     return args[0].lower()
 
 
-def _parse_item(stream: TokenStream, defines: dict[str, Formula],
+def _parse_item(stream: TokenStream, context: _ParseContext,
                 state: DirectiveState):
     token = stream.peek(skip_newlines=True)
     if token.kind != lexer.LPAREN:
         # A bare name can be a formula by itself.
         if token.kind == lexer.NAME:
-            return _parse_formula(stream, defines, state)
+            return _parse_formula(stream, context, state)
         raise SplSyntaxError(
             f"expected a formula or definition, found {token.value!r}",
-            line=token.line,
+            line=token.line, col=token.col or None,
         )
     saved = stream.position
     stream.next(skip_newlines=True)
@@ -178,9 +276,9 @@ def _parse_item(stream: TokenStream, defines: dict[str, Formula],
     if head.kind == lexer.NAME and head.value.lower() == "define":
         stream.next(skip_newlines=True)
         name = stream.expect(lexer.NAME, skip_newlines=True)
-        formula = _parse_formula(stream, defines, state)
+        formula = _parse_formula(stream, context, state)
         stream.expect(lexer.RPAREN, skip_newlines=True)
-        defines[name.value] = formula.with_unroll(
+        context.defines[name.value] = formula.with_unroll(
             True if state.unroll else formula.unroll
         )
         return None
@@ -190,7 +288,7 @@ def _parse_item(stream: TokenStream, defines: dict[str, Formula],
         stream.expect(lexer.RPAREN, skip_newlines=True)
         return template
     stream.seek(saved)
-    return _parse_formula(stream, defines, state)
+    return _parse_formula(stream, context, state)
 
 
 def _parse_template(stream: TokenStream) -> Template:
@@ -202,25 +300,27 @@ def _parse_template(stream: TokenStream) -> Template:
     return Template(pattern=pattern, condition=condition, body=body)
 
 
-def _parse_formula(stream: TokenStream, defines: dict[str, Formula],
+def _parse_formula(stream: TokenStream, context: _ParseContext,
                    state: DirectiveState) -> Formula:
-    formula = _parse_formula_inner(stream, defines)
+    formula = _parse_formula_inner(stream, context, 0)
     if state.unroll and formula.unroll is None:
         formula = formula.with_unroll(True)
     return formula
 
 
-def _parse_formula_inner(stream: TokenStream,
-                         defines: dict[str, Formula]) -> Formula:
+def _parse_formula_inner(stream: TokenStream, context: _ParseContext,
+                         depth: int) -> Formula:
     token = stream.next(skip_newlines=True)
+    context.check_depth(depth, token)
     if token.kind == lexer.NAME:
-        if token.value in defines:
-            return defines[token.value]
+        if token.value in context.defines:
+            return context.defines[token.value]
         raise SplNameError(f"undefined symbol {token.value!r}",
-                           line=token.line)
+                           line=token.line, col=token.col or None)
     if token.kind != lexer.LPAREN:
         raise SplSyntaxError(
-            f"expected a formula, found {token.value!r}", line=token.line
+            f"expected a formula, found {token.value!r}",
+            line=token.line, col=token.col or None,
         )
     head = stream.expect(lexer.NAME, skip_newlines=True)
     name = head.value
@@ -231,26 +331,27 @@ def _parse_formula_inner(stream: TokenStream,
         tail = stream.expect(lexer.NAME)
         if tail.value.lower() != "sum":
             raise SplSyntaxError(
-                f"unknown operation direct-{tail.value}", line=tail.line
+                f"unknown operation direct-{tail.value}",
+                line=tail.line, col=tail.col or None,
             )
         lowered = "direct-sum"
     if lowered in _OPERATOR_CLASSES:
-        return _parse_operator(lowered, head.line, stream, defines)
+        return _parse_operator(lowered, head, stream, context, depth)
     if lowered in _LITERAL_HEADS:
         return _parse_literal(lowered, stream)
-    return _parse_param(name, stream, defines)
+    return _parse_param(name, stream, context, depth)
 
 
-def _parse_operator(op: str, line: int, stream: TokenStream,
-                    defines: dict[str, Formula]) -> Formula:
+def _parse_operator(op: str, head: lexer.Token, stream: TokenStream,
+                    context: _ParseContext, depth: int) -> Formula:
     cls = _OPERATOR_CLASSES[op]
     children: list[Formula] = []
     while stream.peek(skip_newlines=True).kind != lexer.RPAREN:
-        children.append(_parse_formula_inner(stream, defines))
+        children.append(_parse_formula_inner(stream, context, depth + 1))
     stream.expect(lexer.RPAREN, skip_newlines=True)
     if len(children) < 2:
         raise SplSyntaxError(f"({op} ...) needs at least two operands",
-                             line=line)
+                             line=head.line, col=head.col or None)
     result = children[-1]
     for child in reversed(children[:-1]):
         result = cls(left=child, right=result)
@@ -290,8 +391,8 @@ def _parse_scalar_row(stream: TokenStream) -> tuple:
     return tuple(values)
 
 
-def _parse_param(name: str, stream: TokenStream,
-                 defines: dict[str, Formula]) -> Formula:
+def _parse_param(name: str, stream: TokenStream, context: _ParseContext,
+                 depth: int) -> Formula:
     params: list[int] = []
     children: list[Formula] = []
     while True:
@@ -304,18 +405,18 @@ def _parse_param(name: str, stream: TokenStream,
             if any(c in token.value for c in ".eE"):
                 raise SplSyntaxError(
                     "parameters of a parameterized matrix must be integers",
-                    line=token.line,
+                    line=token.line, col=token.col or None,
                 )
             params.append(int(token.value))
         elif token.kind in (lexer.NAME, lexer.LPAREN) and not params:
             # Formula arguments: a user-defined operation such as the
             # template-introduced (vec A m). Only supported for
             # templates; here they can only be defined names.
-            children.append(_parse_formula_inner(stream, defines))
+            children.append(_parse_formula_inner(stream, context, depth + 1))
         else:
             raise SplSyntaxError(
                 f"invalid parameter {token.value!r} for ({name} ...)",
-                line=token.line,
+                line=token.line, col=token.col or None,
             )
     if children:
         raise SplSyntaxError(

@@ -319,6 +319,10 @@ class TemplateTable:
     def __init__(self) -> None:
         self._templates: list[Template] = []
         self._size_cache: dict[nodes.Formula, tuple[int, int]] = {}
+        # Formulas whose size computation is in progress: a template
+        # whose expansion (directly or transitively) contains the
+        # formula it defines would otherwise recurse forever.
+        self._sizing: set[nodes.Formula] = set()
         # Bumped on every mutation so compile caches can invalidate.
         self.version = 0
 
@@ -381,7 +385,17 @@ class TemplateTable:
         cached = self._size_cache.get(formula)
         if cached is not None:
             return cached
-        sizes = formula.size(self._param_sizes)
+        if formula in self._sizing:
+            raise SplTemplateError(
+                f"recursive size inference for {formula.to_spl()}: a "
+                f"template's expansion refers back to the formula it "
+                f"defines"
+            )
+        self._sizing.add(formula)
+        try:
+            sizes = formula.size(self._param_sizes)
+        finally:
+            self._sizing.discard(formula)
         self._size_cache[formula] = sizes
         return sizes
 

@@ -23,22 +23,70 @@ from repro.core.icode import (
     map_operands,
     subst_indices,
 )
+from repro.core.limits import CompileBudget
 
 
-def unroll_loops(program: Program) -> Program:
-    """Fully expand every loop whose ``unroll`` flag is set."""
-    program.body = _unroll(program.body)
+def unroll_loops(program: Program,
+                 budget: CompileBudget | None = None) -> Program:
+    """Fully expand every loop whose ``unroll`` flag is set.
+
+    The expansion size is **pre-computed arithmetically** from the loop
+    bounds and checked against ``max_unroll_statements`` before any
+    statement is replicated — an unroll bomb (``#unroll`` on a large
+    tensor formula) is rejected with a typed diagnostic instead of
+    being discovered mid-OOM.
+    """
+    budget = budget or CompileBudget()
+    total = unrolled_size(program.body)
+    budget.check_unroll(total, _worst_construct(program))
+    program.body = _unroll(program.body, budget)
     return program
 
 
-def _unroll(body: list[Instr]) -> list[Instr]:
+def unrolled_size(body: list[Instr]) -> int:
+    """Statement count of ``body`` after unrolling, from bounds alone."""
+    total = 0
+    for inst in body:
+        if isinstance(inst, Loop):
+            inner = unrolled_size(inst.body)
+            total += inner * inst.count if inst.unroll else inner + 1
+        else:
+            total += 1
+    return total
+
+
+def _worst_construct(program: Program) -> str:
+    """Name the single largest unroll expansion for the diagnostic."""
+    worst_size = -1
+    worst: Loop | None = None
+    stack = list(program.body)
+    while stack:
+        inst = stack.pop()
+        if not isinstance(inst, Loop):
+            continue
+        if inst.unroll:
+            size = unrolled_size([inst])
+            if size > worst_size:
+                worst_size, worst = size, inst
+        stack.extend(inst.body)
+    if worst is None:
+        return f"program {program.name}"
+    return (f"program {program.name} (largest unrolled loop: "
+            f"do ${worst.var} = 0, {worst.count - 1} -> "
+            f"{worst_size} statements)")
+
+
+def _unroll(body: list[Instr],
+            budget: CompileBudget | None = None) -> list[Instr]:
     result: list[Instr] = []
     for inst in body:
         if isinstance(inst, Loop):
-            inner = _unroll(inst.body)
+            inner = _unroll(inst.body, budget)
             if inst.unroll:
                 for k in range(inst.count):
                     result.extend(subst_indices(inner, {inst.var: k}))
+                    if budget is not None and k % 64 == 63:
+                        budget.check_deadline("loop unrolling")
             else:
                 result.append(Loop(inst.var, inst.count, inner,
                                    unroll=False))

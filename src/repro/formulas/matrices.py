@@ -47,7 +47,16 @@ def to_matrix(formula: nodes.Formula) -> np.ndarray:
             matrix[i, k - 1] = 1.0
         return matrix
     if isinstance(formula, nodes.Compose):
-        return to_matrix(formula.left) @ to_matrix(formula.right)
+        left = to_matrix(formula.left)
+        right = to_matrix(formula.right)
+        if left.shape[1] != right.shape[0]:
+            raise SplSemanticError(
+                f"cannot compose {formula.left.to_spl()} "
+                f"({left.shape[0]}x{left.shape[1]}) with "
+                f"{formula.right.to_spl()} "
+                f"({right.shape[0]}x{right.shape[1]}): inner sizes differ"
+            )
+        return left @ right
     if isinstance(formula, nodes.Tensor):
         return np.kron(to_matrix(formula.left), to_matrix(formula.right))
     if isinstance(formula, nodes.DirectSum):

@@ -1,0 +1,35 @@
+"""Differential fuzzing for the SPL compiler.
+
+Three pieces, mirroring classic compiler-fuzzing practice:
+
+* :mod:`repro.fuzz.generator` — a seeded grammar-based generator that
+  produces *valid* SPL programs by construction (building size-
+  compatible formula ASTs and rendering them back to source), plus
+  boundary programs and mutated-invalid programs;
+* :mod:`repro.fuzz.oracle` — the differential oracle: every compiled
+  program is executed through the Python and NumPy backends **and** the
+  i-code interpreter, and all three are compared against the dense
+  matrix semantics ``to_matrix(f) @ x``;
+* :mod:`repro.fuzz.harness` — the driver: generates N cases, classifies
+  each outcome (ok / rejected / crash / diverged), minimizes failures
+  and writes them to a regression corpus.
+
+``python -m repro.fuzz --count 300 --seed 1`` runs a deterministic
+smoke pass suitable for CI; any crash or divergence exits non-zero.
+"""
+
+from repro.fuzz.generator import FuzzCase, generate_case, generate_cases
+from repro.fuzz.harness import FuzzFailure, FuzzReport, run_fuzz
+from repro.fuzz.oracle import FUZZ_LIMITS, OracleResult, check_source
+
+__all__ = [
+    "FUZZ_LIMITS",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleResult",
+    "check_source",
+    "generate_case",
+    "generate_cases",
+    "run_fuzz",
+]

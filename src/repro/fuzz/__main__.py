@@ -1,0 +1,34 @@
+"""``python -m repro.fuzz`` — the deterministic fuzzing entry point.
+
+Exit status 0 means no crashes, no divergences and no wrongly-rejected
+valid programs; anything else exits 1 (with reproducers saved under
+``--save-failures`` when given), so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.harness import run_fuzz
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differentially fuzz the SPL compiler.",
+    )
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of generated programs (default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    parser.add_argument("--save-failures", metavar="DIR", default=None,
+                        help="write minimized reproducers to DIR")
+    args = parser.parse_args(argv)
+    report = run_fuzz(args.count, args.seed, corpus_dir=args.save_failures)
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Fuzzing driver: generate, check, minimize, persist.
+
+:func:`run_fuzz` is deterministic for a fixed ``(count, seed)`` — the
+CI smoke job relies on this.  Failures (crashes, divergences, and
+valid programs the compiler wrongly rejected) are minimized by greedy
+line removal and written to a corpus directory as self-describing
+``.spl`` files that ``tests/fuzz/test_corpus_replay.py`` replays on
+every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.limits import CompileLimits
+from repro.fuzz.generator import KIND_VALID, FuzzCase, generate_case
+from repro.fuzz.oracle import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    OracleResult,
+    check_source,
+)
+
+
+@dataclass
+class FuzzFailure:
+    """One case the fuzzer flagged, with its minimized reproducer."""
+
+    case: FuzzCase
+    result: OracleResult
+    reason: str  # "crash" | "diverged" | "valid-rejected"
+    minimized: str = ""
+    path: Path | None = None
+
+
+@dataclass
+class FuzzReport:
+    count: int = 0
+    seed: int = 0
+    ok: int = 0
+    rejected: int = 0
+    crashes: int = 0
+    divergences: int = 0
+    valid_rejected: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        head = (f"fuzz: {self.count} cases (seed {self.seed}): "
+                f"{self.ok} ok, {self.rejected} rejected, "
+                f"{self.crashes} crashes, {self.divergences} divergences, "
+                f"{self.valid_rejected} valid-rejected")
+        lines = [head]
+        for failure in self.failures:
+            where = f" -> {failure.path}" if failure.path else ""
+            lines.append(f"  [{failure.reason}] case {failure.case.index}: "
+                         f"{failure.result.detail}{where}")
+        return "\n".join(lines)
+
+
+def minimize_source(source: str,
+                    still_fails: Callable[[str], bool]) -> str:
+    """Greedy line-removal minimization of a failing reproducer.
+
+    Repeatedly drops every line whose removal preserves the failure,
+    then strips trailing whitespace.  Cheap, deterministic, and good
+    enough for the short programs the generator emits.
+    """
+    lines = source.split("\n")
+    changed = True
+    while changed and len(lines) > 1:
+        changed = False
+        for i in range(len(lines)):
+            candidate = lines[:i] + lines[i + 1:]
+            text = "\n".join(candidate)
+            if still_fails(text):
+                lines = candidate
+                changed = True
+                break
+    return "\n".join(lines).strip() + "\n"
+
+
+def write_corpus_entry(directory: Path | str, source: str, *,
+                       expect: str, kind: str = "", seed: int | None = None,
+                       detail: str = "") -> Path:
+    """Persist a reproducer as a self-describing corpus ``.spl`` file.
+
+    The ``; fuzz:`` header records what the replay test should assert:
+    ``expect=rejected`` means the oracle must cleanly reject the file,
+    ``expect=ok`` that it must compile and match the dense semantics.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    header = [f"; fuzz: expect={expect}"]
+    if kind:
+        header.append(f"; fuzz: kind={kind}")
+    if seed is not None:
+        header.append(f"; fuzz: seed={seed}")
+    if detail:
+        first_line = detail.split("\n")[0][:120]
+        header.append(f"; fuzz: detail={first_line}")
+    path = directory / f"{expect}-{digest}.spl"
+    path.write_text("\n".join(header) + "\n" + source)
+    return path
+
+
+def read_corpus_expectation(path: Path | str) -> str:
+    """The ``expect=`` value from a corpus file's header (default ok)."""
+    for line in Path(path).read_text().split("\n"):
+        if line.startswith("; fuzz:") and "expect=" in line:
+            return line.split("expect=", 1)[1].split()[0]
+    return STATUS_OK
+
+
+def _classify(case: FuzzCase, result: OracleResult) -> str | None:
+    if result.status not in (STATUS_OK, STATUS_REJECTED):
+        return result.status
+    if case.kind == KIND_VALID and result.status == STATUS_REJECTED:
+        # A constructor-built program is valid by construction; the
+        # compiler refusing it is a bug in the compiler (or the limits
+        # are mis-tuned for the generator's MAX_SIZE).
+        return "valid-rejected"
+    return None
+
+
+def run_fuzz(count: int = 200, seed: int = 0, *,
+             limits: CompileLimits | None = None,
+             corpus_dir: Path | str | None = None,
+             minimize: bool = True) -> FuzzReport:
+    """Generate and differentially check ``count`` programs."""
+    report = FuzzReport(count=count, seed=seed)
+    for index in range(count):
+        case = generate_case(seed, index)
+        result = check_source(case.source, limits=limits)
+        if result.status == STATUS_OK:
+            report.ok += 1
+        elif result.status == STATUS_REJECTED:
+            report.rejected += 1
+        elif result.status == "crash":
+            report.crashes += 1
+        else:
+            report.divergences += 1
+        reason = _classify(case, result)
+        if reason is None:
+            continue
+        failure = FuzzFailure(case=case, result=result, reason=reason)
+        if reason == "valid-rejected":
+            report.valid_rejected += 1
+
+        if minimize:
+            def still_fails(text: str, _want=result.status) -> bool:
+                return check_source(text, limits=limits).status == _want
+
+            failure.minimized = minimize_source(case.source, still_fails)
+        else:
+            failure.minimized = case.source
+        if corpus_dir is not None:
+            # A crash/divergence corpus entry asserts the *fixed*
+            # behavior: once repaired, the file must be ok or cleanly
+            # rejected — so replay expects "rejected" for invalid
+            # kinds and "ok" otherwise.
+            expect = (STATUS_REJECTED if case.kind == "invalid"
+                      else STATUS_OK)
+            failure.path = write_corpus_entry(
+                corpus_dir, failure.minimized, expect=expect,
+                kind=case.kind, seed=seed, detail=result.detail,
+            )
+        report.failures.append(failure)
+    return report

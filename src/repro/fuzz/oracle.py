@@ -1,0 +1,148 @@
+"""The differential oracle: four independent executions must agree.
+
+For every formula unit in a program the oracle computes
+
+1. the dense matrix semantics ``to_matrix(f) @ x`` (ground truth),
+2. the compiled Python backend's result,
+3. the compiled NumPy (batch) backend's result,
+4. the i-code interpreter's result on the compiled program,
+
+on a deterministic random input derived from the source text.  Any
+disagreement is a ``diverged`` verdict; any exception that is *not* a
+typed :class:`~repro.core.errors.SplError` (``RecursionError``,
+``MemoryError``, assertion failures, ...) is a ``crash``.  A clean
+typed rejection is ``rejected`` — the correct outcome for invalid
+inputs and for programs that exceed the configured resource limits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplError
+from repro.core.interpreter import run_program
+from repro.core.limits import CompileLimits, DEFAULT_LIMITS
+
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_CRASH = "crash"
+STATUS_DIVERGED = "diverged"
+
+#: Tightened limits for fuzzing: generated programs are tiny, so any
+#: run that needs more than this is itself a finding.
+FUZZ_LIMITS = DEFAULT_LIMITS.with_overrides(
+    max_icode_statements=100_000,
+    max_unroll_statements=50_000,
+    max_table_bytes=1 << 20,
+    compile_deadline=10.0,
+)
+
+_LANGUAGES = ("python", "numpy")
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one differential check."""
+
+    status: str
+    detail: str = ""
+    compiled: int = 0  # units that compiled and matched
+    error: BaseException | None = field(default=None, repr=False)
+
+    @property
+    def failed(self) -> bool:
+        return self.status in (STATUS_CRASH, STATUS_DIVERGED)
+
+
+def _input_vector(source: str, n: int) -> list[complex]:
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    rng = random.Random(int(digest[:16], 16))
+    return [complex(rng.uniform(-1, 1), rng.uniform(-1, 1))
+            for _ in range(n)]
+
+
+def _interleave(x: list[complex]) -> list[float]:
+    buf: list[float] = []
+    for value in x:
+        buf.extend((value.real, value.imag))
+    return buf
+
+
+def _deinterleave(buf: list) -> list[complex]:
+    return [complex(buf[2 * k], buf[2 * k + 1])
+            for k in range(len(buf) // 2)]
+
+
+def check_source(source: str, *,
+                 limits: CompileLimits | None = None,
+                 languages: tuple[str, ...] = _LANGUAGES,
+                 atol: float = 1e-7) -> OracleResult:
+    """Differentially validate one SPL source text."""
+    import numpy as np
+
+    from repro.formulas.matrices import to_matrix
+
+    limits = limits or FUZZ_LIMITS
+    try:
+        compiler = SplCompiler(CompilerOptions(), limits=limits)
+        program = compiler.parse(source)
+        compiler.defines.update(program.defines)
+        units = list(program.units)
+    except SplError as exc:
+        return OracleResult(STATUS_REJECTED, str(exc), error=exc)
+    except BaseException as exc:  # noqa: BLE001 - any escape is a crash
+        return OracleResult(
+            STATUS_CRASH, f"{type(exc).__name__}: {exc}", error=exc
+        )
+
+    compiled = 0
+    for unit in units:
+        try:
+            expected = to_matrix(unit.formula)
+            x = _input_vector(source, expected.shape[1])
+            want = expected @ np.asarray(x)
+            tolerance = atol * max(1.0, float(np.abs(want).max(initial=0.0)))
+            routine = None
+            for language in languages:
+                routine = compiler.compile_formula(
+                    unit.formula, name=f"{unit.name}_{language}",
+                    datatype="complex", language=language, limits=limits,
+                )
+                got = np.asarray(routine.run(x))
+                if not np.allclose(got, want, atol=tolerance):
+                    worst = float(np.abs(got - want).max())
+                    return OracleResult(
+                        STATUS_DIVERGED,
+                        f"{unit.name}: {language} backend differs from "
+                        f"dense semantics by {worst:g}",
+                    )
+            # The interpreter runs the last compiled unit's i-code.
+            if routine is not None:
+                width = routine.program.element_width
+                buf = _interleave(x) if width == 2 else list(x)
+                out = run_program(routine.program, buf)
+                got = np.asarray(
+                    _deinterleave(out) if width == 2 else out
+                )
+                if not np.allclose(got, want, atol=tolerance):
+                    worst = float(np.abs(got - want).max())
+                    return OracleResult(
+                        STATUS_DIVERGED,
+                        f"{unit.name}: interpreter differs from dense "
+                        f"semantics by {worst:g}",
+                    )
+            compiled += 1
+        except SplError as exc:
+            return OracleResult(
+                STATUS_REJECTED, f"{unit.name}: {exc}",
+                compiled=compiled, error=exc,
+            )
+        except BaseException as exc:  # noqa: BLE001
+            return OracleResult(
+                STATUS_CRASH, f"{unit.name}: {type(exc).__name__}: {exc}",
+                compiled=compiled, error=exc,
+            )
+    return OracleResult(STATUS_OK, compiled=compiled)

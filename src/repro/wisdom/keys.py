@@ -48,12 +48,16 @@ def options_hash(options: object | None) -> str:
 def compile_key(formula_spl: str, options: object | None, *,
                 datatype: str | None, language: str | None,
                 strided: bool, vectorize: int,
-                template_version: int = 0) -> tuple:
+                template_version: int = 0,
+                limits_fingerprint: str = "default") -> tuple:
     """The in-process memoization key for one ``compile_formula`` call.
 
     ``template_version`` folds in the compiler session's template-table
     version so that registering new templates (e.g. search-generated
     codelets) correctly invalidates earlier results.
+    ``limits_fingerprint`` does the same for resource limits: a routine
+    compiled under one budget must not satisfy a request made under
+    another (tighter limits could have rejected it).
     """
     return (
         formula_spl,
@@ -63,6 +67,7 @@ def compile_key(formula_spl: str, options: object | None, *,
         bool(strided),
         int(vectorize),
         int(template_version),
+        limits_fingerprint,
     )
 
 
@@ -101,11 +106,28 @@ def _host_description(cflags: tuple[str, ...], openmp: bool) -> str:
                      "openmp" if openmp else "no-openmp"))
 
 
-def wisdom_key(transform: str, n: int, options: object | None = None) -> str:
+def wisdom_key(transform: str, n: int, options: object | None = None,
+               limits: object | None = None) -> str:
     """The persistent-store key: ``transform:n:options-hash``.
 
     The platform fingerprint is *not* part of the per-entry key — it is
     checked once per wisdom file (the whole file is discarded on a
     platform mismatch), exactly like the format version.
+
+    ``limits`` (a ``CompileLimits``-like object with a ``fingerprint()``
+    method) is folded in only when it differs from the defaults, so
+    plans searched under a constrained budget never masquerade as
+    default-budget wisdom — while keys written by earlier versions stay
+    valid for default-limit sessions.
     """
-    return f"{transform}:{n}:{options_hash(options)}"
+    key = f"{transform}:{n}:{options_hash(options)}"
+    if limits is not None:
+        fingerprint = limits.fingerprint()
+        try:
+            from repro.core.limits import DEFAULT_LIMITS
+            is_default = fingerprint == DEFAULT_LIMITS.fingerprint()
+        except ImportError:  # pragma: no cover - core always importable
+            is_default = False
+        if not is_default:
+            key += f":l{_digest(fingerprint, 8)}"
+    return key

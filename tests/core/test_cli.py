@@ -84,6 +84,116 @@ class TestCli:
         assert "required" in capsys.readouterr().err
 
 
+class TestCliDiagnostics:
+    """Errors must come out rendered — with code, span and caret —
+    and exit 1; the CLI never shows a traceback for bad input."""
+
+    def test_syntax_error_is_rendered_with_caret(self, tmp_path, capsys):
+        path = tmp_path / "bad.spl"
+        path.write_text("(compose\n  (F 2) @@\n  (F 2))\n")
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "error SPL-E100" in err
+        assert "line 2" in err
+        assert str(path) in err
+        assert "^" in err  # the caret snippet
+
+    def test_multiple_parse_errors_reported_in_one_run(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "multi.spl"
+        path.write_text("#wibble on\n"
+                        "(I 2)\n"
+                        "#unroll sideways\n"
+                        "(J 2)\n")
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        # Both bad directives diagnosed despite resynchronization.
+        assert err.count("error SPL-E") == 2
+        assert "#wibble" in err
+        assert "#unroll" in err
+        assert "Traceback" not in err
+
+    def test_multiple_compile_errors_reported_in_one_run(self, tmp_path,
+                                                         capsys):
+        path = tmp_path / "multi2.spl"
+        path.write_text("(compose (F 2) (F 3))\n"
+                        "(I 2)\n"
+                        "(frobnicate 4)\n")
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        # Units 1 and 3 each get their own rendered diagnostic.
+        assert err.count("error SPL-E") == 2
+        assert "Traceback" not in err
+
+    def test_truncated_source_is_a_clean_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "cut.spl"
+        path.write_text("(compose (tensor (F 2) (I 2)) (T 4")
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error SPL-E1" in err
+        assert "Traceback" not in err
+
+    def test_recursion_bomb_exits_typed(self, tmp_path, capsys):
+        path = tmp_path / "deep.spl"
+        depth = 500
+        path.write_text("(compose (I 2) " * depth + "(I 2)" + ")" * depth)
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error SPL-E201" in err
+        assert "RecursionError" not in err
+        assert "Traceback" not in err
+
+    def test_unroll_bomb_exits_typed(self, tmp_path, capsys):
+        path = tmp_path / "bomb.spl"
+        path.write_text("#unroll on\n(tensor (I 64) (F 64))\n")
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error SPL-E20" in err
+        assert "Traceback" not in err
+
+    def test_compile_error_names_the_unit_line(self, tmp_path, capsys):
+        path = tmp_path / "semantic.spl"
+        path.write_text("; fine until codegen\n(compose (F 2) (F 4))\n")
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error SPL-E" in err
+        assert "line 2" in err
+
+    def test_limit_flags_are_honored(self, tmp_path, capsys):
+        path = tmp_path / "f8.spl"
+        path.write_text("#unroll on\n(F 8)\n")
+        assert main([str(path), "--max-unroll", "5"]) == 1
+        err = capsys.readouterr().err
+        assert "error SPL-E204" in err
+        capsys.readouterr()
+        assert main([str(path)]) == 0  # fine under the defaults
+
+    def test_limit_flags_parse(self):
+        from repro.core.cli import build_arg_parser
+
+        args = build_arg_parser().parse_args(
+            ["x.spl", "--max-icode", "1000", "--max-unroll", "2000",
+             "--compile-deadline", "3.5"])
+        assert args.max_icode == 1000
+        assert args.max_unroll == 2000
+        assert args.compile_deadline == 3.5
+        defaults = build_arg_parser().parse_args(["x.spl"])
+        assert defaults.max_icode is None
+        assert defaults.compile_deadline is None
+
+    def test_keyboard_interrupt_exits_130(self, spl_file, monkeypatch,
+                                          capsys):
+        from repro.core import cli
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli.SplCompiler, "compile_unit", interrupt)
+        assert main([str(spl_file)]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
 class TestCliSearch:
     def test_search_fft_with_wisdom(self, tmp_path, capsys):
         wisdom_file = tmp_path / "wisdom.json"

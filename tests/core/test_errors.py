@@ -1,0 +1,95 @@
+"""Structured-diagnostic behavior of the SplError hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    SplError,
+    SplNameError,
+    SplResourceError,
+    SplSemanticError,
+    SplSyntaxError,
+    SplTemplateError,
+)
+
+
+class TestMessageFormatting:
+    def test_message_stored_bare(self):
+        err = SplSyntaxError("unbalanced parenthesis", line=3)
+        assert err.message == "unbalanced parenthesis"
+        assert str(err) == "line 3: unbalanced parenthesis"
+
+    def test_no_location_prefix_duplication_on_rewrap(self):
+        """Re-raising with the same line must not stack 'line N:' prefixes."""
+        original = SplSyntaxError("bad token", line=2)
+        rewrapped = SplSyntaxError(original.message, line=original.line)
+        assert str(rewrapped) == "line 2: bad token"
+        assert str(rewrapped).count("line 2") == 1
+
+    def test_column_in_location(self):
+        err = SplSyntaxError("oops", line=4, col=9)
+        assert err.location == "line 4, col 9"
+        assert str(err) == "line 4, col 9: oops"
+
+    def test_no_location_at_all(self):
+        err = SplSemanticError("sizes differ")
+        assert err.location == ""
+        assert str(err) == "sizes differ"
+
+
+class TestErrorCodes:
+    @pytest.mark.parametrize("cls,code", [
+        (SplError, "SPL-E000"),
+        (SplSyntaxError, "SPL-E100"),
+        (SplNameError, "SPL-E101"),
+        (SplSemanticError, "SPL-E102"),
+        (SplTemplateError, "SPL-E103"),
+        (SplResourceError, "SPL-E200"),
+    ])
+    def test_default_codes(self, cls, code):
+        assert cls("x").code == code
+
+    def test_explicit_code_wins(self):
+        err = SplResourceError("too deep", code="SPL-E201")
+        assert err.code == "SPL-E201"
+
+    def test_resource_error_carries_limit_facts(self):
+        err = SplResourceError("budget blown", limit_name="max_expansions",
+                               limit=10, actual=11)
+        assert (err.limit_name, err.limit, err.actual) == (
+            "max_expansions", 10, 11
+        )
+
+
+class TestRender:
+    SOURCE = "(compose\n  (F 2) @@\n  (F 2))\n"
+
+    def test_render_includes_code_and_caret(self):
+        err = SplSyntaxError("unexpected character '@'", line=2, col=9)
+        text = err.render(self.SOURCE, filename="bad.spl")
+        lines = text.split("\n")
+        assert lines[0] == (
+            "bad.spl: error SPL-E100 at line 2, col 9: "
+            "unexpected character '@'"
+        )
+        assert lines[1] == "  2 |   (F 2) @@"
+        assert lines[2].endswith("^")
+        # The caret sits under column 9.
+        assert lines[2].index("^") == lines[1].index("@")
+
+    def test_render_without_source(self):
+        err = SplSemanticError("sizes differ", line=5)
+        text = err.render()
+        assert text == "<spl>: error SPL-E102 at line 5: sizes differ"
+
+    def test_render_formula_path(self):
+        err = SplResourceError("expansion budget exceeded",
+                               formula_path=("(F 8)", "(tensor ...)"))
+        text = err.render()
+        assert "    in (F 8)" in text
+        assert "    in (tensor ...)" in text
+
+    def test_render_out_of_range_line_omits_snippet(self):
+        err = SplSyntaxError("truncated", line=99)
+        assert err.render(self.SOURCE) == (
+            "<spl>: error SPL-E100 at line 99: truncated"
+        )

@@ -1,0 +1,49 @@
+"""Replay every corpus reproducer against the differential oracle.
+
+Each ``.spl`` file under ``tests/fuzz/corpus/`` carries a
+``; fuzz: expect=...`` header naming the outcome it pins down:
+``ok`` files must compile and match the dense semantics, ``rejected``
+files must fail with a *typed* SplError — never a crash, a hang, or a
+``RecursionError``.  Adding a minimized fuzz finding here makes it a
+permanent regression test.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.cli import main as cli_main
+from repro.fuzz.harness import read_corpus_expectation
+from repro.fuzz.oracle import STATUS_CRASH, check_source
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("*.spl"))
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry(path):
+    expect = read_corpus_expectation(path)
+    result = check_source(path.read_text())
+    assert result.status != STATUS_CRASH, result.detail
+    assert result.status == expect, (
+        f"{path.name}: expected {expect}, got {result.status} "
+        f"({result.detail})"
+    )
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_through_cli(path, capsys):
+    """The CLI must exit 0/1 on corpus files — never a traceback."""
+    expect = read_corpus_expectation(path)
+    status = cli_main([str(path), "--language", "python"])
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    if expect == "ok":
+        assert status == 0, captured.err
+    else:
+        assert status == 1, captured.err
+        assert "error SPL-E" in captured.err

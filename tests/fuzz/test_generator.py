@@ -1,0 +1,52 @@
+"""The generator must be deterministic and cover all three kinds."""
+
+import random
+
+from repro.core.compiler import SplCompiler
+from repro.fuzz.generator import (
+    KIND_BOUNDARY,
+    KIND_INVALID,
+    KIND_VALID,
+    MAX_SIZE,
+    generate_cases,
+    random_formula,
+)
+
+
+def test_same_seed_same_cases():
+    first = generate_cases(50, seed=7)
+    second = generate_cases(50, seed=7)
+    assert [(c.kind, c.source) for c in first] == [
+        (c.kind, c.source) for c in second
+    ]
+
+
+def test_different_seeds_differ():
+    a = [c.source for c in generate_cases(50, seed=1)]
+    b = [c.source for c in generate_cases(50, seed=2)]
+    assert a != b
+
+
+def test_all_kinds_appear():
+    kinds = {c.kind for c in generate_cases(100, seed=0)}
+    assert kinds == {KIND_VALID, KIND_BOUNDARY, KIND_INVALID}
+
+
+def test_valid_cases_parse_and_roundtrip():
+    compiler = SplCompiler()
+    for case in generate_cases(80, seed=3):
+        if case.kind != KIND_VALID:
+            continue
+        program = compiler.parse(case.source)
+        assert program.units, case.source
+
+
+def test_random_formula_is_square_and_bounded():
+    rng = random.Random(11)
+    for _ in range(50):
+        n = rng.randint(1, MAX_SIZE)
+        formula = random_formula(rng, n)
+        from repro.core.nodes import default_param_sizes
+
+        in_size, out_size = formula.size(default_param_sizes)
+        assert (in_size, out_size) == (n, n)

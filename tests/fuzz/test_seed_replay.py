@@ -1,0 +1,58 @@
+"""No legitimate program may regress under the default limits.
+
+The resource-governance layer exists to stop hostile inputs; the
+paper's own example programs — the F4 factorization, the FFT16
+program of Section 2.2, the selectively-unrolled I64F2 listing of
+Section 3.3.1, and the Cooley-Tukey FFT family — must all still
+compile under ``DEFAULT_LIMITS`` and match the dense oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.limits import DEFAULT_LIMITS
+from repro.fuzz.oracle import STATUS_OK, check_source
+
+SEED_PROGRAMS = {
+    "f4-factorization": """
+        #subname fft4
+        (compose (tensor (F 2) (I 2)) (T 4 2) (tensor (I 2) (F 2)) (L 4 2))
+    """,
+    "fft16-section-2-2": """
+        (define F4 (compose (tensor (F 2) (I 2)) (T 4 2)
+                            (tensor (I 2) (F 2)) (L 4 2)))
+        #subname fft16
+        (compose (tensor F4 (I 4)) (T 16 4) (tensor (I 4) F4) (L 16 4))
+    """,
+    "i64f2-selective-unroll": """
+        #unroll on
+        (define I2F2 (tensor (I 2) (F 2)))
+        #unroll off
+        #subname I64F2
+        (tensor (I 32) I2F2)
+    """,
+    "wht8": "(WHT 8)",
+    "direct-sum-mix": "(direct-sum (F 4) (compose (J 3) (J 3)))",
+}
+
+
+@pytest.mark.parametrize("name", sorted(SEED_PROGRAMS),
+                         ids=sorted(SEED_PROGRAMS))
+def test_seed_program_passes_oracle_under_default_limits(name):
+    result = check_source(SEED_PROGRAMS[name], limits=DEFAULT_LIMITS)
+    assert result.status == STATUS_OK, f"{name}: {result.detail}"
+    assert result.compiled >= 1
+
+
+def test_fft_family_compiles_under_default_limits():
+    """``(F n)`` at practical sizes, via the start-up CT templates."""
+    from repro.formulas import dft_matrix
+
+    compiler = SplCompiler(CompilerOptions(language="python"))
+    for n in (2, 4, 8, 16, 32, 64):
+        routine = compiler.compile_formula(f"(F {n})",
+                                           limits=DEFAULT_LIMITS)
+        x = np.exp(2j * np.pi * np.arange(n) / max(n, 1))
+        np.testing.assert_allclose(routine.run(list(x)), dft_matrix(n) @ x,
+                                   atol=1e-8)
