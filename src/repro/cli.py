@@ -1,0 +1,43 @@
+"""``spl`` — the umbrella command-line entry point.
+
+Subcommands delegate to the per-package mains:
+
+* ``spl compile ...`` — the SPL compiler driver
+  (identical to the standalone ``spl-compile`` command);
+* ``spl serve ...`` — the asyncio transform service
+  (identical to ``python -m repro.serve``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+_USAGE = """\
+usage: spl <command> [options]
+
+commands:
+  compile   compile SPL formulas (see: spl compile --help)
+  serve     serve transforms over a socket (see: spl serve --help)
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "compile":
+        from repro.core.cli import main as compile_main
+        return compile_main(rest)
+    if command == "serve":
+        from repro.serve.__main__ import main as serve_main
+        return serve_main(rest)
+    print(f"spl: unknown command {command!r}\n\n{_USAGE}",
+          end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

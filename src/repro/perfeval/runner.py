@@ -40,6 +40,18 @@ call is transparently retried on the next backend down the
 ``c > numpy > python`` chain — callers see a slower answer, not an
 exception.  Only when the last backend fails does the error surface.
 Trips are visible in :meth:`ExecutableRoutine.stats`.
+
+Degradation is race-free under concurrent callers: the swap runs
+under a lock and is guarded by a generation counter, so when many
+threads fault on the same backend simultaneously exactly one of them
+trips the breaker and rebuilds — the others observe the generation
+change, skip their own (redundant) trip, and simply retry on the
+already-swapped tier.  Without the guard, concurrent faults would
+double-trip the breaker and exhaust the fallback chain, surfacing an
+exception even though a healthy fallback existed.  ``apply_many``
+snapshots the whole callable set under the same lock, so a shard can
+never mix (say) the old backend's ``batch_fn`` with the new one's
+``raw_call`` mid-swap.
 """
 
 from __future__ import annotations
@@ -102,6 +114,13 @@ class ExecutableRoutine:
     backend_failures: list[BackendFailure] = field(default_factory=list)
     _tls: threading.local = field(default_factory=threading.local,
                                   repr=False, compare=False)
+    # Serializes breaker trips and callable swaps; ``_generation``
+    # increments on every swap so concurrent faulters can tell whether
+    # someone else already degraded the tier they just saw fail.
+    _swap_lock: threading.Lock = field(default_factory=threading.Lock,
+                                       repr=False, compare=False)
+    _generation: int = field(default=0, repr=False, compare=False)
+    _exhausted: bool = field(default=False, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -116,6 +135,22 @@ class ExecutableRoutine:
         if program.element_width == 1 and program.datatype == "complex":
             return np.complex128
         return np.float64
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The *logical* IO dtype of ``apply``/``apply_many``.
+
+        Complex-datatype programs take and return ``complex128``
+        vectors regardless of how the code type packs them physically
+        (real code interleaves re/im into float64 buffers); real-
+        datatype programs are ``float64`` end to end.  This is the
+        dtype :class:`~repro.runtime.BatchDispatcher` and the serving
+        front-end validate submitted vectors against.
+        """
+        program = self.routine.program
+        if program.datatype == "complex":
+            return np.dtype(np.complex128)
+        return np.dtype(np.float64)
 
     def _buffers(self) -> tuple[np.ndarray, np.ndarray]:
         """Single-vector scratch, allocated once per calling thread."""
@@ -165,43 +200,62 @@ class ExecutableRoutine:
             ],
         }
 
-    def _degrade(self, exc: BaseException, op: str) -> bool:
+    def _degrade(self, exc: BaseException, op: str,
+                 generation: int) -> bool:
         """Trip the current backend and swap in the next chain entry.
 
         Rebuilds the fallback backend from ``routine`` and splices its
         callables into *this* object, so every held reference degrades
         together.  Returns False when the chain is exhausted (the
         caller re-raises the original error).
+
+        ``generation`` is the value of ``_generation`` the caller saw
+        when it picked up the callable that then failed.  The whole
+        trip runs under ``_swap_lock``, and a stale generation means
+        another thread already degraded the tier this caller faulted
+        on — in that case nothing is recorded (the breaker must trip
+        once per tier, not once per concurrent caller) and True is
+        returned so the caller simply retries on the new tier.
         """
-        self.backend_failures.append(BackendFailure(
-            backend=self.backend, op=op,
-            error=f"{type(exc).__name__}: {exc}",
-        ))
-        while self.fallback_chain:
-            target, self.fallback_chain = (
-                self.fallback_chain[0], self.fallback_chain[1:]
-            )
-            try:
-                if target == "numpy":
-                    replacement = _build_numpy(self.routine)
-                elif target == "python":
-                    replacement = _build_python(self.routine)
-                else:  # never degrade *to* the native tier
+        with self._swap_lock:
+            if generation != self._generation:
+                return True  # lost the race: tier already swapped
+            if self._exhausted:
+                # The chain already ran dry on this tier: the trip is
+                # recorded once, every subsequent concurrent faulter
+                # just re-raises its own error.
+                return False
+            self.backend_failures.append(BackendFailure(
+                backend=self.backend, op=op,
+                error=f"{type(exc).__name__}: {exc}",
+            ))
+            while self.fallback_chain:
+                target, self.fallback_chain = (
+                    self.fallback_chain[0], self.fallback_chain[1:]
+                )
+                try:
+                    if target == "numpy":
+                        replacement = _build_numpy(self.routine)
+                    elif target == "python":
+                        replacement = _build_python(self.routine)
+                    else:  # never degrade *to* the native tier
+                        continue
+                except Exception as build_exc:  # noqa: BLE001 - keep walking
+                    self.backend_failures.append(BackendFailure(
+                        backend=target, op="build",
+                        error=f"{type(build_exc).__name__}: {build_exc}",
+                    ))
                     continue
-            except Exception as build_exc:  # noqa: BLE001 - keep walking
-                self.backend_failures.append(BackendFailure(
-                    backend=target, op="build",
-                    error=f"{type(build_exc).__name__}: {build_exc}",
-                ))
-                continue
-            self.backend = replacement.backend
-            self.raw_call = replacement.raw_call
-            self.ctypes_fn = replacement.ctypes_fn
-            self.batch_fn = replacement.batch_fn
-            self.batch_omp_fn = replacement.batch_omp_fn
-            self.batch_call = replacement.batch_call
-            return True
-        return False
+                self.backend = replacement.backend
+                self.raw_call = replacement.raw_call
+                self.ctypes_fn = replacement.ctypes_fn
+                self.batch_fn = replacement.batch_fn
+                self.batch_omp_fn = replacement.batch_omp_fn
+                self.batch_call = replacement.batch_call
+                self._generation += 1
+                return True
+            self._exhausted = True
+            return False
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Apply to a logical input vector; complex in, complex out.
@@ -221,12 +275,18 @@ class ExecutableRoutine:
         else:
             buf[:] = x
         while True:
+            # Read the generation *before* the callable: if a swap
+            # lands in between, the stale generation makes _degrade a
+            # no-op retry instead of mis-attributing the new tier's
+            # failure to the old one.
+            generation = self._generation
+            call = self.raw_call
             y.fill(0)
             try:
-                self.raw_call(y, buf)
+                call(y, buf)
                 break
             except Exception as exc:  # noqa: BLE001 - breaker path
-                if not self._degrade(exc, "apply"):
+                if not self._degrade(exc, "apply", generation):
                     raise
         if width == 2:
             return y[0::2] + 1j * y[1::2]
@@ -248,22 +308,28 @@ class ExecutableRoutine:
         )
 
     def _run_rows(self, Yp: np.ndarray, Xp: np.ndarray,
-                  lo: int, hi: int) -> None:
+                  lo: int, hi: int, batch_fn, batch_call,
+                  raw_call) -> None:
         """The serial batch path over physical rows ``lo..hi`` (the
-        whole batch at ``threads=1``, one shard otherwise)."""
-        if self.batch_fn is not None:
+        whole batch at ``threads=1``, one shard otherwise).
+
+        The callables are passed in — a snapshot taken under
+        ``_swap_lock`` by ``apply_many`` — so a concurrent breaker
+        swap can never hand one shard a mixed backend.
+        """
+        if batch_fn is not None:
             import ctypes
 
             c_double_p = ctypes.POINTER(ctypes.c_double)
-            self.batch_fn(Yp[lo:hi].ctypes.data_as(c_double_p),
-                          Xp[lo:hi].ctypes.data_as(c_double_p), hi - lo)
-        elif self.batch_call is not None:
+            batch_fn(Yp[lo:hi].ctypes.data_as(c_double_p),
+                     Xp[lo:hi].ctypes.data_as(c_double_p), hi - lo)
+        elif batch_call is not None:
             Yp[lo:hi].fill(0)
-            self.batch_call(Yp[lo:hi], Xp[lo:hi])
+            batch_call(Yp[lo:hi], Xp[lo:hi])
         else:
             for b in range(lo, hi):
                 Yp[b].fill(0)
-                self.raw_call(Yp[b], Xp[b])
+                raw_call(Yp[b], Xp[b])
 
     def apply_many(self, X: np.ndarray,
                    threads: int | None = None) -> np.ndarray:
@@ -296,28 +362,41 @@ class ExecutableRoutine:
         else:
             Xp[:, :] = X
         while True:
+            with self._swap_lock:
+                # One consistent snapshot of the active backend: a
+                # breaker swap concurrent with this call can never mix
+                # (say) the old C batch driver with the new tier's
+                # raw_call across shards.
+                generation = self._generation
+                batch_fn = self.batch_fn
+                batch_omp_fn = self.batch_omp_fn
+                batch_call = self.batch_call
+                raw_call = self.raw_call
             try:
                 nthreads = self._effective_threads(threads, batch)
-                if nthreads > 1 and self.batch_omp_fn is not None:
+                if nthreads > 1 and batch_omp_fn is not None:
                     import ctypes
 
                     c_double_p = ctypes.POINTER(ctypes.c_double)
-                    self.batch_omp_fn(Yp.ctypes.data_as(c_double_p),
-                                      Xp.ctypes.data_as(c_double_p),
-                                      batch, nthreads)
+                    batch_omp_fn(Yp.ctypes.data_as(c_double_p),
+                                 Xp.ctypes.data_as(c_double_p),
+                                 batch, nthreads)
                 else:
                     if nthreads > 1:
                         run_sharded(
-                            lambda lo, hi: self._run_rows(Yp, Xp, lo, hi),
+                            lambda lo, hi: self._run_rows(
+                                Yp, Xp, lo, hi,
+                                batch_fn, batch_call, raw_call),
                             batch, nthreads,
                         )
                     else:
-                        self._run_rows(Yp, Xp, 0, batch)
+                        self._run_rows(Yp, Xp, 0, batch,
+                                       batch_fn, batch_call, raw_call)
                 break
             except Exception as exc:  # noqa: BLE001 - breaker path
                 # Partial rows are harmless: every retried path zeroes
                 # each output row before writing it.
-                if not self._degrade(exc, "apply_many"):
+                if not self._degrade(exc, "apply_many", generation):
                     raise
         if width == 2:
             return Yp[:, 0::2] + 1j * Yp[:, 1::2]

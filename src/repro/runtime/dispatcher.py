@@ -14,17 +14,26 @@ The flush policy is the standard one (size- and deadline-bounded):
 
 * a batch is executed immediately once ``max_batch`` requests are
   waiting;
-* otherwise it is executed ``max_delay`` seconds after its *first*
-  request arrived, so a lone request never waits longer than
-  ``max_delay``;
+* otherwise it is executed ``max_delay`` seconds after the *oldest
+  pending* request arrived, so no request ever waits longer than
+  ``max_delay`` before its batch is taken — the latency bound is
+  per-request (each request carries its arrival time), not a property
+  of the queue, so a flush that leaves stragglers pending does not
+  restart their clock;
 * ``close()`` flushes whatever is pending (``close(drain=False)``
   cancels it with :class:`DispatcherClosed` instead).
 
 Fault isolation: a batch whose ``apply_many`` raises is split and
 retried request-by-request, so one poisoned vector fails *its own*
 caller while every other future in the coalesced batch resolves
-normally.  The worker loop itself is crash-proofed — however it exits,
-every pending request is resolved (with :class:`DispatcherClosed` if
+normally.  Poisoning is also prevented at the door: when the target
+exposes a ``dtype``, every submitted vector is checked against it —
+safe upcasts (float into a complex transform) are coerced per request,
+unsafe ones (complex into a real transform, which ``np.stack`` would
+otherwise silently propagate to every coalesced row) are rejected at
+``submit`` with a :class:`ValueError` before they can touch a batch.
+The worker loop itself is crash-proofed — however it exits, every
+pending request is resolved (with :class:`DispatcherClosed` if
 nothing better), so callers blocked in ``apply`` can never hang on a
 dead worker.
 
@@ -38,6 +47,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
@@ -48,28 +58,73 @@ class DispatcherClosed(RuntimeError):
 
 @dataclass
 class DispatchStats:
-    """Counters accumulated over a dispatcher's lifetime."""
+    """Counters accumulated over a dispatcher's lifetime.
+
+    Semantics (pinned by tests/runtime/test_dispatcher_regressions.py):
+
+    * ``batches`` counts *flushes* — coalesced batches taken off the
+      queue and attempted, whatever their outcome.  It always equals
+      ``size_flushes + deadline_flushes + close_flushes``.
+    * ``coalesced_requests`` counts requests actually *served* by a
+      shared ``apply_many`` call of two or more — a batch that failed
+      and was split request-by-request contributes nothing here.
+    * ``isolation_splits`` counts failed multi-request batches that
+      were split; ``retried_requests`` counts the singleton retry
+      calls those splits issued, so the total number of ``apply_many``
+      calls reaching the target is ``batches + retried_requests``.
+    """
 
     requests: int = 0  # vectors submitted
-    batches: int = 0  # apply_many calls issued
-    coalesced_requests: int = 0  # requests served in a batch of >= 2
-    max_batch: int = 0  # largest batch executed
+    batches: int = 0  # coalesced flushes attempted (= sum of *_flushes)
+    coalesced_requests: int = 0  # requests served in a shared batch >= 2
+    max_batch: int = 0  # largest batch taken off the queue
     size_flushes: int = 0  # batches flushed because max_batch was hit
     deadline_flushes: int = 0  # batches flushed by the latency bound
     close_flushes: int = 0  # batches flushed during close()
     isolation_splits: int = 0  # failed batches retried request-by-request
+    retried_requests: int = 0  # singleton retries issued by those splits
     failed_requests: int = 0  # requests resolved with an error
     cancelled_requests: int = 0  # requests resolved with DispatcherClosed
 
 
 class _Request:
-    __slots__ = ("x", "result", "error", "done")
+    """One submitted vector and its (eventual) resolution.
 
-    def __init__(self, x: np.ndarray):
+    ``arrival`` is the ``time.monotonic()`` submission stamp that the
+    worker's latency bound is computed from.  ``on_done`` (optional)
+    is invoked exactly once, after ``done`` is set, from whichever
+    thread resolved the request — the hook the asyncio front-end uses
+    to bridge back onto its event loop without burning a thread per
+    in-flight request.
+    """
+
+    __slots__ = ("x", "result", "error", "done", "arrival", "on_done")
+
+    def __init__(self, x: np.ndarray, arrival: float = 0.0,
+                 on_done: Callable[["_Request"], None] | None = None):
         self.x = x
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
         self.done = threading.Event()
+        self.arrival = arrival
+        self.on_done = on_done
+
+    def resolve(self, result: np.ndarray) -> None:
+        self.result = result
+        self._finish()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._finish()
+
+    def _finish(self) -> None:
+        self.done.set()
+        callback = self.on_done
+        if callback is not None:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - a bad hook must not
+                pass  # take the worker (or close()) down with it
 
 
 class BatchDispatcher:
@@ -80,7 +135,10 @@ class BatchDispatcher:
     :class:`~repro.perfeval.runner.ExecutableRoutine` or an
     :class:`~repro.fftw.executor.FftwTransform`.  ``threads`` is
     forwarded to ``apply_many`` when given, composing dynamic batching
-    with sharded/OpenMP execution.
+    with sharded/OpenMP execution.  ``dtype`` (default: the target's
+    ``dtype`` attribute, when it has one) arms per-request dtype
+    validation: safe upcasts are coerced, unsafe ones rejected at
+    submission so they cannot poison a coalesced batch.
 
     Usable as a context manager; ``close()`` drains pending requests
     before the worker exits, and no request can outlive the worker
@@ -90,7 +148,8 @@ class BatchDispatcher:
 
     def __init__(self, target, *, max_batch: int = 64,
                  max_delay: float = 0.002,
-                 threads: int | None = None):
+                 threads: int | None = None,
+                 dtype: np.dtype | str | None = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
@@ -99,10 +158,12 @@ class BatchDispatcher:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.threads = threads
+        if dtype is None:
+            dtype = getattr(target, "dtype", None)
+        self.dtype = np.dtype(dtype) if dtype is not None else None
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: list[_Request] = []
-        self._deadline: float | None = None  # first pending request + delay
         self._closed = False
         self._stats = DispatchStats()
         self._worker = threading.Thread(
@@ -121,27 +182,60 @@ class BatchDispatcher:
         :class:`DispatcherClosed` if the dispatcher shut down before
         the request ran.
         """
-        request = self._submit(x)
+        request = self.submit(x)
         request.done.wait()
         if request.error is not None:
             raise request.error
         return request.result
 
-    def _submit(self, x: np.ndarray) -> _Request:
-        x = np.asarray(x)
-        n = getattr(self.target, "n", None)
-        if n is not None and x.shape != (n,):
-            raise ValueError(f"expected a ({n},) vector, got shape {x.shape}")
-        request = _Request(x)
+    def submit(self, x: np.ndarray,
+               on_done: Callable[[_Request], None] | None = None
+               ) -> _Request:
+        """Enqueue one vector without blocking; returns its handle.
+
+        The handle exposes ``done`` (a :class:`threading.Event`),
+        ``result`` and ``error``; exactly one of the latter two is set
+        by the time ``done`` fires.  ``on_done`` is called once, after
+        resolution, from an internal thread — it must be cheap and
+        must not raise (the asyncio server passes
+        ``loop.call_soon_threadsafe`` bridges here).
+
+        Shape and dtype are validated *here*, before the request can
+        join a batch: a wrong-shape or unsafely-typed vector raises
+        :class:`ValueError` to its own caller and never poisons the
+        coalesced batch it would have ridden in.
+        """
+        x = self._validate(x)
+        request = _Request(x, time.monotonic(), on_done)
         with self._lock:
             if self._closed:
                 raise DispatcherClosed("BatchDispatcher is closed")
             self._pending.append(request)
             self._stats.requests += 1
-            if self._deadline is None:
-                self._deadline = time.monotonic() + self.max_delay
             self._wakeup.notify_all()
         return request
+
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        n = getattr(self.target, "n", None)
+        if n is not None and x.shape != (n,):
+            raise ValueError(f"expected a ({n},) vector, got shape {x.shape}")
+        if self.dtype is not None and x.dtype != self.dtype:
+            # np.stack would silently upcast the whole coalesced batch
+            # to the widest submitted dtype (complex into a float64
+            # transform corrupts *every* row via discarded imaginary
+            # parts) — so coerce or reject per request, at the door.
+            if not np.can_cast(x.dtype, self.dtype, casting="safe"):
+                raise ValueError(
+                    f"cannot safely cast a {x.dtype} vector to the "
+                    f"target dtype {self.dtype}"
+                )
+            x = x.astype(self.dtype)
+        return x
+
+    # Backwards-compatible alias (pre-serving internal name).
+    def _submit(self, x: np.ndarray) -> _Request:
+        return self.submit(x)
 
     @property
     def stats(self) -> DispatchStats:
@@ -157,28 +251,30 @@ class BatchDispatcher:
         — each blocked caller gets :class:`DispatcherClosed`
         immediately.  Either way, after ``close()`` returns every
         submitted request has been resolved.
+
+        Safe to call from *any* thread, including the worker itself
+        (e.g. a fault-handling callback inside the target's
+        ``apply_many``): a re-entrant close skips the self-join —
+        which would deadlock — and lets the worker loop observe
+        ``_closed`` and wind itself down.
         """
         with self._lock:
-            already = self._closed
             self._closed = True
             if not drain:
                 self._cancel_locked(self._pending)
                 self._pending.clear()
-                self._deadline = None
             self._wakeup.notify_all()
-        self._worker.join()
-        if already:
-            return
+        if threading.current_thread() is not self._worker:
+            self._worker.join()
 
     def _cancel_locked(self, requests: list[_Request]) -> None:
         """Resolve ``requests`` with DispatcherClosed (lock held)."""
         for request in requests:
             if not request.done.is_set():
-                request.error = DispatcherClosed(
-                    "BatchDispatcher closed before this request ran"
-                )
                 self._stats.cancelled_requests += 1
-                request.done.set()
+                request.fail(DispatcherClosed(
+                    "BatchDispatcher closed before this request ran"
+                ))
 
     def __enter__(self) -> "BatchDispatcher":
         return self
@@ -189,7 +285,16 @@ class BatchDispatcher:
     # -- worker side ---------------------------------------------------------
 
     def _take_batch(self) -> tuple[list[_Request], str] | None:
-        """Block until a batch is due; None when closed and drained."""
+        """Block until a batch is due; None when closed and drained.
+
+        The latency bound is per-request: the flush deadline is always
+        ``oldest_pending_arrival + max_delay`` (pending is FIFO, so the
+        oldest request is ``_pending[0]``).  A flush that leaves
+        requests pending therefore does *not* restart their clock —
+        the old code reset a queue-level deadline to ``now +
+        max_delay`` after every flush, so stragglers could wait nearly
+        ``2 x max_delay`` under sustained load.
+        """
         with self._lock:
             while True:
                 if self._pending:
@@ -198,17 +303,14 @@ class BatchDispatcher:
                     elif len(self._pending) >= self.max_batch:
                         reason = "size"
                     else:
-                        remaining = self._deadline - time.monotonic()
+                        deadline = self._pending[0].arrival + self.max_delay
+                        remaining = deadline - time.monotonic()
                         if remaining > 0:
                             self._wakeup.wait(remaining)
                             continue
                         reason = "deadline"
                     batch = self._pending[: self.max_batch]
                     del self._pending[: len(batch)]
-                    self._deadline = (
-                        time.monotonic() + self.max_delay
-                        if self._pending else None
-                    )
                     return batch, reason
                 if self._closed:
                     return None
@@ -216,6 +318,8 @@ class BatchDispatcher:
 
     def _apply_one(self, request: _Request) -> None:
         """Run one request alone; resolve it with its own outcome."""
+        with self._lock:
+            self._stats.retried_requests += 1
         try:
             Y = (
                 self.target.apply_many(request.x[np.newaxis, :])
@@ -223,15 +327,24 @@ class BatchDispatcher:
                 else self.target.apply_many(request.x[np.newaxis, :],
                                             threads=self.threads)
             )
-            request.result = Y[0].copy()
         except BaseException as exc:  # noqa: BLE001 - forwarded
-            request.error = exc
             with self._lock:
                 self._stats.failed_requests += 1
-        request.done.set()
+            request.fail(exc)
+            return
+        request.resolve(Y[0].copy())
 
     def _execute(self, batch: list[_Request], reason: str) -> None:
         """Run one coalesced batch, isolating per-request failures."""
+        with self._lock:
+            # Flush accounting happens per *attempt* so the flush-
+            # reason counters always sum to ``batches``; whether the
+            # requests were actually served coalesced is recorded
+            # separately below, on the success path only.
+            self._stats.batches += 1
+            self._stats.max_batch = max(self._stats.max_batch, len(batch))
+            field = f"{reason}_flushes"
+            setattr(self._stats, field, getattr(self._stats, field) + 1)
         try:
             X = np.stack([request.x for request in batch])
             if self.threads is None:
@@ -240,10 +353,9 @@ class BatchDispatcher:
                 Y = self.target.apply_many(X, threads=self.threads)
         except BaseException as exc:  # noqa: BLE001 - isolated below
             if len(batch) == 1:
-                batch[0].error = exc
                 with self._lock:
                     self._stats.failed_requests += 1
-                batch[0].done.set()
+                batch[0].fail(exc)
             else:
                 # One poisoned vector must not fail the whole batch:
                 # split and retry request-by-request so only the
@@ -253,19 +365,11 @@ class BatchDispatcher:
                 for request in batch:
                     self._apply_one(request)
             return
-        finally:
-            with self._lock:
-                self._stats.batches += 1
-                self._stats.max_batch = max(self._stats.max_batch,
-                                            len(batch))
-                if len(batch) >= 2:
-                    self._stats.coalesced_requests += len(batch)
-                field = f"{reason}_flushes"
-                setattr(self._stats, field,
-                        getattr(self._stats, field) + 1)
+        with self._lock:
+            if len(batch) >= 2:
+                self._stats.coalesced_requests += len(batch)
         for i, request in enumerate(batch):
-            request.result = Y[i].copy()
-            request.done.set()
+            request.resolve(Y[i].copy())
 
     def _run(self) -> None:
         try:
@@ -284,5 +388,4 @@ class BatchDispatcher:
                 self._closed = True
                 leftovers = list(self._pending)
                 self._pending.clear()
-                self._deadline = None
                 self._cancel_locked(leftovers)

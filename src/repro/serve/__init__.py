@@ -1,0 +1,50 @@
+"""repro.serve — the asyncio transform service.
+
+An inference-server-style front-end over the SPL runtime: requests
+arrive on a length-prefixed socket protocol, are routed by
+``(transform, n, dtype)`` to per-plan batch dispatchers, admitted
+through bounded queues with deadline-aware shedding, and executed on
+circuit-breaker-guarded compiled backends.  See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.client import AsyncSplClient, SplClient
+from repro.serve.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    Unavailable,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    WorkloadSpec,
+    mixed_fft_specs,
+    run_load,
+    run_load_sync,
+)
+from repro.serve.plans import Plan, PlanKey, PlanRegistry
+from repro.serve.server import PlanService, Router, SplServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AsyncSplClient",
+    "BadRequest",
+    "DeadlineExceeded",
+    "LoadReport",
+    "Overloaded",
+    "Plan",
+    "PlanKey",
+    "PlanRegistry",
+    "PlanService",
+    "Router",
+    "ServeError",
+    "SplClient",
+    "SplServer",
+    "Unavailable",
+    "WorkloadSpec",
+    "mixed_fft_specs",
+    "run_load",
+    "run_load_sync",
+]

@@ -1,0 +1,111 @@
+"""``python -m repro.serve`` / ``spl serve`` — run the server.
+
+Examples::
+
+    spl serve --port 7462 --warm fft:64 fft:1024
+    spl serve --wisdom wisdom.json --warm fft:64 --max-delay-ms 1
+
+``--warm`` prebuilds routes at boot; with ``--wisdom`` pointing at a
+store produced by ``spl-compile --search --wisdom ...`` the warmed
+plans replay the search winners (hot boot) instead of the default
+factorization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.plans import PlanKey, PlanRegistry
+from repro.serve.protocol import DTYPES
+from repro.serve.server import Router, SplServer
+from repro.wisdom.store import WisdomStore
+
+
+def _parse_warm_spec(spec: str) -> PlanKey:
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"bad warm spec {spec!r} (want transform:n[:dtype])")
+    transform, n_text = parts[0], parts[1]
+    try:
+        n = int(n_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size in warm spec {spec!r}") from None
+    if len(parts) == 3:
+        dtype = parts[2]
+    else:
+        dtype = "float64" if transform == "wht" else "complex128"
+    if dtype not in DTYPES:
+        raise argparse.ArgumentTypeError(
+            f"bad dtype in warm spec {spec!r}")
+    return PlanKey(transform=transform, n=n, dtype=dtype)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spl serve",
+        description="Serve SPL transforms over the batch dispatcher.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7462,
+                        help="0 picks an ephemeral port")
+    parser.add_argument("--warm", nargs="*", type=_parse_warm_spec,
+                        default=[], metavar="TRANSFORM:N[:DTYPE]",
+                        help="routes to prebuild before accepting "
+                             "connections, e.g. fft:64 wht:256")
+    parser.add_argument("--wisdom", default=None, metavar="PATH",
+                        help="wisdom store to boot plans from")
+    parser.add_argument("--prefer", default=None,
+                        choices=["c", "numpy", "python"],
+                        help="backend chain head (default: c if a "
+                             "compiler is available)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="per-request coalescing latency bound")
+    parser.add_argument("--queue-limit", type=int, default=256,
+                        help="per-plan in-flight bound (overload "
+                             "rejections beyond it)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="OpenMP threads per batch call")
+    return parser
+
+
+async def _run(args: argparse.Namespace) -> int:
+    wisdom = WisdomStore(args.wisdom) if args.wisdom else None
+    registry = PlanRegistry(prefer=args.prefer, wisdom=wisdom)
+    router = Router(
+        registry,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        queue_limit=args.queue_limit,
+        threads=args.threads,
+    )
+    server = SplServer(router, host=args.host, port=args.port,
+                       warm=args.warm)
+    host, port = await server.start()
+    warmed = ", ".join(k.describe() for k in args.warm) or "none"
+    print(f"spl serve: listening on {host}:{port} "
+          f"(prefer={registry.prefer}, warmed: {warmed})",
+          file=sys.stderr)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_run(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

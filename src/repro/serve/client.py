@@ -1,0 +1,214 @@
+"""Clients for the transform service.
+
+:class:`SplClient` is the simple blocking client: one request in
+flight at a time, typed errors raised from the wire ``code``.  The
+load generator and benchmark use :class:`AsyncSplClient`, which
+pipelines — requests are tagged with a client-side ``id``, responses
+are matched back to their futures as they arrive, in any order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+
+from repro.serve.errors import ServeError, from_code
+from repro.serve.protocol import (
+    bytes_to_vector,
+    dtype_name,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+    resolve_dtype,
+)
+
+
+def _raise_for_status(header: dict) -> None:
+    if header.get("status") == "ok":
+        return
+    raise from_code(header.get("code", "internal"),
+                    header.get("message", "request failed"),
+                    queue_depth=header.get("queue_depth"),
+                    queue_limit=header.get("queue_limit"))
+
+
+class SplClient:
+    """Blocking client; one outstanding request at a time."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SplClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, header: dict,
+                   payload: bytes = b"") -> tuple[dict, bytes]:
+        self._sock.sendall(encode_frame(header, payload))
+        frame = read_frame_sync(self._rfile)
+        if frame is None:
+            raise ConnectionError("server closed the connection")
+        response, response_payload = frame
+        _raise_for_status(response)
+        return response, response_payload
+
+    def ping(self) -> None:
+        self._roundtrip({"op": "ping"})
+
+    def stats(self) -> dict:
+        response, _ = self._roundtrip({"op": "stats"})
+        return response["stats"]
+
+    def transform(self, transform: str, x: np.ndarray, *,
+                  deadline_ms: float | None = None) -> np.ndarray:
+        x = np.ascontiguousarray(x)
+        header = {
+            "op": "transform",
+            "transform": transform,
+            "n": int(x.shape[0]),
+            "dtype": dtype_name(x.dtype),
+        }
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        response, payload = self._roundtrip(header, x.tobytes())
+        return bytes_to_vector(payload, response["n"],
+                               resolve_dtype(response["dtype"]))
+
+
+class AsyncSplClient:
+    """Pipelining asyncio client.
+
+    ``submit`` returns immediately with a future; a background reader
+    task resolves futures as tagged responses arrive.  Used by the
+    open-loop load generator, where issuing must never wait on
+    completion.
+    """
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: asyncio.Task | None = None
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncSplClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                header, payload = frame
+                future = self._pending.pop(header.get("id"), None)
+                if future is None or future.done():
+                    continue
+                try:
+                    _raise_for_status(header)
+                except ServeError as exc:
+                    future.set_exception(exc)
+                    continue
+                if payload:
+                    result = bytes_to_vector(
+                        payload, header["n"],
+                        resolve_dtype(header["dtype"]))
+                    future.set_result((header, result))
+                else:
+                    future.set_result((header, None))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail all waiters
+            self._fail_pending(exc)
+            return
+        if not self._closed:
+            self._fail_pending(
+                ConnectionError("server closed the connection"))
+
+    def submit(self, header: dict,
+               payload: bytes = b"") -> asyncio.Future:
+        """Send one frame; the returned future resolves to
+        ``(response_header, vector_or_None)`` or a typed error."""
+        assert self._writer is not None
+        request_id = self._next_id
+        self._next_id += 1
+        header = dict(header, id=request_id)
+        future: asyncio.Future = \
+            asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(header, payload))
+        return future
+
+    async def drain(self) -> None:
+        assert self._writer is not None
+        await self._writer.drain()
+
+    async def transform(self, transform: str, x: np.ndarray, *,
+                        deadline_ms: float | None = None
+                        ) -> np.ndarray:
+        x = np.ascontiguousarray(x)
+        header = {
+            "op": "transform",
+            "transform": transform,
+            "n": int(x.shape[0]),
+            "dtype": dtype_name(x.dtype),
+        }
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        future = self.submit(header, x.tobytes())
+        await self.drain()
+        _, result = await future
+        return result
+
+    async def ping(self) -> None:
+        future = self.submit({"op": "ping"})
+        await self.drain()
+        await future
+
+    async def stats(self) -> dict:
+        future = self.submit({"op": "stats"})
+        await self.drain()
+        header, _ = await future
+        return header["stats"]

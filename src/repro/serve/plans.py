@@ -1,0 +1,276 @@
+"""Plan construction and caching for the transform service.
+
+A *plan* is the executable behind one ``(transform, n, dtype)`` route:
+a compiled :class:`~repro.perfeval.runner.ExecutableRoutine` on the
+fastest available backend, with its circuit-breaker fallback chain
+armed.  The registry builds each plan at most once (per-key locks, so
+two concurrent first requests for the same route compile once while
+different routes compile in parallel) and can *boot hot* from a
+wisdom store: when the store holds a search winner for an FFT size,
+its formula is re-validated and compiled instead of the default
+factorization — first-request latency pays one compile, never a
+search.
+
+Supported routes:
+
+* ``fft`` / ``complex128`` — the n-point DFT.  Sizes that factor into
+  the greedy small-leaf decomposition get the Equation 10 multi-factor
+  formula; other sizes up to ``MAX_DIRECT_FFT`` compile the direct
+  ``(F n)`` definition.
+* ``wht`` / ``float64`` — the Walsh-Hadamard transform, power-of-two
+  sizes (the real-datatype workload, exercising float64 routing).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.core.errors import SplError
+from repro.core.nodes import Formula
+from repro.core.parser import parse_formula_text
+from repro.formulas.factorization import ct_multi, wht_multi
+from repro.perfeval.ccompile import have_c_compiler
+from repro.perfeval.runner import ExecutableRoutine, build_executable
+from repro.search.dp import SMALL_TRANSFORM, default_small_compiler
+from repro.search.measure import validate_fft_formula
+from repro.serve.errors import BadRequest
+from repro.serve.protocol import DTYPES
+from repro.wisdom.store import WisdomStore
+
+#: Largest size compiled from the direct ``(F n)`` definition when the
+#: greedy factorization does not reproduce ``n`` (direct DFT code is
+#: O(n^2) statements once unrolled — keep it small).
+MAX_DIRECT_FFT = 64
+
+#: Largest plannable size, a resource-governance backstop mirroring
+#: the compile limits: one hostile header must not trigger a gigabyte
+#: codegen run.
+MAX_PLAN_SIZE = 1 << 16
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """One route: the (transform, n, dtype) triple requests carry."""
+
+    transform: str
+    n: int
+    dtype: str  # wire name, e.g. "complex128"
+
+    @classmethod
+    def from_header(cls, header: dict) -> "PlanKey":
+        transform = header.get("transform")
+        n = header.get("n")
+        dtype = header.get("dtype", "complex128")
+        if not isinstance(transform, str):
+            raise BadRequest("missing or non-string 'transform'")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise BadRequest(f"bad transform size {n!r}")
+        if dtype not in DTYPES:
+            raise BadRequest(
+                f"unsupported dtype {dtype!r} (expected one of "
+                f"{sorted(DTYPES)})"
+            )
+        return cls(transform=transform, n=n, dtype=dtype)
+
+    def describe(self) -> str:
+        return f"{self.transform}:{self.n}:{self.dtype}"
+
+
+@dataclass
+class Plan:
+    """A built route: the executable plus its provenance."""
+
+    key: PlanKey
+    executable: ExecutableRoutine
+    from_wisdom: bool = False
+    formula_spl: str = ""
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.executable.dtype
+
+
+def fft_factors(n: int) -> list[int] | None:
+    """Greedy small-leaf factorization; None when it cannot hit ``n``
+    exactly (odd or prime-heavy sizes fall back to the direct DFT)."""
+    factors: list[int] = []
+    remaining = n
+    while remaining > 8:
+        if remaining % 4 == 0:
+            factors.append(4)
+            remaining //= 4
+        elif remaining % 2 == 0:
+            factors.append(2)
+            remaining //= 2
+        else:
+            return None
+    factors.append(remaining)
+    if factors[-1] < 2:
+        return None
+    prod = 1
+    for f in factors:
+        prod *= f
+    return factors if prod == n else None
+
+
+class PlanRegistry:
+    """Build-once cache of executables keyed by :class:`PlanKey`.
+
+    ``wisdom`` (optional) is consulted for FFT formulas before the
+    default factorization; replayed entries are re-validated against
+    ``numpy.fft`` via the interpreter and evicted on mismatch, so a
+    stale or tampered store degrades to a cold build, never to wrong
+    answers.  ``prefer`` picks the backend chain head (default: C
+    when a compiler is on PATH, NumPy otherwise).
+    """
+
+    def __init__(self, *, prefer: str | None = None,
+                 wisdom: WisdomStore | None = None,
+                 cflags: tuple[str, ...] = (),
+                 threads: int = 1):
+        if prefer is None:
+            prefer = "c" if have_c_compiler() else "numpy"
+        self.prefer = prefer
+        self.wisdom = wisdom
+        self.cflags = tuple(cflags)
+        self.threads = threads
+        self._plans: dict[PlanKey, Plan] = {}
+        self._locks: dict[PlanKey, threading.Lock] = {}
+        self._registry_lock = threading.Lock()
+        self._builds = 0
+        self._wisdom_boots = 0
+        # One compiler session per registry: compile_formula memoizes,
+        # so re-building a route after a restart-less eviction is free.
+        self._compiler = SplCompiler(CompilerOptions(
+            codetype="real", unroll_threshold=16,
+        ))
+        # Wisdom entries are keyed by the *search* compiler's options;
+        # use the same options object so lookups actually hit.
+        self._wisdom_options = default_small_compiler().options
+
+    # -- formula selection ------------------------------------------------
+
+    def _language(self) -> str:
+        return {"c": "c", "numpy": "numpy"}.get(self.prefer, "python")
+
+    def _fft_formula(self, n: int) -> tuple[Formula, bool]:
+        """The formula for an n-point DFT: wisdom winner or default."""
+        if self.wisdom is not None:
+            replayed: dict[str, Formula] = {}
+
+            def check(entry) -> bool:
+                formula = parse_formula_text(entry.formula,
+                                             self._compiler.defines)
+                if not validate_fft_formula(self._compiler, formula, n):
+                    return False
+                replayed["formula"] = formula
+                return True
+
+            entry = self.wisdom.validated_lookup(
+                SMALL_TRANSFORM, n, self._wisdom_options, validate=check)
+            if entry is not None:
+                return replayed["formula"], True
+        factors = fft_factors(n)
+        if factors is not None:
+            return ct_multi(factors), False
+        if n <= MAX_DIRECT_FFT:
+            return parse_formula_text(f"(F {n})",
+                                      self._compiler.defines), False
+        raise BadRequest(
+            f"fft size {n} is not plannable (not smooth, and too "
+            f"large for the direct definition)"
+        )
+
+    def _formula(self, key: PlanKey) -> tuple[Formula, bool, str]:
+        """(formula, from_wisdom, datatype) for one route."""
+        if key.n > MAX_PLAN_SIZE:
+            raise BadRequest(
+                f"transform size {key.n} exceeds the serving limit "
+                f"{MAX_PLAN_SIZE}"
+            )
+        if key.transform == "fft":
+            if key.dtype != "complex128":
+                raise BadRequest("fft serves dtype complex128 only")
+            formula, from_wisdom = self._fft_formula(key.n)
+            return formula, from_wisdom, "complex"
+        if key.transform == "wht":
+            if key.dtype != "float64":
+                raise BadRequest("wht serves dtype float64 only")
+            k = key.n.bit_length() - 1
+            if key.n < 2 or (1 << k) != key.n:
+                raise BadRequest(
+                    f"wht size {key.n} is not a power of two")
+            # Balanced split: radix-4 stages, one radix-2 remainder.
+            exponents = [2] * (k // 2) + ([1] if k % 2 else [])
+            return wht_multi(exponents), False, "real"
+        raise BadRequest(
+            f"unknown transform {key.transform!r} "
+            f"(supported: fft, wht)"
+        )
+
+    # -- the cache --------------------------------------------------------
+
+    def _lock_for(self, key: PlanKey) -> threading.Lock:
+        with self._registry_lock:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def get(self, key: PlanKey) -> Plan:
+        """The plan for ``key``, building it on first use.
+
+        Raises :class:`~repro.serve.errors.BadRequest` for unroutable
+        keys; compile failures surface as
+        :class:`~repro.core.errors.SplError` (mapped to ``internal``
+        by the server).
+        """
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        with self._lock_for(key):
+            plan = self._plans.get(key)
+            if plan is not None:
+                return plan
+            formula, from_wisdom, datatype = self._formula(key)
+            name = f"serve_{key.transform}{key.n}"
+            routine = self._compiler.compile_formula(
+                formula, name, datatype=datatype,
+                language=self._language(),
+            )
+            executable = build_executable(
+                routine, prefer=self.prefer, cflags=self.cflags,
+                threads=self.threads,
+            )
+            if executable.dtype != DTYPES[key.dtype]:
+                raise SplError(
+                    f"route {key.describe()} compiled to dtype "
+                    f"{executable.dtype}"
+                )
+            plan = Plan(key=key, executable=executable,
+                        from_wisdom=from_wisdom,
+                        formula_spl=formula.to_spl())
+            with self._registry_lock:
+                self._plans[key] = plan
+                self._builds += 1
+                if from_wisdom:
+                    self._wisdom_boots += 1
+            return plan
+
+    def warm(self, keys: list[PlanKey]) -> list[Plan]:
+        """Prebuild routes (boot-time warm-up); returns their plans."""
+        return [self.get(key) for key in keys]
+
+    def stats(self) -> dict:
+        with self._registry_lock:
+            return {
+                "plans": len(self._plans),
+                "builds": self._builds,
+                "wisdom_boots": self._wisdom_boots,
+                "prefer": self.prefer,
+                "wisdom_attached": self.wisdom is not None,
+            }

@@ -1,0 +1,90 @@
+"""Admission-control unit tests: bounded queue, deadline shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController
+from repro.serve.errors import DeadlineExceeded, Overloaded
+
+
+class TestBoundedQueue:
+    def test_rejects_past_the_limit_with_depth(self):
+        ctrl = AdmissionController(queue_limit=3)
+        for _ in range(3):
+            ctrl.try_admit(0.0)
+        with pytest.raises(Overloaded) as info:
+            ctrl.try_admit(0.0)
+        assert info.value.queue_depth == 3
+        assert info.value.queue_limit == 3
+        assert ctrl.stats().rejected_overload == 1
+
+    def test_completion_frees_a_slot(self):
+        ctrl = AdmissionController(queue_limit=1)
+        ctrl.try_admit(0.0)
+        with pytest.raises(Overloaded):
+            ctrl.try_admit(0.0)
+        ctrl.complete(0.0, 0.01)
+        ctrl.try_admit(0.02)  # does not raise
+        assert ctrl.inflight == 1
+        assert ctrl.stats().admitted == 2
+
+    def test_failed_completion_frees_but_does_not_count_completed(self):
+        ctrl = AdmissionController(queue_limit=1)
+        ctrl.try_admit(0.0)
+        ctrl.complete(0.0, 0.01, ok=False)
+        stats = ctrl.stats()
+        assert stats.failed == 1
+        assert stats.completed == 0
+        assert ctrl.inflight == 0
+
+    def test_queue_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=0)
+
+
+class TestDeadlineShedding:
+    def test_expired_deadline_is_shed(self):
+        ctrl = AdmissionController()
+        with pytest.raises(DeadlineExceeded):
+            ctrl.try_admit(10.0, deadline=9.0)
+        assert ctrl.stats().shed_deadline == 1
+        assert ctrl.inflight == 0
+
+    def test_no_ewma_means_no_prediction(self):
+        # Before any completion there is no service-time estimate, so
+        # a live deadline is always admitted.
+        ctrl = AdmissionController()
+        ctrl.try_admit(0.0, deadline=1e-9 + 0.0001)
+        assert ctrl.inflight == 1
+
+    def test_predicted_miss_is_shed(self):
+        ctrl = AdmissionController(queue_limit=100, batch_hint=1,
+                                   ewma_alpha=1.0)
+        ctrl.try_admit(0.0)
+        ctrl.complete(0.0, 0.1)  # ewma = 100ms
+        # 50ms of budget < 100ms predicted service: shed.
+        with pytest.raises(DeadlineExceeded):
+            ctrl.try_admit(1.0, deadline=1.05)
+        # 300ms of budget is plenty: admitted.
+        ctrl.try_admit(1.0, deadline=1.3)
+        assert ctrl.stats().shed_deadline == 1
+
+    def test_prediction_scales_with_inflight(self):
+        ctrl = AdmissionController(queue_limit=100, batch_hint=1,
+                                   ewma_alpha=1.0)
+        ctrl.try_admit(0.0)
+        ctrl.complete(0.0, 0.01)  # ewma = 10ms
+        # Deep queue: each in-flight request adds ~one more service
+        # time (batch_hint=1), so 15ms of budget stops being enough.
+        for _ in range(4):
+            ctrl.try_admit(1.0)
+        with pytest.raises(DeadlineExceeded):
+            ctrl.try_admit(1.0, deadline=1.015)
+
+    def test_failures_do_not_pollute_the_ewma(self):
+        ctrl = AdmissionController(ewma_alpha=1.0)
+        ctrl.try_admit(0.0)
+        ctrl.complete(0.0, 10.0, ok=False)  # pathological, failed
+        assert ctrl.stats().ewma_service_s == 0.0
+        ctrl.try_admit(20.0, deadline=20.001)  # still admits

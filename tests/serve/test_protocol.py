@@ -1,0 +1,106 @@
+"""Wire-protocol unit tests: framing, caps, vector codecs."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve.errors import BadRequest
+from repro.serve.protocol import (
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    bytes_to_vector,
+    decode_header,
+    dtype_name,
+    encode_frame,
+    read_frame_sync,
+    resolve_dtype,
+    vector_to_bytes,
+)
+
+
+def roundtrip(header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+    return read_frame_sync(io.BytesIO(encode_frame(header, payload)))
+
+
+class TestFraming:
+    def test_header_roundtrip(self):
+        header, payload = roundtrip({"op": "ping", "id": 3})
+        assert header["op"] == "ping"
+        assert header["id"] == 3
+        assert payload == b""
+
+    def test_payload_roundtrip(self):
+        raw = b"\x01\x02\x03\x04"
+        header, payload = roundtrip({"op": "transform"}, raw)
+        assert header["payload_bytes"] == 4
+        assert payload == raw
+
+    def test_eof_before_frame_is_none(self):
+        assert read_frame_sync(io.BytesIO(b"")) is None
+
+    def test_truncated_payload_is_none(self):
+        frame = encode_frame({"op": "transform"}, b"abcdef")
+        assert read_frame_sync(io.BytesIO(frame[:-3])) is None
+
+    def test_zero_header_length_rejected(self):
+        with pytest.raises(BadRequest):
+            read_frame_sync(io.BytesIO(struct.pack(">I", 0)))
+
+    def test_hostile_header_length_rejected(self):
+        blob = struct.pack(">I", MAX_HEADER_BYTES + 1) + b"x" * 64
+        with pytest.raises(BadRequest):
+            read_frame_sync(io.BytesIO(blob))
+
+    def test_hostile_payload_bytes_rejected(self):
+        raw = (b'{"payload_bytes": %d}'
+               % (MAX_PAYLOAD_BYTES + 1))
+        blob = struct.pack(">I", len(raw)) + raw
+        with pytest.raises(BadRequest):
+            read_frame_sync(io.BytesIO(blob))
+
+    def test_non_json_header_rejected(self):
+        blob = struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+        with pytest.raises(BadRequest):
+            read_frame_sync(io.BytesIO(blob))
+
+    def test_non_object_header_rejected(self):
+        with pytest.raises(BadRequest):
+            decode_header(b"[1, 2]")
+
+    def test_pipelined_frames_read_in_sequence(self):
+        stream = io.BytesIO(
+            encode_frame({"id": 1}, b"aa")
+            + encode_frame({"id": 2}, b"bbbb")
+        )
+        first = read_frame_sync(stream)
+        second = read_frame_sync(stream)
+        assert first[0]["id"] == 1 and first[1] == b"aa"
+        assert second[0]["id"] == 2 and second[1] == b"bbbb"
+        assert read_frame_sync(stream) is None
+
+
+class TestVectorCodec:
+    @pytest.mark.parametrize("dtype", ["float64", "complex128"])
+    def test_roundtrip(self, dtype):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(16).astype(dtype)
+        if dtype == "complex128":
+            x = x + 1j * rng.standard_normal(16)
+        back = bytes_to_vector(vector_to_bytes(x), 16,
+                               resolve_dtype(dtype))
+        np.testing.assert_array_equal(back, x)
+        assert back.flags.writeable
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BadRequest):
+            bytes_to_vector(b"\x00" * 8, 16, np.dtype(np.float64))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(BadRequest):
+            resolve_dtype("float16")
+        with pytest.raises(BadRequest):
+            dtype_name(np.dtype(np.int32))
