@@ -22,6 +22,13 @@ The artifact is written *before* any acceptance gate, and missing
 capabilities (no C compiler, no OpenMP, one core) skip their gates
 instead of failing, so minimal CI runners always produce an artifact.
 
+Each record also carries the optimizer's scratch-memory outcome
+(``scratch_bytes_before`` / ``scratch_bytes`` / ``temps_eliminated``):
+cross-stage fusion plus liveness-based temp reuse must cut per-call
+scratch by at least :data:`SCRATCH_REDUCTION_FLOOR` at n >= 256.  A
+compose-heavy radix-2 n=512 plan (log2(n) stages, the worst case for
+stage-at-a-time scratch) is swept alongside the mixed-radix plans.
+
 Scale knobs: ``SPL_THROUGHPUT_SIZES=8,16`` (FFT sizes),
 ``SPL_THROUGHPUT_BATCHES=1,8,64``, ``SPL_THROUGHPUT_THREADS=1,2``.
 """
@@ -58,6 +65,11 @@ SPEEDUP_FLOORS = {"numpy": 5.0, "c": 1.5}
 #: not asserted).
 PARALLEL_WALLTIME_BOUND = 1.25
 
+#: At n >= 256 the optimizer must cut per-call scratch bytes by at
+#: least this fraction relative to the unoptimized (stage-at-a-time)
+#: program — the ISSUE's "scratch_bytes down >= 30%" acceptance gate.
+SCRATCH_REDUCTION_FLOOR = 0.30
+
 
 def _env_ints(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
     value = os.environ.get(name)
@@ -88,13 +100,23 @@ def _factors(n: int) -> list[int]:
     return factors
 
 
-def _compile_fft(n: int, language: str):
+def _compile_fft(n: int, language: str, factors: list[int] | None = None):
     from repro.formulas.factorization import ct_multi
 
     compiler = SplCompiler(CompilerOptions(codetype="real",
                                            unroll_threshold=16))
-    return compiler.compile_formula(ct_multi(_factors(n)), f"tp{n}",
-                                    language=language)
+    return compiler.compile_formula(ct_multi(factors or _factors(n)),
+                                    f"tp{n}", language=language)
+
+
+def _radix2_factors(n: int) -> list[int]:
+    """All-2 factorization: log2(n) compose stages, the scratch-heavy
+    worst case the liveness pass exists for."""
+    factors = []
+    while n > 1:
+        factors.append(2)
+        n //= 2
+    return factors
 
 
 def _apply_closure(executable, n):
@@ -187,13 +209,16 @@ def test_throughput_batch(request):
     records = []
     for n in sizes:
         for backend in backends:
-            executable = build_executable(_compile_fft(n, backend),
-                                          prefer=backend)
+            routine = _compile_fft(n, backend)
+            executable = build_executable(routine, prefer=backend)
             assert executable.backend == backend
             records.append({
-                "backend": backend, "n": n,
+                "backend": backend, "n": n, "plan": "mixed-radix",
                 "parallel_driver": ("openmp" if executable.batch_omp_fn
                                     is not None else "sharded"),
+                "scratch_bytes": routine.scratch_bytes,
+                "scratch_bytes_before": routine.scratch_bytes_before,
+                "temps_eliminated": routine.temps_eliminated,
                 "rates": _rates_for_executable(executable, n,
                                                batches, threads),
             })
@@ -201,10 +226,30 @@ def test_throughput_batch(request):
             transform = fftw_planner.library.transform(
                 fftw_planner.plan_estimate(n))
             records.append({
-                "backend": "fftw", "n": n,
+                "backend": "fftw", "n": n, "plan": "mixed-radix",
                 "parallel_driver": "sharded",
                 "rates": _rates_for_fftw(transform, batches, threads),
             })
+
+    # Compose-heavy worst case: an all-radix-2 n=512 plan has log2(n)
+    # compose stages, so stage-at-a-time code allocates one temp array
+    # per stage; liveness-based reuse collapses them to the max-live
+    # set.  Swept on the fastest available backend.
+    radix2_n = 512
+    radix2_backend = "c" if have_c_compiler() else "numpy"
+    routine = _compile_fft(radix2_n, radix2_backend,
+                           factors=_radix2_factors(radix2_n))
+    executable = build_executable(routine, prefer=radix2_backend)
+    records.append({
+        "backend": radix2_backend, "n": radix2_n, "plan": "radix2",
+        "parallel_driver": ("openmp" if executable.batch_omp_fn
+                            is not None else "sharded"),
+        "scratch_bytes": routine.scratch_bytes,
+        "scratch_bytes_before": routine.scratch_bytes_before,
+        "temps_eliminated": routine.temps_eliminated,
+        "rates": _rates_for_executable(executable, radix2_n,
+                                       batches, threads),
+    })
 
     lines = [
         "Throughput vs batch size and thread count (vectors/sec)",
@@ -228,6 +273,19 @@ def test_throughput_batch(request):
             + " ".join(f"{rates[f'apply_many[{top},threads={t}]']:>12.0f}"
                        for t in threads)
             + f" {speedup:>7.1f}x {rec['thread_scaling']:>7.2f}x"
+        )
+    lines.append("")
+    lines.append("Optimizer scratch memory (bytes per call)")
+    for rec in records:
+        if "scratch_bytes" not in rec:
+            continue
+        before = rec["scratch_bytes_before"]
+        after = rec["scratch_bytes"]
+        cut = (1.0 - after / before) * 100 if before else 0.0
+        lines.append(
+            f"{rec['n']:>5} {rec['backend']:>8} {rec['plan']:>12} "
+            f"{before:>10} -> {after:>8}  (-{cut:.0f}%, "
+            f"{rec['temps_eliminated']} temp arrays eliminated)"
         )
     write_results("throughput_batch", lines)
 
@@ -254,6 +312,21 @@ def test_throughput_batch(request):
                 f"{rec['batch_speedup']:.2f}x over apply (floor {floor}x)"
             )
 
+    # Acceptance: the optimizer's scratch win.  Fusion plus liveness
+    # reuse must cut per-call temp memory at n >= 256 by at least the
+    # floor, relative to the stage-at-a-time program it started from.
+    for rec in records:
+        before = rec.get("scratch_bytes_before", 0)
+        if rec["n"] < 256 or not before:
+            continue
+        reduction = 1.0 - rec["scratch_bytes"] / before
+        assert reduction >= SCRATCH_REDUCTION_FLOOR, (
+            f"{rec['backend']} n={rec['n']} ({rec['plan']}): scratch "
+            f"only down {reduction:.0%} ({before} -> "
+            f"{rec['scratch_bytes']} bytes; floor "
+            f"{SCRATCH_REDUCTION_FLOOR:.0%})"
+        )
+
     if not have_c_compiler():
         pytest.skip("no C compiler: recorded python/numpy-only results, "
                     "parallel sanity not applicable")
@@ -276,8 +349,11 @@ def test_throughput_batch(request):
         for nthreads in threads[1:]:
             parallel = rates[f"apply_many[{top},threads={nthreads}]"]
             if serial > parallel * PARALLEL_WALLTIME_BOUND:
-                executable = build_executable(_compile_fft(rec["n"], "c"),
-                                              prefer="c")
+                factors = (_radix2_factors(rec["n"])
+                           if rec["plan"] == "radix2" else None)
+                executable = build_executable(
+                    _compile_fft(rec["n"], "c", factors=factors),
+                    prefer="c")
                 retry = time_callable(
                     executable.timer_closure_many(top, threads=nthreads),
                     min_time=MIN_TIME)

@@ -79,6 +79,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="declare Fortran temporaries 'automatic' (stack allocation)",
     )
     arg_parser.add_argument(
+        "--no-fusion", action="store_true",
+        help="disable cross-stage loop fusion and scratch liveness "
+             "reuse (reproduces the paper's stage-at-a-time code)",
+    )
+    arg_parser.add_argument(
+        "--validate-passes", action="store_true",
+        help="re-derive each routine's dense matrix after every "
+             "optimizer pass and abort (SPL-E300) if any pass changed "
+             "its semantics; slow, intended for debugging and fuzzing",
+    )
+    arg_parser.add_argument(
+        "--dump-passes", action="store_true",
+        help="print the per-pass compile report (statement/temp/"
+             "scratch deltas, per-pass time) for each routine to stderr",
+    )
+    arg_parser.add_argument(
         "--max-icode", type=int, metavar="N", default=None,
         help="abort compilation past N intermediate-code statements "
              f"(default {DEFAULT_LIMITS.max_icode_statements})",
@@ -338,6 +354,8 @@ def _main(argv: list[str] | None = None) -> int:
         optimize=args.optimize,
         peephole=args.peephole,
         automatic_storage=args.automatic,
+        fusion=not args.no_fusion,
+        validate_passes=args.validate_passes,
     )
     limits = DEFAULT_LIMITS.with_overrides(
         max_icode_statements=args.max_icode,
@@ -371,6 +389,8 @@ def _main(argv: list[str] | None = None) -> int:
             return status
     for routine in routines:
         print(routine.source)
+        if args.dump_passes:
+            print(routine.describe_passes(), file=sys.stderr)
         if args.stats:
             program = routine.program
             print(

@@ -119,10 +119,13 @@ class CodeGenerator:
             body=body,
             strided=strided,
         )
-        program.vectors[INPUT_VEC] = VecInfo(INPUT_VEC, in_size, VEC_INPUT)
-        program.vectors[OUTPUT_VEC] = VecInfo(OUTPUT_VEC, out_size, VEC_OUTPUT)
+        program.vectors[INPUT_VEC] = VecInfo(INPUT_VEC, in_size, VEC_INPUT,
+                                             dtype=datatype)
+        program.vectors[OUTPUT_VEC] = VecInfo(OUTPUT_VEC, out_size,
+                                              VEC_OUTPUT, dtype=datatype)
         _size_temps(program, self._temps)
         for info in self._temps.values():
+            info.dtype = datatype
             program.vectors[info.name] = info
         return program
 

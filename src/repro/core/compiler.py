@@ -29,13 +29,18 @@ from repro.core.backend_numpy import compile_numpy, emit_numpy
 from repro.core.backend_python import compile_python, emit_python
 from repro.core.codegen import CodeGenerator
 from repro.core.errors import SplError, SplSemanticError
+from repro.core.fusion import forward_copy_stages, fuse_conformable_stages
 from repro.core.icode import Program
 from repro.core.intrinsics import evaluate_intrinsics
 from repro.core.limits import CompileBudget, CompileLimits, DEFAULT_LIMITS
 from repro.core.nodes import Formula
-from repro.core.optimizer import optimize
+from repro.core.optimizer import PassPipeline, PassRecord, optimize
 from repro.core.parser import FormulaUnit, ParsedProgram
-from repro.core.peephole import avoid_unary_minus
+from repro.core.peephole import (
+    avoid_unary_minus,
+    prune_dead_temps,
+    reuse_temp_arrays,
+)
 from repro.core.templates import TemplateTable
 from repro.core.typetrans import complex_to_real
 from repro.core.unroll import scalarize_temps, unroll_loops
@@ -56,6 +61,14 @@ class CompilerOptions:
     optimize: str = "default"
     peephole: bool = False  # SPARC-style unary-minus rewriting
     automatic_storage: bool = False  # Fortran 'automatic' declarations
+    # Cross-stage loop fusion + scratch liveness reuse (only active at
+    # optimize="default"); off reproduces the paper's stage-at-a-time
+    # code exactly, which is also the before-side of the benchmarks.
+    fusion: bool = True
+    # Per-pass translation validation: after every optimizer pass,
+    # re-derive the matrix the i-code denotes and fail typed
+    # (SPL-E300) if any pass changed it.
+    validate_passes: bool = False
 
     def __post_init__(self) -> None:
         if self.optimize not in OPT_LEVELS:
@@ -73,6 +86,7 @@ class CompiledRoutine:
     program: Program
     source: str
     language: str
+    passes: list[PassRecord] = field(default_factory=list)
     _callable: Callable | None = field(default=None, repr=False)
 
     @property
@@ -86,6 +100,41 @@ class CompiledRoutine:
     @property
     def flop_count(self) -> int:
         return self.program.flop_count()
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Temp-array bytes the compiled program allocates per call."""
+        return self.program.scratch_bytes()
+
+    @property
+    def scratch_bytes_before(self) -> int:
+        """Scratch the program allocated before the optimizer ran."""
+        if self.passes:
+            return self.passes[0].scratch_in
+        return self.program.scratch_bytes()
+
+    @property
+    def temps_eliminated(self) -> int:
+        """Temp arrays removed by fusion + liveness-based reuse."""
+        if not self.passes:
+            return 0
+        return self.passes[0].temps_in - self.passes[-1].temps_out
+
+    def pass_summary(self) -> list[dict]:
+        """JSON-ready per-pass records for stats/benchmarks."""
+        return [record.as_dict() for record in self.passes]
+
+    def describe_passes(self) -> str:
+        """Human-readable pipeline dump (the CLI's ``--dump-passes``)."""
+        lines = [f"; pass pipeline for {self.name} "
+                 f"({len(self.passes)} passes)"]
+        lines.extend(record.describe() for record in self.passes)
+        lines.append(
+            f"; scratch {self.scratch_bytes_before} -> "
+            f"{self.scratch_bytes} bytes, "
+            f"{self.temps_eliminated} temp arrays eliminated"
+        )
+        return "\n".join(lines)
 
     def callable(self) -> Callable:
         """An executable ``fn(y, x)`` for the routine's target language.
@@ -322,24 +371,47 @@ class SplCompiler:
             unit.formula, unit.name, datatype, strided=strided
         )
 
-        # Phase 3: restructuring.
-        unroll_loops(program, budget)
+        # Phases 3 and 4 run as a recorded pass pipeline; with
+        # validate_passes on, the denoted matrix is re-derived after
+        # every pass and compilation aborts typed on any change.
+        pipeline = PassPipeline(program, validate=opts.validate_passes)
+        pipeline.run("unroll", lambda p: unroll_loops(p, budget))
         if opts.optimize in ("scalars", "default"):
             budget.check_deadline("scalarization")
-            scalarize_temps(program)
-        evaluate_intrinsics(program, budget)
+            pipeline.run("scalarize", scalarize_temps)
+        pipeline.run("intrinsics",
+                     lambda p: evaluate_intrinsics(p, budget))
         wants_real = codetype == "real" or language == "c"
         # The numpy backend, like the Python one, runs complex natively.
         if datatype == "complex" and wants_real:
             budget.check_deadline("type transformation")
-            complex_to_real(program)
+            pipeline.run("typetrans", complex_to_real)
 
-        # Phase 4: optimization.
         if opts.optimize == "default":
             budget.check_deadline("optimization")
-            optimize(program)
+            pipeline.run("optimize", optimize)
+            if opts.fusion:
+                pipeline.run(
+                    "fuse-copies",
+                    lambda p: forward_copy_stages(p, budget),
+                    detail=_fusion_detail,
+                )
+                pipeline.run(
+                    "fuse-loops",
+                    lambda p: fuse_conformable_stages(p, budget),
+                    detail=_fusion_detail,
+                )
+                # Fusion leaves dead stores/temps behind by design;
+                # clean them up, then pack the survivors into shared
+                # liveness slots.
+                pipeline.run("post-fuse", optimize)
+                pipeline.run(
+                    "reuse-scratch",
+                    _reuse_scratch,
+                    detail=lambda n: f"{n} temp arrays merged" if n else "",
+                )
         if opts.peephole:
-            avoid_unary_minus(program)
+            pipeline.run("peephole", avoid_unary_minus)
 
         # Phase 5 below emits text proportional to the (already budgeted)
         # statement count; one last deadline check before it runs.
@@ -365,7 +437,24 @@ class SplCompiler:
             program=program,
             source=source,
             language=language,
+            passes=pipeline.records,
         )
+
+
+def _reuse_scratch(program: Program) -> int:
+    prune_dead_temps(program)
+    return reuse_temp_arrays(program)
+
+
+def _fusion_detail(stats) -> str:
+    parts = []
+    if stats.reads_forwarded:
+        parts.append(f"{stats.reads_forwarded} reads forwarded")
+    if stats.stages_removed:
+        parts.append(f"{stats.stages_removed} stages removed")
+    if stats.loops_fused:
+        parts.append(f"{stats.loops_fused} nests fused")
+    return ", ".join(parts)
 
 
 def compile_text(source: str,

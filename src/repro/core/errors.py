@@ -135,6 +135,30 @@ class SplTemplateError(SplError):
     default_code = "SPL-E103"
 
 
+class SplValidationError(SplError):
+    """Translation validation failed: a compiler pass changed semantics.
+
+    Raised by the per-pass oracle (:mod:`repro.core.validate`) when the
+    dense matrix denoted by the i-code after a pass differs from the
+    matrix before it.  This is never the user's fault — it means a
+    compiler pass miscompiled the program — so callers (the fuzzer, the
+    CLI) must report it as a compiler defect, not reject the input.
+    ``pass_name`` identifies the offending pass.
+    """
+
+    default_code = "SPL-E300"
+
+    def __init__(self, message: str, line: int | None = None, *,
+                 col: int | None = None, code: str | None = None,
+                 formula_path: Sequence[str] | None = None,
+                 pass_name: str | None = None,
+                 max_error: float | None = None):
+        super().__init__(message, line, col=col, code=code,
+                         formula_path=formula_path)
+        self.pass_name = pass_name
+        self.max_error = max_error
+
+
 class SplResourceError(SplError):
     """A configurable compile-time resource limit was exceeded.
 

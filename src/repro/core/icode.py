@@ -335,11 +335,18 @@ VEC_TEMP = "temp"
 
 @dataclass
 class VecInfo:
-    """Metadata for one vector (array) used by a program."""
+    """Metadata for one vector (array) used by a program.
+
+    ``dtype`` is the element type; the empty string means "the
+    program's element type" (a real double, or a complex double before
+    type transformation).  Scratch-reuse passes must never merge
+    vectors whose dtypes differ.
+    """
 
     name: str
     size: int
     kind: str  # VEC_INPUT, VEC_OUTPUT or VEC_TEMP
+    dtype: str = ""
 
 
 @dataclass
@@ -390,6 +397,16 @@ class Program:
     def temp_elements(self) -> int:
         return sum(v.size for v in self.temp_vectors())
 
+    def element_bytes(self) -> int:
+        """Bytes per physical array slot (16 for unlowered complex)."""
+        if self.datatype == "complex" and self.element_width == 1:
+            return 16
+        return 8
+
+    def scratch_bytes(self) -> int:
+        """Total temp-array storage the program allocates, in bytes."""
+        return self.temp_elements() * self.element_bytes()
+
     def table_elements(self) -> int:
         return sum(len(t) for t in self.tables.values())
 
@@ -415,6 +432,29 @@ def iter_instrs(body: Iterable[Instr]) -> Iterator[Instr]:
         yield inst
         if isinstance(inst, Loop):
             yield from iter_instrs(inst.body)
+
+
+def count_statements(body: Iterable[Instr]) -> int:
+    """Static instruction count (loops count as one plus their body)."""
+    total = 0
+    for inst in body:
+        if isinstance(inst, Op):
+            total += 1
+        elif isinstance(inst, Loop):
+            total += 1 + count_statements(inst.body)
+    return total
+
+
+def count_dynamic_statements(body: Iterable[Instr]) -> int:
+    """Executed instruction count (loop bodies multiplied by trip
+    count) — the cost one interpreter run over the program pays."""
+    total = 0
+    for inst in body:
+        if isinstance(inst, Op):
+            total += 1
+        elif isinstance(inst, Loop):
+            total += inst.count * count_dynamic_statements(inst.body)
+    return total
 
 
 def _count_flops(body: Iterable[Instr], multiplier: int) -> int:

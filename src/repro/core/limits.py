@@ -182,6 +182,20 @@ class CompileBudget:
                 actual=self.statements,
             )
 
+    def charge_fusion(self, count: int, construct: str,
+                      path: Sequence[str] | None = None) -> None:
+        """Charge fusion-analysis work (enumerated iteration points).
+
+        Loop fusion enumerates producer/consumer index streams; that
+        work scales with the iteration domain, so it draws from the
+        same i-code statement budget as code generation — a
+        pathological fusion candidate fails typed (``SPL-E203``)
+        instead of hanging the compiler mid-pass.
+        """
+        self.charge_statements(count, construct, path)
+        if self.statements % 4096 == 0:
+            self.check_deadline("loop fusion", path)
+
     def check_unroll(self, expanded: int, construct: str,
                      path: Sequence[str] | None = None) -> None:
         """Pre-check an unroll expansion computed from loop bounds."""

@@ -32,6 +32,8 @@ from repro.core.icode import (
     Program,
     VEC_OUTPUT,
     VecRef,
+    count_dynamic_statements,
+    count_statements,
     iter_ops,
 )
 from repro.core.scalars import Number
@@ -568,3 +570,142 @@ def _dce_block(body: list[Instr],
         else:
             kept_reversed.append(inst)
     return list(reversed(kept_reversed)), live
+
+
+# ---------------------------------------------------------------------------
+# The pass pipeline: named passes with size/time records and an
+# optional per-pass translation-validation oracle.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassRecord:
+    """What one optimizer pass did to the program.
+
+    Sizes are static i-code statement counts; ``scratch_in``/``out``
+    are temp-array bytes; ``micros`` is the pass's own wall-clock cost
+    (validation time excluded, so records stay comparable whether or
+    not the oracle is on); ``validated`` says the translation-
+    validation oracle checked this pass's output.
+    """
+
+    name: str
+    icode_in: int
+    icode_out: int
+    temps_in: int
+    temps_out: int
+    scratch_in: int
+    scratch_out: int
+    micros: int
+    validated: bool = False
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "icode_in": self.icode_in,
+            "icode_out": self.icode_out,
+            "temps_in": self.temps_in,
+            "temps_out": self.temps_out,
+            "scratch_in": self.scratch_in,
+            "scratch_out": self.scratch_out,
+            "micros": self.micros,
+            "validated": self.validated,
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        text = (
+            f"{self.name:<14} icode {self.icode_in:>7} -> "
+            f"{self.icode_out:>7}  temps {self.temps_in:>3} -> "
+            f"{self.temps_out:>3}  scratch {self.scratch_in:>9} -> "
+            f"{self.scratch_out:>9} B  {self.micros:>7} us"
+        )
+        if self.validated:
+            text += "  [validated]"
+        if self.detail:
+            text += f"  ({self.detail})"
+        return text
+
+
+#: Per-pass validation is skipped when ``in_size * statements``
+#: exceeds this: above it one signature derivation takes minutes, and
+#: resource bombs must be rejected by the limits checks promptly, not
+#: after an interpreter marathon.
+VALIDATE_COST_CAP = 2_000_000
+
+
+class PassPipeline:
+    """Runs named passes over one program, recording each one.
+
+    With ``validate=True`` the pipeline snapshots the dense matrix the
+    program denotes (via :func:`repro.core.validate.program_signature`)
+    before the first pass and re-derives it after every pass, raising
+    :class:`~repro.core.errors.SplValidationError` the moment a pass
+    changes the denotation — compilation aborts with a typed error
+    instead of emitting miscompiled code.
+
+    Deriving one signature costs roughly ``in_size`` interpreter runs
+    over the whole program, so validation is capped: programs whose
+    ``in_size * statements`` product exceeds
+    :data:`VALIDATE_COST_CAP` skip it (their records show
+    ``validated=False``) rather than stalling compilation for minutes
+    — which would also keep resource-limit bombs from being rejected
+    promptly.  The fuzz corpus and the test programs sit far below
+    the cap.
+    """
+
+    def __init__(self, program: Program, *, validate: bool = False):
+        self.program = program
+        cost = program.in_size \
+            * max(1, count_dynamic_statements(program.body))
+        self.validate = validate and cost <= VALIDATE_COST_CAP
+        self.records: list[PassRecord] = []
+        self._signature = None
+        if self.validate:
+            from repro.core import validate as _validate
+
+            self._signature = _validate.program_signature(program)
+
+    def run(self, name: str, pass_fn, *, detail=None) -> None:
+        """Execute ``pass_fn(program)``, recording sizes and timing.
+
+        ``detail`` renders the pass's return value into the record's
+        detail string; by default non-trivial returns (ints, stats
+        objects) are stringified.
+        """
+        import time as _time
+
+        program = self.program
+        icode_in = count_statements(program.body)
+        temps_in = len(program.temp_vectors())
+        scratch_in = program.scratch_bytes()
+        started = _time.perf_counter()
+        result = pass_fn(program)
+        micros = int((_time.perf_counter() - started) * 1e6)
+        validated = False
+        if self.validate:
+            from repro.core import validate as _validate
+
+            self._signature = _validate.check_pass(
+                program, self._signature, name
+            )
+            validated = True
+        text = ""
+        if detail is not None:
+            text = detail(result)
+        elif isinstance(result, (int, str)) and not isinstance(result, bool):
+            if result != 0 and result != "":
+                text = str(result)
+        self.records.append(PassRecord(
+            name=name,
+            icode_in=icode_in,
+            icode_out=count_statements(program.body),
+            temps_in=temps_in,
+            temps_out=len(program.temp_vectors()),
+            scratch_in=scratch_in,
+            scratch_out=program.scratch_bytes(),
+            micros=micros,
+            validated=validated,
+            detail=text,
+        ))

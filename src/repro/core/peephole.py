@@ -11,11 +11,30 @@ The paper describes two SPARC-specific transformations:
 
 The first is an i-code rewrite implemented here; the second is a flag
 honored by the Fortran backend.  Both default to on/off per target.
+
+This module also hosts the storage-level cleanups that run at the end
+of the optimizer pipeline: :func:`prune_dead_temps` drops temp-vector
+declarations nothing references any more, and :func:`reuse_temp_arrays`
+performs interval-based scratch liveness analysis so temps with
+non-overlapping live ranges share one allocation — a k-stage compose
+plan then allocates max-live scratch instead of sum-of-stages.
 """
 
 from __future__ import annotations
 
-from repro.core.icode import FConst, Instr, Loop, Op, Program
+from dataclasses import dataclass
+
+from repro.core.icode import (
+    FConst,
+    Instr,
+    Loop,
+    Op,
+    Program,
+    VEC_TEMP,
+    VecRef,
+    iter_ops,
+    map_operands,
+)
 
 
 def avoid_unary_minus(program: Program) -> Program:
@@ -38,3 +57,100 @@ def _rewrite(body: list[Instr]) -> list[Instr]:
         else:
             result.append(inst)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Scratch storage cleanups.
+# ---------------------------------------------------------------------------
+
+
+def prune_dead_temps(program: Program) -> int:
+    """Drop temp-vector declarations no instruction references."""
+    referenced: set[str] = set()
+    for op in iter_ops(program.body):
+        for item in (op.dest, *op.operands()):
+            if isinstance(item, VecRef):
+                referenced.add(item.vec)
+    dead = [name for name, info in program.vectors.items()
+            if info.kind == VEC_TEMP and name not in referenced]
+    for name in dead:
+        del program.vectors[name]
+    return len(dead)
+
+
+@dataclass
+class _Interval:
+    """Live range of one temp, in top-level instruction indexes."""
+
+    first: int
+    last: int
+
+    def overlaps(self, other: "_Interval") -> bool:
+        return self.first <= other.last and other.first <= self.last
+
+
+def reuse_temp_arrays(program: Program) -> int:
+    """Share storage between temps whose live ranges never overlap.
+
+    Liveness is interval-based at top-level instruction granularity:
+    a temp is live from the first top-level instruction that mentions
+    it through the last.  Two temps may share a slot only when their
+    intervals are disjoint **and their element dtypes agree** — merging
+    differently-typed arrays into one allocation is a latent aliasing
+    hazard (a reinterpretation, not a reuse), so it is refused even
+    though the sizes would line up.
+
+    Returns the number of temp arrays eliminated by the merge.
+    """
+    intervals: dict[str, _Interval] = {}
+    for idx, inst in enumerate(program.body):
+        for op in iter_ops([inst]):
+            for item in (op.dest, *op.operands()):
+                if not isinstance(item, VecRef):
+                    continue
+                info = program.vectors.get(item.vec)
+                if info is None or info.kind != VEC_TEMP:
+                    continue
+                interval = intervals.get(item.vec)
+                if interval is None:
+                    intervals[item.vec] = _Interval(idx, idx)
+                else:
+                    interval.last = idx
+    # Greedy linear-scan assignment in order of first use: a slot is
+    # reusable when every temp already in it has died before this one
+    # is born (and the dtypes match).
+    slots: list[list[str]] = []
+    order = sorted(intervals, key=lambda name: intervals[name].first)
+    for name in order:
+        dtype = program.vectors[name].dtype
+        placed = False
+        for members in slots:
+            if any(intervals[other].overlaps(intervals[name])
+                   for other in members):
+                continue
+            if any(program.vectors[other].dtype != dtype
+                   for other in members):
+                continue
+            members.append(name)
+            placed = True
+            break
+        if not placed:
+            slots.append([name])
+    renaming: dict[str, str] = {}
+    eliminated = 0
+    for members in slots:
+        representative = members[0]
+        size = max(program.vectors[name].size for name in members)
+        program.vectors[representative].size = size
+        for name in members[1:]:
+            renaming[name] = representative
+            del program.vectors[name]
+            eliminated += 1
+    if renaming:
+        def rename(operand):
+            if isinstance(operand, VecRef) and operand.vec in renaming:
+                return VecRef(renaming[operand.vec], operand.index)
+            return operand
+
+        program.body = map_operands(program.body, rename)
+    return eliminated

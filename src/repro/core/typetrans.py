@@ -45,6 +45,7 @@ def complex_to_real(program: Program) -> Program:
     program.element_width = 2
     for info in program.vectors.values():
         info.size *= 2
+        info.dtype = "real"
     program.tables = {
         name: _interleave(values) for name, values in program.tables.items()
     }

@@ -1,0 +1,146 @@
+"""Per-pass translation validation for the optimizer pipeline.
+
+Every SPL formula denotes a linear map; an i-code program at *any*
+pipeline stage (symbolic intrinsics, complex or real-lowered) therefore
+denotes a matrix.  This module re-derives that matrix by running the
+reference interpreter on the logical basis vectors — the same
+interpreter-vs-matrix machinery the differential fuzzer uses — so the
+compiler can check after each pass that the denotation is unchanged
+("semantics lifting" applied as a pass oracle).
+
+The basis probe determines the matrix completely when the program is
+linear over the complexes, which every SPL formula is by construction.
+A miscompiled pass, however, can produce *non-linear* code (e.g. an
+input-times-input multiply), which basis vectors alone might miss; the
+signature therefore also probes one deterministic pseudo-random vector,
+which catches any divergence on a "generic" input.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SplValidationError
+from repro.core.icode import Program
+from repro.core.interpreter import run_program
+from repro.core.scalars import Number
+
+#: Absolute tolerance scale for matrix comparison.  Passes are allowed
+#: to reassociate constant arithmetic (value numbering folds twiddle
+#: constants), so entries may legitimately differ by a few ulps.
+ATOL = 1e-9
+
+
+def logical_apply(program: Program, z: list[complex], *,
+                  istride: int = 1, ostride: int = 1,
+                  iofs: int = 0, oofs: int = 0) -> list[complex]:
+    """Apply ``program`` to a logical vector, hiding the element layout.
+
+    ``z`` has ``in_size`` logical (complex) entries; the result has
+    ``out_size``.  Works before and after the complex-to-real lowering,
+    which is what lets the oracle compare across the typetrans pass.
+    """
+    width = program.element_width
+    if program.strided:
+        in_len = (iofs + (program.in_size - 1) * istride + 1) * width
+    else:
+        in_len = program.in_size * width
+    x: list[Number] = [0.0] * in_len
+    for k, value in enumerate(z):
+        pos = (iofs + k * istride) * width if program.strided else k * width
+        if width == 2:
+            value = complex(value)
+            x[pos] = value.real
+            x[pos + 1] = value.imag
+        else:
+            x[pos] = value
+    out = run_program(program, x, istride=istride, ostride=ostride,
+                      iofs=iofs, oofs=oofs)
+    result: list[complex] = []
+    for j in range(program.out_size):
+        pos = (oofs + j * ostride) * width if program.strided else j * width
+        if width == 2:
+            result.append(complex(out[pos], out[pos + 1]))
+        else:
+            result.append(complex(out[pos]))
+    return result
+
+
+def program_matrix(program: Program, *,
+                   istride: int = 1, ostride: int = 1,
+                   iofs: int = 0, oofs: int = 0) -> list[list[complex]]:
+    """The dense logical matrix denoted by ``program``.
+
+    Derived by interpreting the program on each logical basis vector;
+    ``matrix[i][j]`` is the coefficient of input ``j`` in output ``i``.
+    """
+    n = program.in_size
+    columns = []
+    for k in range(n):
+        z = [0j] * n
+        z[k] = 1.0 + 0j
+        columns.append(logical_apply(program, z, istride=istride,
+                                     ostride=ostride, iofs=iofs, oofs=oofs))
+    return [[columns[j][i] for j in range(n)]
+            for i in range(program.out_size)]
+
+
+def _probe_vector(n: int) -> list[complex]:
+    """A fixed pseudo-random logical input (deterministic across runs)."""
+    values = []
+    state = 0x9E3779B9
+    for _ in range(n):
+        state = (state * 1664525 + 1013904223) % (1 << 32)
+        re = (state >> 8) % 2000 / 1000.0 - 1.0
+        state = (state * 1664525 + 1013904223) % (1 << 32)
+        im = (state >> 8) % 2000 / 1000.0 - 1.0
+        values.append(complex(re, im))
+    return values
+
+
+def program_signature(program: Program) -> list[list[complex]]:
+    """Denotation fingerprint: the dense matrix plus one generic probe.
+
+    For ``strided`` programs the matrix is sampled at unit strides and
+    once more at a non-trivial stride/offset combination, so passes
+    that mishandle the symbolic stride parameters are caught too.
+    """
+    rows = program_matrix(program)
+    rows.append(logical_apply(program, _probe_vector(program.in_size)))
+    if program.strided:
+        strided_rows = program_matrix(program, istride=2, ostride=3,
+                                      iofs=1, oofs=2)
+        rows.extend(strided_rows)
+    return rows
+
+
+def check_pass(program: Program, baseline: list[list[complex]],
+               pass_name: str) -> list[list[complex]]:
+    """Assert ``program`` still denotes ``baseline``; return the new one.
+
+    Raises :class:`SplValidationError` (``SPL-E300``) when the
+    denotation changed — the caller must abort compilation rather than
+    emit miscompiled code.
+    """
+    current = program_signature(program)
+    scale = max(
+        (abs(entry) for row in baseline for entry in row), default=0.0
+    )
+    atol = ATOL * (1.0 + scale)
+    worst = 0.0
+    if len(current) != len(baseline) or any(
+        len(a) != len(b) for a, b in zip(current, baseline)
+    ):
+        raise SplValidationError(
+            f"pass {pass_name!r} changed the program's shape "
+            f"({len(baseline)} -> {len(current)} signature rows)",
+            pass_name=pass_name,
+        )
+    for row_a, row_b in zip(baseline, current):
+        for a, b in zip(row_a, row_b):
+            worst = max(worst, abs(a - b))
+    if worst > atol:
+        raise SplValidationError(
+            f"pass {pass_name!r} changed the denoted matrix "
+            f"(max entry error {worst:.3e}, tolerance {atol:.3e})",
+            pass_name=pass_name, max_error=worst,
+        )
+    return current

@@ -24,8 +24,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="generator seed (default 0)")
     parser.add_argument("--save-failures", metavar="DIR", default=None,
                         help="write minimized reproducers to DIR")
+    parser.add_argument("--per-pass", action="store_true",
+                        help="run the per-pass translation-validation "
+                             "oracle on every compile (a pass that "
+                             "changes the program's matrix counts as a "
+                             "divergence); slower")
     args = parser.parse_args(argv)
-    report = run_fuzz(args.count, args.seed, corpus_dir=args.save_failures)
+    report = run_fuzz(args.count, args.seed, corpus_dir=args.save_failures,
+                      validate_passes=args.per_pass)
     print(report.describe())
     return 0 if report.passed else 1
 

@@ -133,12 +133,19 @@ def _classify(case: FuzzCase, result: OracleResult) -> str | None:
 def run_fuzz(count: int = 200, seed: int = 0, *,
              limits: CompileLimits | None = None,
              corpus_dir: Path | str | None = None,
-             minimize: bool = True) -> FuzzReport:
-    """Generate and differentially check ``count`` programs."""
+             minimize: bool = True,
+             validate_passes: bool = False) -> FuzzReport:
+    """Generate and differentially check ``count`` programs.
+
+    ``validate_passes=True`` additionally runs the per-pass
+    translation-validation oracle on every compile: a pass that
+    changes the matrix its i-code denotes surfaces as a divergence.
+    """
     report = FuzzReport(count=count, seed=seed)
     for index in range(count):
         case = generate_case(seed, index)
-        result = check_source(case.source, limits=limits)
+        result = check_source(case.source, limits=limits,
+                              validate_passes=validate_passes)
         if result.status == STATUS_OK:
             report.ok += 1
         elif result.status == STATUS_REJECTED:
@@ -156,7 +163,10 @@ def run_fuzz(count: int = 200, seed: int = 0, *,
 
         if minimize:
             def still_fails(text: str, _want=result.status) -> bool:
-                return check_source(text, limits=limits).status == _want
+                return check_source(
+                    text, limits=limits,
+                    validate_passes=validate_passes,
+                ).status == _want
 
             failure.minimized = minimize_source(case.source, still_fails)
         else:

@@ -13,6 +13,13 @@ typed :class:`~repro.core.errors.SplError` (``RecursionError``,
 ``MemoryError``, assertion failures, ...) is a ``crash``.  A clean
 typed rejection is ``rejected`` — the correct outcome for invalid
 inputs and for programs that exceed the configured resource limits.
+
+With ``validate_passes=True`` every compile additionally runs the
+per-pass translation-validation oracle (:mod:`repro.core.validate`):
+each optimizer pass must preserve the matrix the i-code denotes.  A
+:class:`~repro.core.errors.SplValidationError` is a *compiler* defect,
+so although it is a typed ``SplError`` it counts as ``diverged``, not
+``rejected``.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.compiler import CompilerOptions, SplCompiler
-from repro.core.errors import SplError
+from repro.core.errors import SplError, SplValidationError
 from repro.core.interpreter import run_program
 from repro.core.limits import CompileLimits, DEFAULT_LIMITS
 
@@ -79,7 +86,8 @@ def _deinterleave(buf: list) -> list[complex]:
 def check_source(source: str, *,
                  limits: CompileLimits | None = None,
                  languages: tuple[str, ...] = _LANGUAGES,
-                 atol: float = 1e-7) -> OracleResult:
+                 atol: float = 1e-7,
+                 validate_passes: bool = False) -> OracleResult:
     """Differentially validate one SPL source text."""
     import numpy as np
 
@@ -87,7 +95,8 @@ def check_source(source: str, *,
 
     limits = limits or FUZZ_LIMITS
     try:
-        compiler = SplCompiler(CompilerOptions(), limits=limits)
+        compiler = SplCompiler(
+            CompilerOptions(validate_passes=validate_passes), limits=limits)
         program = compiler.parse(source)
         compiler.defines.update(program.defines)
         units = list(program.units)
@@ -135,6 +144,13 @@ def check_source(source: str, *,
                         f"semantics by {worst:g}",
                     )
             compiled += 1
+        except SplValidationError as exc:
+            # A failed per-pass validation means a compiler pass
+            # miscompiled the program — a defect, never a rejection.
+            return OracleResult(
+                STATUS_DIVERGED, f"{unit.name}: {exc}",
+                compiled=compiled, error=exc,
+            )
         except SplError as exc:
             return OracleResult(
                 STATUS_REJECTED, f"{unit.name}: {exc}",

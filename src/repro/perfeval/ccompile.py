@@ -266,6 +266,12 @@ def batch_driver_source(name: str, in_len: int, out_len: int, *,
     The generated per-vector routines keep their temporaries on the
     stack and their tables ``static const``, so concurrent calls from
     several OpenMP threads are safe.
+
+    The serial driver is strength-reduced: the row pointers advance by
+    ``out_len``/``in_len`` per iteration instead of recomputing
+    ``y + b * out_len`` each trip.  The OpenMP driver must keep the
+    per-``b`` computation — its iterations are distributed across
+    threads, so there is no sequential pointer to bump.
     """
     body = (
         f"        double *yrow = y + b * {out_len};\n"
@@ -279,8 +285,13 @@ def batch_driver_source(name: str, in_len: int, out_len: int, *,
         "{\n"
         "    long b;\n"
         "    int j;\n"
+        "    double *yrow = y;\n"
+        "    const double *xrow = x;\n"
         "    for (b = 0; b < batch; b++) {\n"
-        + body +
+        f"        for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
+        f"        {name}(yrow, xrow);\n"
+        f"        yrow += {out_len};\n"
+        f"        xrow += {in_len};\n"
         "    }\n"
         "}\n"
     )

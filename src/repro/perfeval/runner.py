@@ -189,7 +189,14 @@ class ExecutableRoutine:
         return bool(self.backend_failures)
 
     def stats(self) -> dict:
-        """Backend health: current tier plus every breaker trip."""
+        """Backend health plus the compile-time optimizer report.
+
+        ``compile`` carries the per-pass records the compiler gathered
+        (statement/temp/scratch deltas and per-pass wall time) along
+        with the scratch-memory outcome, so operators can see both how
+        the routine is running *and* what the optimizer did to it.
+        """
+        routine = self.routine
         return {
             "backend": self.backend,
             "degraded": self.degraded,
@@ -198,6 +205,12 @@ class ExecutableRoutine:
                 {"backend": f.backend, "op": f.op, "error": f.error}
                 for f in self.backend_failures
             ],
+            "compile": {
+                "scratch_bytes": routine.scratch_bytes,
+                "scratch_bytes_before": routine.scratch_bytes_before,
+                "temps_eliminated": routine.temps_eliminated,
+                "passes": routine.pass_summary(),
+            },
         }
 
     def _degrade(self, exc: BaseException, op: str,

@@ -70,3 +70,59 @@ class TestUnaryMinusRewrite:
         program = make(body)
         avoid_unary_minus(program)
         assert program.body[0].op == "+"
+
+
+def make_staged(dtypes=("", "", "")):
+    """A 4-stage chain x -> t0 -> t1 -> t2 -> y whose t0 and t2 live
+    ranges are disjoint (t0 dies at instruction 1, t2 is born at 2)."""
+    from repro.core.icode import VEC_TEMP
+
+    def stage(dst, src):
+        i = IExpr.var(f"i_{dst}")
+        return Loop(f"i_{dst}", 2, [Op("=", VecRef(dst, i), VecRef(src, i))])
+
+    program = make([
+        stage("t0", "x"),
+        stage("t1", "t0"),
+        stage("t2", "t1"),
+        stage("y", "t2"),
+    ])
+    for name, dtype in zip(("t0", "t1", "t2"), dtypes):
+        info = VecInfo(name, 2, VEC_TEMP)
+        info.dtype = dtype
+        program.vectors[name] = info
+    return program
+
+
+class TestTempArrayReuse:
+    def test_disjoint_same_dtype_temps_merge(self):
+        from repro.core.peephole import reuse_temp_arrays
+
+        program = make_staged(dtypes=("real", "real", "real"))
+        before = run_program(make_staged(("real", "real", "real")),
+                             [3.0, -1.0])
+        assert reuse_temp_arrays(program) == 1
+        temps = [i.name for i in program.temp_vectors()]
+        assert len(temps) == 2  # t0 and t2 share one slot
+        assert run_program(program, [3.0, -1.0]) == before
+
+    def test_differing_dtypes_refuse_to_merge(self):
+        # Regression: sharing one allocation between temps of
+        # different element dtypes is a reinterpretation, not a reuse.
+        # Even though t0 and t2 are disjoint and equally sized, the
+        # merge must be refused when their dtypes differ.
+        from repro.core.peephole import reuse_temp_arrays
+
+        program = make_staged(dtypes=("real", "real", "complex"))
+        assert reuse_temp_arrays(program) == 0
+        assert len(list(program.temp_vectors())) == 3
+
+    def test_blank_dtype_matches_blank_only(self):
+        from repro.core.peephole import reuse_temp_arrays
+
+        # "" means "the program's element type": two blanks agree...
+        program = make_staged(dtypes=("", "", ""))
+        assert reuse_temp_arrays(program) == 1
+        # ...but a blank never merges with an explicit dtype.
+        program = make_staged(dtypes=("", "", "real"))
+        assert reuse_temp_arrays(program) == 0
