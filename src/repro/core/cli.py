@@ -54,9 +54,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="fully unroll every loop (straight-line code)",
     )
     arg_parser.add_argument(
-        "--language", choices=("c", "fortran", "python", "numpy"),
+        "--language", choices=("c", "cjit", "fortran", "python", "numpy"),
         default=None,
-        help="target language (overrides #language directives)",
+        help="target language (overrides #language directives; cjit = "
+             "C semantics with in-process machine-code compilation "
+             "for codelets)",
     )
     arg_parser.add_argument(
         "--datatype", choices=("real", "complex"), default=None,
@@ -162,6 +164,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="cap the per-size candidate count during --search-fft",
     )
     arg_parser.add_argument(
+        "--unroll-search", metavar="SIZES", default=None,
+        help="sweep the -B unroll threshold over these comma-separated "
+             "values as a second --search-fft dimension (each candidate "
+             "is measured once per threshold; the winning threshold is "
+             "recorded in wisdom)",
+    )
+    arg_parser.add_argument(
         "--measure-timeout", type=float, metavar="SECONDS", default=30.0,
         help="wall-clock limit per sandboxed candidate measurement "
              "during --search-fft; hung candidates are killed and "
@@ -197,6 +206,21 @@ def _run_search(args: argparse.Namespace) -> int:
         print("spl-compile: --search-fft needs at least one size",
               file=sys.stderr)
         return 2
+    thresholds = None
+    if args.unroll_search is not None:
+        try:
+            thresholds = tuple(
+                int(part) for part in args.unroll_search.split(",")
+                if part.strip()
+            )
+        except ValueError:
+            print("spl-compile: bad --unroll-search value "
+                  f"{args.unroll_search!r}", file=sys.stderr)
+            return 2
+        if not thresholds:
+            print("spl-compile: --unroll-search needs at least one "
+                  "threshold", file=sys.stderr)
+            return 2
     wisdom = WisdomStore(args.wisdom) if args.wisdom else None
     sandbox = None
     quarantine = None
@@ -212,6 +236,7 @@ def _run_search(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             sandbox=sandbox,
             quarantine=quarantine,
+            unroll_thresholds=thresholds,
         )
     except SplError as exc:
         print(f"spl-compile: {exc}", file=sys.stderr)
@@ -275,9 +300,8 @@ def _run_batch(routines, args: argparse.Namespace) -> int:
         print("spl-compile: --batch needs a positive batch size",
               file=sys.stderr)
         return 2
-    prefer = {"c": "c", "numpy": "numpy", "python": "python"}.get(
-        args.language, "c"
-    )
+    prefer = {"c": "c", "cjit": "cjit", "numpy": "numpy",
+              "python": "python"}.get(args.language, "c")
     cflags = tuple(shlex.split(args.cflags)) if args.cflags else ()
     for routine in routines:
         try:

@@ -381,7 +381,7 @@ class SplCompiler:
             pipeline.run("scalarize", scalarize_temps)
         pipeline.run("intrinsics",
                      lambda p: evaluate_intrinsics(p, budget))
-        wants_real = codetype == "real" or language == "c"
+        wants_real = codetype == "real" or language in ("c", "cjit")
         # The numpy backend, like the Python one, runs complex natively.
         if datatype == "complex" and wants_real:
             budget.check_deadline("type transformation")
@@ -417,8 +417,12 @@ class SplCompiler:
         # statement count; one last deadline check before it runs.
         budget.check_deadline("target code generation")
 
-        # Phase 5: target code generation.
-        if language == "c":
+        # Phase 5: target code generation.  "cjit" is the C language
+        # with an in-process execution plan: the machine-code emitter
+        # (repro.perfeval.jit) lowers the *program*, not the source,
+        # so the C text is kept for inspection and for the gcc-tier
+        # background upgrade.
+        if language in ("c", "cjit"):
             source = emit_c(program)
         elif language == "fortran":
             source = emit_fortran(

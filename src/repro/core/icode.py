@@ -390,6 +390,12 @@ class Program:
                     names.setdefault(item.name)
         return list(names)
 
+    def is_straight_line(self) -> bool:
+        """True when no loops remain — the codelet form produced by
+        full unrolling, which the SIMD batch driver and the in-process
+        JIT both key on."""
+        return not any(isinstance(inst, Loop) for inst in self.body)
+
     def flop_count(self) -> int:
         """Arithmetic operations executed per call (loops multiplied out)."""
         return _count_flops(self.body, 1)

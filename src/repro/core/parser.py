@@ -53,7 +53,7 @@ _OPERATOR_CLASSES = {
 _LITERAL_HEADS = ("matrix", "diagonal", "permutation")
 
 DATATYPES = ("real", "complex")
-LANGUAGES = ("c", "fortran", "python", "numpy")
+LANGUAGES = ("c", "cjit", "fortran", "python", "numpy")
 
 
 @dataclass

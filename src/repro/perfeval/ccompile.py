@@ -35,6 +35,11 @@ _DEFAULT_CFLAGS = ("-O3", "-fPIC", "-shared", "-fno-math-errno")
 
 _OPENMP_CFLAGS = ("-fopenmp",)
 
+#: Honors ``#pragma omp simd`` without the OpenMP runtime — the right
+#: flag for the codelet batch drivers, whose pragmas are vectorization
+#: hints, not parallelism.
+_OPENMP_SIMD_CFLAGS = ("-fopenmp-simd",)
+
 #: Stderr of the last failed OpenMP probe per (compiler, flags) — kept
 #: so callers can surface *why* OpenMP is off instead of silently
 #: degrading (see :func:`openmp_probe_error`).
@@ -57,6 +62,16 @@ def compile_timeout() -> float:
 _OPENMP_PROBE = (
     "#include <omp.h>\n"
     "int spl_omp_probe(void) { return omp_get_max_threads(); }\n"
+)
+
+_OPENMP_SIMD_PROBE = (
+    "double spl_simd_probe(const double *x, int n) {\n"
+    "    double acc = 0.0;\n"
+    "    int i;\n"
+    "    #pragma omp simd reduction(+:acc)\n"
+    "    for (i = 0; i < n; i++) acc += x[i];\n"
+    "    return acc;\n"
+    "}\n"
 )
 
 
@@ -150,6 +165,43 @@ def openmp_cflags() -> tuple[str, ...]:
     return _OPENMP_CFLAGS if have_openmp() else ()
 
 
+@lru_cache(maxsize=None)
+def _probe_openmp_simd(compiler: str, flags: tuple[str, ...]) -> bool:
+    build_dir = default_build_dir()
+    c_path = build_dir / "spl_simd_probe.c"
+    so_path = build_dir / "spl_simd_probe.so"
+    try:
+        c_path.write_text(_OPENMP_SIMD_PROBE)
+        result = subprocess.run(
+            [compiler, *_DEFAULT_CFLAGS, *flags, *_OPENMP_SIMD_CFLAGS,
+             str(c_path), "-o", str(so_path)],
+            capture_output=True, text=True, timeout=compile_timeout(),
+        )
+    except (subprocess.TimeoutExpired, OSError):
+        return False
+    return result.returncode == 0
+
+
+def have_openmp_simd() -> bool:
+    """True when the toolchain accepts ``-fopenmp-simd``.
+
+    This enables ``#pragma omp simd`` as a pure vectorization hint (no
+    OpenMP runtime, no thread creation) for the codelet batch drivers.
+    The probe is cached per (compiler, extra flags), like the OpenMP
+    one; without the flag the pragma is ignored harmlessly, so callers
+    simply omit the flag rather than a whole code path.
+    """
+    compiler = _find_compiler()
+    if compiler is None:
+        return False
+    return _probe_openmp_simd(compiler, extra_cflags())
+
+
+def simd_cflags() -> tuple[str, ...]:
+    """The ``#pragma omp simd`` enabling flags, empty if unsupported."""
+    return _OPENMP_SIMD_CFLAGS if have_openmp_simd() else ()
+
+
 def default_build_dir() -> Path:
     root = os.environ.get("SPL_BUILD_DIR")
     if root:
@@ -162,7 +214,8 @@ def default_build_dir() -> Path:
 
 def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
                           build_dir: Path | None = None,
-                          openmp: bool = False) -> Path:
+                          openmp: bool = False,
+                          key_extra: tuple[str, ...] = ()) -> Path:
     """Compile C ``source`` into a cached shared object, returning its path.
 
     ``openmp=True`` adds the OpenMP flags (the caller is expected to
@@ -170,6 +223,14 @@ def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
     flags.  Both are folded into the cache key together with ``cflags``
     and the source, so e.g. the threaded and serial builds of one
     routine never collide.
+
+    ``key_extra`` adds caller-chosen components to the cache key
+    without affecting compilation — for knobs that change how the
+    artifact will be *used* rather than its text (e.g. the codelet
+    driver mode, or the unroll threshold that produced the source).
+    Most such knobs already change the source and are covered
+    implicitly; ``key_extra`` makes the coverage explicit and survives
+    representations that happen to collide.
     """
     compiler = _find_compiler()
     if compiler is None:
@@ -179,7 +240,8 @@ def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
     if openmp:
         flags += _OPENMP_CFLAGS
     digest = hashlib.sha256(
-        ("\x00".join(flags) + "\x01" + source).encode()
+        ("\x00".join(flags) + "\x02" + "\x00".join(key_extra)
+         + "\x01" + source).encode()
     ).hexdigest()[:24]
     so_path = build_dir / f"spl_{digest}.so"
     if so_path.exists():
@@ -250,7 +312,8 @@ def compile_c_program(source: str, name: str, *, strided: bool = False,
 
 
 def batch_driver_source(name: str, in_len: int, out_len: int, *,
-                        openmp: bool = False) -> str:
+                        openmp: bool = False,
+                        codelet: bool = False) -> str:
     """A C batch driver looping over the rows of a (B, len) workspace.
 
     ``spl_batch_<name>(y, x, batch)`` applies ``name`` to ``batch``
@@ -267,6 +330,20 @@ def batch_driver_source(name: str, in_len: int, out_len: int, *,
     stack and their tables ``static const``, so concurrent calls from
     several OpenMP threads are safe.
 
+    With ``codelet=True`` (straight-line routines only) the serial
+    driver gains an aligned fast path: when both workspace bases are
+    64-byte aligned — the runner allocates them that way — the batch
+    loop runs with ``__builtin_assume_aligned`` pointers and a
+    ``#pragma omp simd`` hint, letting the compiler vectorize across
+    the fully-inlined codelet body.  The alignment is *checked at
+    runtime*, never assumed: foreign buffers take the plain loop, so
+    an unaligned caller gets the same bits, just slower.  The pragma
+    needs ``-fopenmp-simd`` (see :func:`have_openmp_simd`) to be more
+    than a comment; without it the driver still compiles and runs
+    identically.  Rounding is unaffected either way — vectorizing the
+    batch axis reorders no within-row arithmetic, and rows are
+    independent.
+
     The serial driver is strength-reduced: the row pointers advance by
     ``out_len``/``in_len`` per iteration instead of recomputing
     ``y + b * out_len`` each trip.  The OpenMP driver must keep the
@@ -279,7 +356,40 @@ def batch_driver_source(name: str, in_len: int, out_len: int, *,
         f"        for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
         f"        {name}(yrow, xrow);\n"
     )
+    fast_path = ""
+    if codelet:
+        fast_path = (
+            "    if ((((unsigned long)(const void *)y\n"
+            "          | (unsigned long)(const void *)x) & 63UL) == 0UL) {\n"
+            "        double *restrict ya = "
+            "(double *)SPL_ASSUME_ALIGNED(y);\n"
+            "        const double *restrict xa = "
+            "(const double *)SPL_ASSUME_ALIGNED(x);\n"
+            "        #pragma omp simd\n"
+            "        for (b = 0; b < batch; b++) {\n"
+            f"            double *yrow = ya + b * {out_len};\n"
+            f"            const double *xrow = xa + b * {in_len};\n"
+            "            int j;\n"
+            f"            for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
+            f"            {name}(yrow, xrow);\n"
+            "        }\n"
+            "        return;\n"
+            "    }\n"
+        )
+    prelude = ""
+    if codelet:
+        prelude = (
+            "\n#ifndef SPL_ASSUME_ALIGNED\n"
+            "#if defined(__GNUC__) || defined(__clang__)\n"
+            "#define SPL_ASSUME_ALIGNED(p) "
+            "__builtin_assume_aligned((p), 64)\n"
+            "#else\n"
+            "#define SPL_ASSUME_ALIGNED(p) (p)\n"
+            "#endif\n"
+            "#endif\n"
+        )
     source = (
+        prelude +
         f"\nvoid spl_batch_{name}(double *restrict y, "
         f"const double *restrict x, int batch)\n"
         "{\n"
@@ -287,6 +397,7 @@ def batch_driver_source(name: str, in_len: int, out_len: int, *,
         "    int j;\n"
         "    double *yrow = y;\n"
         "    const double *xrow = x;\n"
+        + fast_path +
         "    for (b = 0; b < batch; b++) {\n"
         f"        for (j = 0; j < {out_len}; j++) yrow[j] = 0.0;\n"
         f"        {name}(yrow, xrow);\n"

@@ -74,12 +74,33 @@ from repro.runtime.pool import (
 )
 
 #: Backend preference chains: the requested backend first, then the
-#: fastest available fallback (c > numpy > python).
+#: fastest available fallback (c > numpy > python).  "cjit" is the
+#: tiered native backend: instant in-process machine code for codelet
+#: programs (with a background upgrade to the gcc-optimized shared
+#: object), falling through to the plain C path for everything the JIT
+#: cannot lower.
 _PREFERENCE = {
+    "cjit": ("cjit", "c", "numpy", "python"),
     "c": ("c", "numpy", "python"),
     "numpy": ("numpy", "python"),
     "python": ("python",),
 }
+
+
+def _aligned_zeros(shape, dtype, align: int = 64) -> np.ndarray:
+    """A zeroed array whose data pointer is ``align``-byte aligned.
+
+    The codelet batch drivers check workspace alignment at runtime and
+    only take their ``__builtin_assume_aligned`` + ``#pragma omp simd``
+    fast path when it holds; allocating the runner's per-thread
+    workspaces aligned makes that the common case.  (numpy's default
+    allocator gives 16, sometimes 64 — this makes it deterministic.)
+    """
+    dtype = np.dtype(dtype)
+    count = int(np.prod(shape, dtype=np.int64))
+    buf = np.zeros(count + align // dtype.itemsize, dtype=dtype)
+    offset = (-buf.ctypes.data % align) // dtype.itemsize
+    return buf[offset:offset + count].reshape(shape)
 
 
 @dataclass
@@ -103,7 +124,7 @@ class ExecutableRoutine:
     """
 
     routine: CompiledRoutine
-    backend: str  # "c", "numpy" or "python"
+    backend: str  # "cjit", "c", "numpy" or "python"
     raw_call: Callable  # fn(y_buffer, x_buffer) on 1-D physical buffers
     ctypes_fn: Callable | None = None  # underlying native entry (C backend)
     batch_fn: Callable | None = None  # spl_batch_* ctypes driver (C backend)
@@ -112,6 +133,7 @@ class ExecutableRoutine:
     threads: int = 1  # default worker count for apply_many
     fallback_chain: tuple[str, ...] = ()  # degradation targets, in order
     backend_failures: list[BackendFailure] = field(default_factory=list)
+    promotions: list[str] = field(default_factory=list)  # upgrade history
     _tls: threading.local = field(default_factory=threading.local,
                                   repr=False, compare=False)
     # Serializes breaker trips and callable swaps; ``_generation``
@@ -160,8 +182,8 @@ class ExecutableRoutine:
             width = program.element_width
             dtype = self._dtype()
             pair = (
-                np.zeros(program.in_size * width, dtype=dtype),
-                np.zeros(program.out_size * width, dtype=dtype),
+                _aligned_zeros(program.in_size * width, dtype),
+                _aligned_zeros(program.out_size * width, dtype),
             )
             self._tls.single = pair
         return pair
@@ -175,8 +197,8 @@ class ExecutableRoutine:
             width = program.element_width
             dtype = self._dtype()
             pair = (
-                np.zeros((batch, program.in_size * width), dtype=dtype),
-                np.zeros((batch, program.out_size * width), dtype=dtype),
+                _aligned_zeros((batch, program.in_size * width), dtype),
+                _aligned_zeros((batch, program.out_size * width), dtype),
             )
             self._tls.batch = pair
         return pair
@@ -200,6 +222,7 @@ class ExecutableRoutine:
         return {
             "backend": self.backend,
             "degraded": self.degraded,
+            "promotions": list(self.promotions),
             "fallbacks_left": self.fallback_chain,
             "failures": [
                 {"backend": f.backend, "op": f.op, "error": f.error}
@@ -269,6 +292,37 @@ class ExecutableRoutine:
                 return True
             self._exhausted = True
             return False
+
+    def promote(self, replacement: "ExecutableRoutine") -> bool:
+        """Swap in a faster backend built in the background.
+
+        This is the upward counterpart of :meth:`_degrade`, used by the
+        JIT tier to upgrade to the gcc-optimized shared object once the
+        subprocess compile finishes.  The swap runs under the same lock
+        and bumps the same generation counter, so in-flight calls that
+        snapshot callables see a consistent backend and the breaker
+        never mis-attributes a fault across the swap.  Returns False —
+        leaving the routine untouched — when a breaker already tripped
+        (the degraded tier was chosen for a reason; a late upgrade must
+        not resurrect the native path the breaker walked away from).
+
+        Bit-identity across the swap is guaranteed by construction:
+        the JIT and the C backend execute the same four-tuples in the
+        same order with IEEE double arithmetic.
+        """
+        with self._swap_lock:
+            if self.backend_failures or self._exhausted:
+                return False
+            self.promotions.append(
+                f"{self.backend}->{replacement.backend}")
+            self.backend = replacement.backend
+            self.raw_call = replacement.raw_call
+            self.ctypes_fn = replacement.ctypes_fn
+            self.batch_fn = replacement.batch_fn
+            self.batch_omp_fn = replacement.batch_omp_fn
+            self.batch_call = replacement.batch_call
+            self._generation += 1
+            return True
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Apply to a logical input vector; complex in, complex out.
@@ -425,7 +479,7 @@ class ExecutableRoutine:
             dtype=np.float64,
         ).astype(self._dtype())
         y = np.zeros(program.out_size * width, dtype=self._dtype())
-        if self.backend == "c":
+        if self.backend in ("c", "cjit"):
             import ctypes
 
             c_double_p = ctypes.POINTER(ctypes.c_double)
@@ -468,25 +522,92 @@ class ExecutableRoutine:
         return call
 
 
+def _build_cjit(routine: CompiledRoutine) -> ExecutableRoutine:
+    """Build the in-process JIT tier for a codelet program.
+
+    Raises :class:`~repro.perfeval.jit.JitError` for programs the
+    emitter cannot lower; ``build_executable`` pre-checks eligibility
+    and falls through to the plain C path instead.
+    """
+    from repro.perfeval import jit
+
+    jitted = jit.compile_jit(routine.program)
+    import ctypes
+
+    c_double_p = ctypes.POINTER(ctypes.c_double)
+    fn = jitted.fn
+
+    def jit_call(y: np.ndarray, x: np.ndarray) -> None:
+        fn(y.ctypes.data_as(c_double_p),
+           np.ascontiguousarray(x).ctypes.data_as(c_double_p))
+
+    return ExecutableRoutine(routine=routine, backend="cjit",
+                             raw_call=jit_call, ctypes_fn=jitted.fn,
+                             batch_fn=jitted.batch_fn)
+
+
+def _jit_upgrade_enabled() -> bool:
+    """True unless ``SPL_JIT_UPGRADE=0`` pins executables to the JIT
+    tier (used by the cold-latency benchmark and deterministic tests)."""
+    import os
+
+    return os.environ.get("SPL_JIT_UPGRADE", "").strip() != "0"
+
+
+def _upgrade_in_background(executable: ExecutableRoutine,
+                           routine: CompiledRoutine,
+                           cflags: tuple[str, ...]) -> threading.Thread:
+    """Compile the gcc-optimized tier off-thread and promote to it.
+
+    Any failure (no compiler after all, compile error, OOM) is
+    swallowed: the JIT tier keeps serving, exactly as it would have
+    without the upgrade attempt.  Returns the (daemon) thread so tests
+    can join it.
+    """
+
+    def work() -> None:
+        try:
+            executable.promote(_build_c(routine, cflags))
+        except Exception:  # noqa: BLE001 - upgrade is best-effort
+            pass
+
+    thread = threading.Thread(target=work, name=f"spl-jit-upgrade-"
+                              f"{routine.name}", daemon=True)
+    thread.start()
+    return thread
+
+
 def _build_c(routine: CompiledRoutine,
              cflags: tuple[str, ...]) -> ExecutableRoutine:
     program = routine.program
     source = (
-        routine.source if routine.language == "c" else emit_c(program)
+        routine.source if routine.language in ("c", "cjit")
+        else emit_c(program)
     )
     batch_fn = None
     batch_omp_fn = None
     openmp = False
+    codelet = False
     if not program.strided:
         openmp = ccompile.have_openmp()
+        # Straight-line (fully unrolled) routines get the codelet
+        # driver: an aligned+SIMD-annotated batch fast path, entered
+        # only when the workspaces really are 64-byte aligned (the
+        # runner's are; see _aligned_zeros).
+        codelet = program.is_straight_line()
         source += ccompile.batch_driver_source(
             routine.name,
             in_len=program.in_size * program.element_width,
             out_len=program.out_size * program.element_width,
             openmp=openmp,
+            codelet=codelet,
         )
-    so_path = ccompile.compile_shared_object(source, cflags=cflags,
-                                             openmp=openmp)
+        if codelet:
+            cflags = cflags + ccompile.simd_cflags()
+    so_path = ccompile.compile_shared_object(
+        source, cflags=cflags, openmp=openmp,
+        key_extra=(f"driver={'codelet' if codelet else 'loop'}",),
+    )
     fn = ccompile.load_function(so_path, routine.name,
                                 strided=program.strided)
     if not program.strided:
@@ -541,9 +662,15 @@ def build_executable(routine: CompiledRoutine,
     """Compile a routine to an executable, preferring the fastest path.
 
     ``prefer`` names the first backend to try; remaining candidates
-    follow the ``c > numpy > python`` order (a missing C compiler, or
-    a complex-native program the C backend cannot express, falls
-    through to the NumPy batch backend, then pure Python).
+    follow the ``cjit > c > numpy > python`` order (a missing C
+    compiler, or a complex-native program the C backend cannot
+    express, falls through to the NumPy batch backend, then pure
+    Python).  ``prefer="cjit"`` makes codelet programs executable
+    immediately — machine code emitted in-process, no subprocess — and
+    then upgrades to the gcc-optimized shared object in a background
+    thread once the host compiler finishes (disable with
+    ``SPL_JIT_UPGRADE=0``); non-codelet programs fall through to the
+    plain C path unchanged.
 
     ``cflags`` appends host-compiler flags (e.g. ``("-O0",)`` to model
     a weak back-end compiler in ablation experiments); ``SPL_CFLAGS``
@@ -561,7 +688,20 @@ def build_executable(routine: CompiledRoutine,
     last_error: Exception | None = None
     for position, backend in enumerate(chain):
         executable: ExecutableRoutine | None = None
-        if backend == "c":
+        upgrade = False
+        if backend == "cjit":
+            from repro.perfeval import jit
+
+            if not (jit.jit_supported() and jit.can_jit(routine.program)):
+                continue  # not a codelet — the plain C path is next
+            try:
+                executable = _build_cjit(routine)
+            except SplSemanticError as exc:
+                last_error = exc
+                continue
+            upgrade = (ccompile.have_c_compiler()
+                       and _jit_upgrade_enabled())
+        elif backend == "c":
             if not ccompile.have_c_compiler():
                 continue
             try:
@@ -576,7 +716,14 @@ def build_executable(routine: CompiledRoutine,
         executable.threads = threads
         # The backends below the chosen one arm the runtime circuit
         # breaker: a backend that faults mid-call degrades onto them.
-        executable.fallback_chain = tuple(chain[position + 1:])
+        # The JIT tier skips "c" on *degradation* (a native fault is
+        # no reason to trust another native build) but upgrades to it
+        # on the promote path below.
+        executable.fallback_chain = tuple(
+            b for b in chain[position + 1:] if b != "c"
+        ) if backend == "cjit" else tuple(chain[position + 1:])
+        if upgrade:
+            _upgrade_in_background(executable, routine, cflags)
         return executable
     raise last_error if last_error is not None else SplSemanticError(
         f"no executable backend available for {routine.name}"

@@ -24,7 +24,7 @@ survivors instead of aborting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.compiler import CompilerOptions, SplCompiler
 from repro.core.errors import SplError
@@ -50,15 +50,21 @@ class SearchResult:
     candidates_tried: int
     from_wisdom: bool = False
     candidates_failed: int = 0  # quarantined/skipped during measurement
+    # The winning "-B" unroll threshold when the search swept one
+    # (None: the compiler's own unroll setting was used unswept).
+    unroll_threshold: int | None = None
 
     def describe(self) -> str:
         source = "wisdom" if self.from_wisdom \
             else f"{self.candidates_tried} candidates"
         if self.candidates_failed:
             source += f", {self.candidates_failed} failed"
+        suffix = ""
+        if self.unroll_threshold is not None:
+            suffix = f" [-B {self.unroll_threshold}]"
         return (
             f"F_{self.n}: {self.mflops:8.1f} pseudo-MFlops "
-            f"({source}) {self.formula.to_spl()}"
+            f"({source}){suffix} {self.formula.to_spl()}"
         )
 
 
@@ -70,6 +76,26 @@ def default_small_compiler() -> SplCompiler:
     ))
 
 
+def compiler_with_threshold(compiler: SplCompiler,
+                            threshold: int) -> SplCompiler:
+    """A variant compiler unrolling only transforms of size <= threshold.
+
+    The paper's ``-B`` knob as a search dimension: ``unroll`` is
+    forced off so the threshold alone decides which sub-transforms
+    become straight-line codelets.  Templates and defines are shared
+    with the source compiler (they are read-only during measurement);
+    the compile memo is not, since memo keys include the options.
+    """
+    variant = SplCompiler(
+        replace(compiler.options, unroll=False,
+                unroll_threshold=threshold),
+        compiler.limits,
+    )
+    variant.templates = compiler.templates
+    variant.defines = compiler.defines
+    return variant
+
+
 def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
                        compiler: SplCompiler | None = None,
                        rules: tuple[str, ...] = ("multi",),
@@ -79,6 +105,7 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
                        jobs: int = 1,
                        sandbox: SandboxPolicy | None = None,
                        quarantine: Quarantine | None = None,
+                       unroll_thresholds: tuple[int, ...] | None = None,
                        verbose: bool = False) -> dict[int, SearchResult]:
     """Run the paper's small-size dynamic-programming search.
 
@@ -90,8 +117,25 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
     concurrently; ``sandbox`` isolates each measurement in a worker
     process so crashing/hanging/NaN candidates are skipped and
     quarantined rather than fatal.
+
+    ``unroll_thresholds`` adds the paper's ``-B`` knob as a second
+    search dimension: every candidate formula is compiled and measured
+    once per threshold (``unroll`` forced off, so the threshold alone
+    decides which sub-transforms unroll into codelets), and the
+    (formula, threshold) pair with the lowest time wins.  The winning
+    threshold is recorded in wisdom (``meta["unroll_threshold"]``)
+    along with the swept values (``meta["threshold_sweep"]``); a
+    replayed entry whose sweep differs from the current call's is
+    treated as a miss and evicted, so wisdom produced under one search
+    space is never silently replayed in another.
     """
     compiler = compiler or default_small_compiler()
+    sweep = tuple(sorted(set(unroll_thresholds))) \
+        if unroll_thresholds else None
+    variants = {
+        threshold: compiler_with_threshold(compiler, threshold)
+        for threshold in (sweep or ())
+    }
     best: dict[int, SearchResult] = {}
 
     def leaf(m: int) -> Formula:
@@ -104,6 +148,13 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
             replayed: dict[str, Formula] = {}
 
             def check(candidate_entry, n=n, replayed=replayed) -> bool:
+                # An entry searched under a different -B sweep answers
+                # a different question: treat it as a miss (and evict)
+                # rather than replay it into this search space.
+                recorded_sweep = candidate_entry.meta.get(
+                    "threshold_sweep") or []
+                if list(sweep or ()) != list(recorded_sweep):
+                    return False
                 formula = parse_formula_text(candidate_entry.formula,
                                              compiler.defines)
                 if not validate_fft_formula(compiler, formula, n):
@@ -121,6 +172,7 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
                 mflops=entry.mflops,
                 candidates_tried=0,
                 from_wisdom=True,
+                unroll_threshold=entry.meta.get("unroll_threshold"),
             )
             if verbose:
                 print(best[n].describe())
@@ -134,17 +186,29 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
             # Degenerate spaces (prime sizes under exotic rule sets, a
             # zero candidate cap) fall back to the direct O(n^2) leaf.
             candidates = [leaf(n)]
-        measurements = measure_formulas(
-            compiler, candidates, name_prefix=f"spl_fft{n}_c",
-            min_time=min_time, jobs=jobs,
-            sandbox=sandbox, quarantine=quarantine,
-        )
+        # Without a sweep, candidates are measured once under the
+        # session compiler; with one, once per threshold variant, and
+        # the (formula, threshold) pair with the lowest time wins.
+        tagged: list[tuple[int | None, object]] = []
+        tried = 0
+        for threshold, variant in (
+                [(None, compiler)] if sweep is None
+                else [(b, variants[b]) for b in sweep]):
+            prefix = (f"spl_fft{n}_c" if threshold is None
+                      else f"spl_fft{n}_b{threshold}_c")
+            measurements = measure_formulas(
+                variant, candidates, name_prefix=prefix,
+                min_time=min_time, jobs=jobs,
+                sandbox=sandbox, quarantine=quarantine,
+            )
+            tried += len(candidates)
+            tagged.extend((threshold, m) for m in measurements)
         # getattr: stubbed/duck-typed measurements count as successes.
-        usable = [m for m in measurements if getattr(m, "ok", True)]
-        failed = len(measurements) - len(usable)
+        usable = [(b, m) for b, m in tagged if getattr(m, "ok", True)]
+        failed = len(tagged) - len(usable)
         if not usable:
             details = "; ".join(
-                m.failure.describe() for m in measurements
+                m.failure.describe() for _, m in tagged
                 if getattr(m, "failure", None) is not None
             )
             message = (
@@ -154,23 +218,31 @@ def search_small_sizes(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
             if details:
                 message += f"; failures: {details[:400]}"
             raise SplError(message + ")")
-        _, winner = pick_winner(usable, key=lambda m: m.seconds)
+        _, (winner_threshold, winner) = pick_winner(
+            usable, key=lambda item: item[1].seconds)
         best[n] = SearchResult(
             n=n,
             formula=winner.formula,
             seconds=winner.seconds,
             mflops=winner.mflops,
-            candidates_tried=len(candidates),
+            candidates_tried=tried,
             candidates_failed=failed,
+            unroll_threshold=winner_threshold,
         )
         if wisdom is not None:
+            meta = {
+                "rules": list(rules),
+                "candidates_tried": tried,
+            }
+            if sweep is not None:
+                meta["unroll_threshold"] = winner_threshold
+                meta["threshold_sweep"] = list(sweep)
             wisdom.record(
                 SMALL_TRANSFORM, n, compiler.options,
                 formula=winner.formula.to_spl(),
                 seconds=winner.seconds,
                 mflops=winner.mflops,
-                rules=list(rules),
-                candidates_tried=len(candidates),
+                **meta,
             )
         if verbose:
             print(best[n].describe())

@@ -59,9 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wisdom", default=None, metavar="PATH",
                         help="wisdom store to boot plans from")
     parser.add_argument("--prefer", default=None,
-                        choices=["c", "numpy", "python"],
-                        help="backend chain head (default: c if a "
-                             "compiler is available)")
+                        choices=["cjit", "c", "numpy", "python"],
+                        help="backend chain head (default: cjit when "
+                             "the in-process JIT is available, else c "
+                             "if a compiler is available)")
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-delay-ms", type=float, default=2.0,
                         help="per-request coalescing latency bound")

@@ -124,8 +124,11 @@ class PlanRegistry:
     default factorization; replayed entries are re-validated against
     ``numpy.fft`` via the interpreter and evicted on mismatch, so a
     stale or tampered store degrades to a cold build, never to wrong
-    answers.  ``prefer`` picks the backend chain head (default: C
-    when a compiler is on PATH, NumPy otherwise).
+    answers.  ``prefer`` picks the backend chain head (default:
+    ``cjit`` when the in-process JIT runs on this host — codelet plans
+    serve their first request in milliseconds and upgrade to the
+    gcc-optimized tier in the background — else C when a compiler is
+    on PATH, NumPy otherwise).
     """
 
     def __init__(self, *, prefer: str | None = None,
@@ -133,7 +136,12 @@ class PlanRegistry:
                  cflags: tuple[str, ...] = (),
                  threads: int = 1):
         if prefer is None:
-            prefer = "c" if have_c_compiler() else "numpy"
+            from repro.perfeval.jit import jit_supported
+
+            if jit_supported():
+                prefer = "cjit"
+            else:
+                prefer = "c" if have_c_compiler() else "numpy"
         self.prefer = prefer
         self.wisdom = wisdom
         self.cflags = tuple(cflags)
@@ -148,6 +156,10 @@ class PlanRegistry:
         self._compiler = SplCompiler(CompilerOptions(
             codetype="real", unroll_threshold=16,
         ))
+        # Extra sessions for wisdom entries whose search swept the -B
+        # unroll threshold: each recorded winner compiles under the
+        # threshold that won for it, not the registry default.
+        self._threshold_compilers: dict[int, SplCompiler] = {}
         # Wisdom entries are keyed by the *search* compiler's options;
         # use the same options object so lookups actually hit.
         self._wisdom_options = default_small_compiler().options
@@ -155,12 +167,17 @@ class PlanRegistry:
     # -- formula selection ------------------------------------------------
 
     def _language(self) -> str:
-        return {"c": "c", "numpy": "numpy"}.get(self.prefer, "python")
+        return {"c": "c", "cjit": "cjit",
+                "numpy": "numpy"}.get(self.prefer, "python")
 
-    def _fft_formula(self, n: int) -> tuple[Formula, bool]:
-        """The formula for an n-point DFT: wisdom winner or default."""
+    def _fft_formula(self, n: int) -> tuple[Formula, bool, int | None]:
+        """(formula, from_wisdom, unroll threshold) for an n-point DFT.
+
+        The threshold is non-None only for wisdom winners whose search
+        swept ``-B``; the plan is then compiled under that threshold.
+        """
         if self.wisdom is not None:
-            replayed: dict[str, Formula] = {}
+            replayed: dict[str, object] = {}
 
             def check(entry) -> bool:
                 formula = parse_formula_text(entry.formula,
@@ -168,25 +185,28 @@ class PlanRegistry:
                 if not validate_fft_formula(self._compiler, formula, n):
                     return False
                 replayed["formula"] = formula
+                replayed["threshold"] = entry.meta.get("unroll_threshold")
                 return True
 
             entry = self.wisdom.validated_lookup(
                 SMALL_TRANSFORM, n, self._wisdom_options, validate=check)
             if entry is not None:
-                return replayed["formula"], True
+                return (replayed["formula"], True,
+                        replayed.get("threshold"))
         factors = fft_factors(n)
         if factors is not None:
-            return ct_multi(factors), False
+            return ct_multi(factors), False, None
         if n <= MAX_DIRECT_FFT:
             return parse_formula_text(f"(F {n})",
-                                      self._compiler.defines), False
+                                      self._compiler.defines), False, None
         raise BadRequest(
             f"fft size {n} is not plannable (not smooth, and too "
             f"large for the direct definition)"
         )
 
-    def _formula(self, key: PlanKey) -> tuple[Formula, bool, str]:
-        """(formula, from_wisdom, datatype) for one route."""
+    def _formula(self, key: PlanKey) -> tuple[Formula, bool, str,
+                                              int | None]:
+        """(formula, from_wisdom, datatype, threshold) for one route."""
         if key.n > MAX_PLAN_SIZE:
             raise BadRequest(
                 f"transform size {key.n} exceeds the serving limit "
@@ -195,8 +215,8 @@ class PlanRegistry:
         if key.transform == "fft":
             if key.dtype != "complex128":
                 raise BadRequest("fft serves dtype complex128 only")
-            formula, from_wisdom = self._fft_formula(key.n)
-            return formula, from_wisdom, "complex"
+            formula, from_wisdom, threshold = self._fft_formula(key.n)
+            return formula, from_wisdom, "complex", threshold
         if key.transform == "wht":
             if key.dtype != "float64":
                 raise BadRequest("wht serves dtype float64 only")
@@ -206,11 +226,23 @@ class PlanRegistry:
                     f"wht size {key.n} is not a power of two")
             # Balanced split: radix-4 stages, one radix-2 remainder.
             exponents = [2] * (k // 2) + ([1] if k % 2 else [])
-            return wht_multi(exponents), False, "real"
+            return wht_multi(exponents), False, "real", None
         raise BadRequest(
             f"unknown transform {key.transform!r} "
             f"(supported: fft, wht)"
         )
+
+    def _compiler_for(self, threshold: int | None) -> SplCompiler:
+        if threshold is None:
+            return self._compiler
+        with self._registry_lock:
+            compiler = self._threshold_compilers.get(threshold)
+            if compiler is None:
+                compiler = SplCompiler(CompilerOptions(
+                    codetype="real", unroll_threshold=threshold,
+                ))
+                self._threshold_compilers[threshold] = compiler
+            return compiler
 
     # -- the cache --------------------------------------------------------
 
@@ -236,9 +268,9 @@ class PlanRegistry:
             plan = self._plans.get(key)
             if plan is not None:
                 return plan
-            formula, from_wisdom, datatype = self._formula(key)
+            formula, from_wisdom, datatype, threshold = self._formula(key)
             name = f"serve_{key.transform}{key.n}"
-            routine = self._compiler.compile_formula(
+            routine = self._compiler_for(threshold).compile_formula(
                 formula, name, datatype=datatype,
                 language=self._language(),
             )

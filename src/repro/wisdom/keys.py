@@ -79,31 +79,43 @@ def platform_fingerprint() -> str:
     code speed: CPU model, cache sizes, OS and host C compiler (the
     Table 1 fields, minus total memory which does not affect codelet
     choice), plus the compilation mode — extra host-compiler flags
-    (``SPL_CFLAGS``, e.g. ``-march=native``) and OpenMP availability —
-    so timings measured under one flag set never validate a cache
-    built under another.
+    (``SPL_CFLAGS``, e.g. ``-march=native``), OpenMP availability, and
+    the execution tiers in play (``#pragma omp simd`` support and
+    whether the in-process JIT is enabled, since both change which
+    code actually gets timed) — so timings measured under one
+    configuration never validate a cache built under another.
     """
     return _digest(platform_description())
 
 
 def platform_description() -> str:
     """The human-readable string behind :func:`platform_fingerprint`."""
-    from repro.perfeval.ccompile import extra_cflags, have_openmp
+    from repro.perfeval.ccompile import (
+        extra_cflags,
+        have_openmp,
+        have_openmp_simd,
+    )
+    from repro.perfeval.jit import jit_supported
 
-    return _host_description(extra_cflags(), have_openmp())
+    return _host_description(extra_cflags(), have_openmp(),
+                             have_openmp_simd(), jit_supported())
 
 
 @lru_cache(maxsize=None)
-def _host_description(cflags: tuple[str, ...], openmp: bool) -> str:
+def _host_description(cflags: tuple[str, ...], openmp: bool,
+                      openmp_simd: bool = False,
+                      jit: bool = False) -> str:
     # The hardware inventory is immutable per process; only the flag
-    # set varies, so cache one description per (cflags, openmp) pair.
+    # set varies, so cache one description per configuration tuple.
     from repro.perfeval.platform import host_platform
 
     row = host_platform()
     return "|".join((row.cpu, row.l1_cache, row.l2_cache,
                      row.os_name, row.compiler,
                      " ".join(cflags) or "-",
-                     "openmp" if openmp else "no-openmp"))
+                     "openmp" if openmp else "no-openmp",
+                     "simd" if openmp_simd else "no-simd",
+                     "jit" if jit else "no-jit"))
 
 
 def wisdom_key(transform: str, n: int, options: object | None = None,

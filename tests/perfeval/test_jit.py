@@ -1,0 +1,141 @@
+"""Unit and integration tests for the in-process JIT backend tier:
+eligibility gating (``can_jit``), the ``SPL_JIT`` escape hatch, the
+``cjit`` preference chain in ``build_executable``, and the background
+promotion to the gcc-optimized tier."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, SplCompiler
+from repro.perfeval import jit
+from repro.perfeval.ccompile import have_c_compiler
+from repro.perfeval.runner import (
+    BackendFailure,
+    _upgrade_in_background,
+    build_executable,
+)
+
+needs_jit = pytest.mark.skipif(
+    not jit.jit_supported(),
+    reason="in-process JIT unsupported on this host",
+)
+needs_cc = pytest.mark.skipif(
+    not have_c_compiler(), reason="no C compiler on PATH",
+)
+
+
+def _codelet_routine(formula="(F 4)", language="cjit"):
+    compiler = SplCompiler(CompilerOptions(codetype="real", unroll=True))
+    return compiler.compile_formula(formula, "tj", language=language)
+
+
+def _looped_routine(language="cjit"):
+    compiler = SplCompiler(CompilerOptions(codetype="real"))
+    return compiler.compile_formula("(tensor (I 8) (F 4))", "tjl",
+                                    language=language)
+
+
+class TestEligibility:
+    def test_spl_jit_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("SPL_JIT", "0")
+        assert not jit.jit_supported()
+
+    def test_codelet_is_jittable(self):
+        assert jit.can_jit(_codelet_routine().program)
+
+    def test_looped_program_rejected(self):
+        assert not jit.can_jit(_looped_routine().program)
+
+    def test_strided_program_rejected(self):
+        compiler = SplCompiler(CompilerOptions(codetype="real",
+                                               unroll=True))
+        routine = compiler.compile_formula("(F 4)", "tjs", language="c",
+                                           strided=True)
+        assert not jit.can_jit(routine.program)
+
+    def test_statement_cap_rejects(self, monkeypatch):
+        monkeypatch.setattr(jit, "MAX_JIT_STATEMENTS", 3)
+        assert not jit.can_jit(_codelet_routine().program)
+
+    def test_compile_jit_raises_on_ineligible(self):
+        with pytest.raises(jit.JitError):
+            jit.compile_jit(_looped_routine().program)
+
+
+@needs_jit
+class TestBuildExecutable:
+    def test_cjit_backend_selected(self, monkeypatch):
+        monkeypatch.setenv("SPL_JIT_UPGRADE", "0")
+        executable = build_executable(_codelet_routine(), prefer="cjit")
+        assert executable.backend == "cjit"
+        x = np.random.default_rng(1).standard_normal(4) \
+            + 1j * np.random.default_rng(2).standard_normal(4)
+        np.testing.assert_allclose(executable.apply(x), np.fft.fft(x),
+                                   atol=1e-10)
+
+    def test_degradation_chain_skips_c(self, monkeypatch):
+        # A native fault in the JIT tier must not degrade onto another
+        # native build: the chain below cjit is numpy/python only.
+        monkeypatch.setenv("SPL_JIT_UPGRADE", "0")
+        executable = build_executable(_codelet_routine(), prefer="cjit")
+        assert "c" not in executable.fallback_chain
+        assert "cjit" not in executable.fallback_chain
+
+    def test_spl_jit_zero_falls_through(self, monkeypatch):
+        monkeypatch.setenv("SPL_JIT", "0")
+        executable = build_executable(_codelet_routine(), prefer="cjit")
+        assert executable.backend != "cjit"
+
+    def test_looped_program_falls_through(self, monkeypatch):
+        monkeypatch.setenv("SPL_JIT_UPGRADE", "0")
+        executable = build_executable(_looped_routine(), prefer="cjit")
+        assert executable.backend != "cjit"
+
+    @needs_cc
+    def test_background_promotion_to_c(self, monkeypatch):
+        monkeypatch.setenv("SPL_JIT_UPGRADE", "0")
+        routine = _codelet_routine()
+        executable = build_executable(routine, prefer="cjit")
+        assert executable.backend == "cjit"
+        thread = _upgrade_in_background(executable, routine, ())
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        assert executable.backend == "c"
+        assert executable.stats()["promotions"] == ["cjit->c"]
+        x = np.random.default_rng(3).standard_normal(4) \
+            + 1j * np.random.default_rng(4).standard_normal(4)
+        np.testing.assert_allclose(executable.apply(x), np.fft.fft(x),
+                                   atol=1e-10)
+
+    def test_promotion_refused_after_breaker_trip(self, monkeypatch):
+        monkeypatch.setenv("SPL_JIT_UPGRADE", "0")
+        routine = _codelet_routine()
+        executable = build_executable(routine, prefer="cjit")
+        executable.backend_failures.append(BackendFailure(
+            backend="cjit", op="call", error="synthetic fault"))
+        other = build_executable(routine, prefer="numpy")
+        assert not executable.promote(other)
+        assert executable.backend == "cjit"
+        assert executable.stats()["promotions"] == []
+
+
+@needs_jit
+class TestJitRoutineLifetime:
+    def test_fn_outlives_routine_object(self):
+        # The ctypes entries keep the RWX mapping alive via _keepalive;
+        # calling fn after the JitRoutine reference is dropped must not
+        # fault.
+        import ctypes
+        import gc
+
+        jitted = jit.compile_jit(_codelet_routine().program)
+        fn = jitted.fn
+        del jitted
+        gc.collect()
+        dp = ctypes.POINTER(ctypes.c_double)
+        x = np.arange(8.0)
+        y = np.zeros(8)
+        fn(y.ctypes.data_as(dp), x.ctypes.data_as(dp))
+        ref = np.fft.fft(x[0::2] + 1j * x[1::2])
+        np.testing.assert_allclose(y[0::2] + 1j * y[1::2], ref,
+                                   atol=1e-10)
