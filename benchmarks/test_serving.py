@@ -22,9 +22,18 @@ response, including wire time on loopback.  The artifact lands in
 written *before* any acceptance gate so minimal runners always leave
 a record.
 
+A **resilience run** (``test_serving_resilience``) boots a real
+supervised fleet (``spl serve --workers 2`` in a subprocess),
+SIGKILLs a worker mid-load, and records availability — overall and
+after the restart-backoff recovery window — plus p99 across the
+kill-restart event, under the ``resilience`` key of the same
+artifact.  It skips (never fails) on hosts without fork or
+``SO_REUSEPORT``.
+
 Scale knobs: ``SPL_SERVING_SIZES=64,1024`` (FFT sizes),
 ``SPL_SERVING_DURATION=0.8`` (seconds per steady run),
-``SPL_SERVING_CONNECTIONS=4``.
+``SPL_SERVING_CONNECTIONS=4``, ``SPL_RESILIENCE_RATE=200`` /
+``SPL_RESILIENCE_DURATION=5`` (chaos offered rate and length).
 """
 
 from __future__ import annotations
@@ -35,8 +44,11 @@ import os
 import threading
 from pathlib import Path
 
+import pytest
+
 from repro.perfeval.ccompile import have_c_compiler
 from repro.serve import PlanKey, PlanRegistry, Router, SplServer
+from repro.serve.chaos import ChaosConfig, fleet_supported, run_chaos
 from repro.serve.loadgen import WorkloadSpec, run_load
 
 from conftest import RESULTS_DIR, write_results
@@ -102,12 +114,31 @@ def _run(server: _ServerThread, **kwargs) -> dict:
     return asyncio.run(drive()).summary()
 
 
+def _artifact_paths() -> tuple[Path, Path]:
+    return (RESULTS_DIR / "BENCH_serving.json",
+            Path(__file__).resolve().parent.parent
+            / "BENCH_serving.json")
+
+
 def _write_artifact(payload: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     text = json.dumps(payload, indent=2) + "\n"
-    (RESULTS_DIR / "BENCH_serving.json").write_text(text)
-    (Path(__file__).resolve().parent.parent
-     / "BENCH_serving.json").write_text(text)
+    for path in _artifact_paths():
+        path.write_text(text)
+
+
+def _update_artifact(updates: dict) -> None:
+    """Merge top-level keys into the artifact, preserving whatever
+    other sections an earlier benchmark already recorded."""
+    primary, _ = _artifact_paths()
+    payload: dict = {}
+    if primary.exists():
+        try:
+            payload = json.loads(primary.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(updates)
+    _write_artifact(payload)
 
 
 def test_serving_latency_and_throughput():
@@ -187,7 +218,7 @@ def test_serving_latency_and_throughput():
     write_results("serving", lines)
 
     # The artifact is written before any gate below can fail.
-    _write_artifact({
+    _update_artifact({
         "sizes": list(sizes),
         "duration_s": duration,
         "connections": connections,
@@ -221,3 +252,58 @@ def test_serving_latency_and_throughput():
         "overload run produced no bounded-queue rejections"
     )
     assert set(overload["errors"]) <= {"overload", "deadline"}
+
+
+def test_serving_resilience():
+    """Availability and p99 across a worker kill-restart event.
+
+    A real supervised fleet (2 workers, subprocess CLI) under
+    open-loop load with retrying clients; one worker is SIGKILLed
+    mid-run plus light server-side stall/truncate injection.  Gates:
+    zero wrong answers, and post-recovery availability >= 99%."""
+    if not fleet_supported():
+        pytest.skip("supervised fleets need fork and SO_REUSEPORT")
+
+    rate = float(os.environ.get("SPL_RESILIENCE_RATE", "200"))
+    duration = float(os.environ.get("SPL_RESILIENCE_DURATION", "5"))
+    kill_at = max(0.5, duration * 0.3)
+    recovery_window = max(1.0, duration * 0.4)
+    report = run_chaos(
+        workers=2, n=64, rate=rate, duration=duration,
+        kill_at=(kill_at,), recovery_window_s=recovery_window,
+        server_chaos=ChaosConfig(stall_rate=0.005, stall_s=0.8,
+                                 truncate_rate=0.005, seed=13),
+        connections=_connections(), seed=17)
+    summary = report.summary()
+
+    write_results("serving_resilience", [
+        "Fleet resilience across a worker kill-restart "
+        "(2 workers, SIGKILL mid-load, retrying clients)",
+        f"offered {summary['offered']} ok {summary['ok']} "
+        f"wrong {summary['wrong']} errors {summary['errors']}",
+        f"availability {summary['availability']:.4f} "
+        f"(post-recovery {summary['post_recovery_availability']:.4f}"
+        f" over {summary['post_recovery_offered']} arrivals)",
+        f"p50 {summary['p50_ms']:.2f} ms, p99 {summary['p99_ms']:.2f}"
+        f" ms across the kill-restart event; "
+        f"reconnects {summary['reconnects']}, "
+        f"retries spent {summary['retries_spent']}",
+    ])
+
+    # Recorded before the gates so failed runs still leave evidence.
+    _update_artifact({"resilience": {
+        "workers": 2,
+        "rate": rate,
+        "duration_s": duration,
+        "kill_at_s": kill_at,
+        "summary": summary,
+    }})
+
+    assert report.offered > 0
+    assert report.wrong == 0, (
+        f"{report.wrong} transforms returned INCORRECT results"
+    )
+    assert report.killed_pids, "the chaos kill never landed"
+    assert report.post_recovery_offered > 0
+    assert report.post_recovery_availability >= 0.99, summary
+    assert report.availability >= 0.9, summary

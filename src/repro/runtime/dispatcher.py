@@ -163,7 +163,9 @@ class BatchDispatcher:
         self.dtype = np.dtype(dtype) if dtype is not None else None
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
         self._pending: list[_Request] = []
+        self._unresolved = 0  # submitted, not yet resolved
         self._closed = False
         self._stats = DispatchStats()
         self._worker = threading.Thread(
@@ -211,6 +213,7 @@ class BatchDispatcher:
             if self._closed:
                 raise DispatcherClosed("BatchDispatcher is closed")
             self._pending.append(request)
+            self._unresolved += 1
             self._stats.requests += 1
             self._wakeup.notify_all()
         return request
@@ -243,6 +246,54 @@ class BatchDispatcher:
         with self._lock:
             return replace(self._stats)
 
+    # -- drain hooks ---------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Requests queued but not yet taken into a batch."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def unresolved_count(self) -> int:
+        """Requests submitted whose futures have not resolved yet —
+        queued *or* mid-execution.  Zero means the dispatcher is
+        quiescent: a drain sequencer that has stopped submissions can
+        poll this (or block in :meth:`wait_idle`) to know when every
+        admitted request has been answered."""
+        with self._lock:
+            return self._unresolved
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every submitted request has resolved.
+
+        The drain hook: callers that have stopped submitting (a
+        draining server, a test tearing down) wait here instead of
+        spinning on futures.  Returns False if ``timeout`` (seconds)
+        elapsed first.  Unlike ``close()`` this leaves the dispatcher
+        open — new work may still be submitted afterwards.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._lock:
+            while self._unresolved > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+            return True
+
+    def _mark_resolved(self, count: int = 1) -> None:
+        with self._lock:
+            self._mark_resolved_locked(count)
+
+    def _mark_resolved_locked(self, count: int = 1) -> None:
+        self._unresolved -= count
+        if self._unresolved <= 0:
+            self._idle.notify_all()
+
     def close(self, drain: bool = True) -> None:
         """Stop the worker (idempotent); never leaves a caller hanging.
 
@@ -272,6 +323,7 @@ class BatchDispatcher:
         for request in requests:
             if not request.done.is_set():
                 self._stats.cancelled_requests += 1
+                self._mark_resolved_locked()
                 request.fail(DispatcherClosed(
                     "BatchDispatcher closed before this request ran"
                 ))
@@ -330,8 +382,10 @@ class BatchDispatcher:
         except BaseException as exc:  # noqa: BLE001 - forwarded
             with self._lock:
                 self._stats.failed_requests += 1
+            self._mark_resolved()
             request.fail(exc)
             return
+        self._mark_resolved()
         request.resolve(Y[0].copy())
 
     def _execute(self, batch: list[_Request], reason: str) -> None:
@@ -355,6 +409,7 @@ class BatchDispatcher:
             if len(batch) == 1:
                 with self._lock:
                     self._stats.failed_requests += 1
+                self._mark_resolved()
                 batch[0].fail(exc)
             else:
                 # One poisoned vector must not fail the whole batch:
@@ -368,6 +423,7 @@ class BatchDispatcher:
         with self._lock:
             if len(batch) >= 2:
                 self._stats.coalesced_requests += len(batch)
+            self._mark_resolved_locked(len(batch))
         for i, request in enumerate(batch):
             request.resolve(Y[i].copy())
 

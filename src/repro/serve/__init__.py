@@ -4,16 +4,33 @@ An inference-server-style front-end over the SPL runtime: requests
 arrive on a length-prefixed socket protocol, are routed by
 ``(transform, n, dtype)`` to per-plan batch dispatchers, admitted
 through bounded queues with deadline-aware shedding, and executed on
-circuit-breaker-guarded compiled backends.  See ``docs/serving.md``.
+circuit-breaker-guarded compiled backends.  ``spl serve --workers N``
+runs a supervised multi-process fleet (crash recovery, graceful
+drain, rolling restart); clients retry retryable failures under a
+jittered-backoff policy with a retry budget.  See
+``docs/serving.md``.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionStats
-from repro.serve.client import AsyncSplClient, SplClient
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosReport,
+    FleetProcess,
+    fleet_supported,
+    run_chaos,
+)
+from repro.serve.client import (
+    AsyncSplClient,
+    ResilientAsyncClient,
+    SplClient,
+)
 from repro.serve.errors import (
     BadRequest,
     DeadlineExceeded,
     Overloaded,
     ServeError,
+    SplTimeout,
     Unavailable,
 )
 from repro.serve.loadgen import (
@@ -24,27 +41,53 @@ from repro.serve.loadgen import (
     run_load_sync,
 )
 from repro.serve.plans import Plan, PlanKey, PlanRegistry
+from repro.serve.retry import RetryBudget, RetryPolicy, call_with_retry
 from repro.serve.server import PlanService, Router, SplServer
+from repro.serve.supervisor import (
+    BackoffPolicy,
+    RestartBudget,
+    ServeConfig,
+    Supervisor,
+    fork_supported,
+    run_worker,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "AsyncSplClient",
+    "BackoffPolicy",
     "BadRequest",
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosReport",
     "DeadlineExceeded",
+    "FleetProcess",
     "LoadReport",
     "Overloaded",
     "Plan",
     "PlanKey",
     "PlanRegistry",
     "PlanService",
+    "ResilientAsyncClient",
+    "RestartBudget",
+    "RetryBudget",
+    "RetryPolicy",
     "Router",
+    "ServeConfig",
     "ServeError",
     "SplClient",
     "SplServer",
+    "SplTimeout",
+    "Supervisor",
     "Unavailable",
     "WorkloadSpec",
+    "call_with_retry",
+    "fleet_supported",
+    "fork_supported",
     "mixed_fft_specs",
+    "run_chaos",
     "run_load",
     "run_load_sync",
+    "run_worker",
 ]

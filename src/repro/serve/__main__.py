@@ -4,23 +4,37 @@ Examples::
 
     spl serve --port 7462 --warm fft:64 fft:1024
     spl serve --wisdom wisdom.json --warm fft:64 --max-delay-ms 1
+    spl serve --port 7462 --workers 4 --warm fft:64
 
 ``--warm`` prebuilds routes at boot; with ``--wisdom`` pointing at a
 store produced by ``spl-compile --search --wisdom ...`` the warmed
 plans replay the search winners (hot boot) instead of the default
 factorization.
+
+``--workers N`` (N >= 2) runs a supervised fleet: N forked worker
+processes share the port via ``SO_REUSEPORT``, crashed workers are
+restarted under backoff and a restart budget, SIGTERM drains the
+fleet gracefully and SIGHUP performs a rolling restart.  See
+``docs/serving.md`` ("Running a fleet").  In every mode SIGTERM and
+SIGINT trigger a graceful drain: stop accepting, answer everything
+already admitted, then exit.
 """
 
 from __future__ import annotations
 
 import argparse
-import asyncio
 import sys
 
-from repro.serve.plans import PlanKey, PlanRegistry
+from repro.serve.plans import PlanKey
 from repro.serve.protocol import DTYPES
-from repro.serve.server import Router, SplServer
-from repro.wisdom.store import WisdomStore
+from repro.serve.supervisor import (
+    BackoffPolicy,
+    RestartBudget,
+    ServeConfig,
+    Supervisor,
+    fork_supported,
+    run_worker,
+)
 
 
 def _parse_warm_spec(spec: str) -> PlanKey:
@@ -71,39 +85,64 @@ def build_parser() -> argparse.ArgumentParser:
                              "rejections beyond it)")
     parser.add_argument("--threads", type=int, default=None,
                         help="OpenMP threads per batch call")
+    fleet = parser.add_argument_group("fleet (supervised serving)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes; >= 2 runs the "
+                            "supervisor with SO_REUSEPORT workers "
+                            "(default: 1, single process)")
+    fleet.add_argument("--drain-grace-s", type=float, default=30.0,
+                       help="seconds a draining worker may spend "
+                            "finishing admitted requests")
+    fleet.add_argument("--restart-budget", type=int, default=6,
+                       help="max worker restarts per window before "
+                            "the supervisor degrades the fleet")
+    fleet.add_argument("--restart-window-s", type=float, default=30.0,
+                       help="sliding window for --restart-budget")
+    fleet.add_argument("--heartbeat-timeout-s", type=float,
+                       default=5.0,
+                       help="silent-worker threshold before a wedge "
+                            "kill")
+    fleet.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write 'host:port' here once listening "
+                            "(useful with --port 0)")
     return parser
-
-
-async def _run(args: argparse.Namespace) -> int:
-    wisdom = WisdomStore(args.wisdom) if args.wisdom else None
-    registry = PlanRegistry(prefer=args.prefer, wisdom=wisdom)
-    router = Router(
-        registry,
-        max_batch=args.max_batch,
-        max_delay=args.max_delay_ms / 1e3,
-        queue_limit=args.queue_limit,
-        threads=args.threads,
-    )
-    server = SplServer(router, host=args.host, port=args.port,
-                       warm=args.warm)
-    host, port = await server.start()
-    warmed = ", ".join(k.describe() for k in args.warm) or "none"
-    print(f"spl serve: listening on {host}:{port} "
-          f"(prefer={registry.prefer}, warmed: {warmed})",
-          file=sys.stderr)
-    try:
-        await server.serve_forever()
-    except asyncio.CancelledError:
-        pass
-    finally:
-        await server.close()
-    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        print("spl serve: --workers must be >= 1", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        warm=tuple(args.warm),
+        wisdom_path=args.wisdom,
+        prefer=args.prefer,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        queue_limit=args.queue_limit,
+        threads=args.threads,
+        drain_grace_s=args.drain_grace_s,
+    )
     try:
-        return asyncio.run(_run(args))
+        if args.workers == 1:
+            return run_worker(config, port_file=args.port_file)
+        if not fork_supported():
+            print("spl serve: --workers needs fork, SIGCHLD and "
+                  "SO_REUSEPORT; falling back to a single process",
+                  file=sys.stderr)
+            return run_worker(config, port_file=args.port_file)
+        supervisor = Supervisor(
+            config,
+            workers=args.workers,
+            heartbeat_timeout=args.heartbeat_timeout_s,
+            backoff=BackoffPolicy(),
+            budget=RestartBudget(budget=args.restart_budget,
+                                 window_s=args.restart_window_s),
+            port_file=args.port_file,
+        )
+        return supervisor.run()
     except KeyboardInterrupt:
         return 130
 

@@ -17,6 +17,12 @@ message strings:
 * ``internal`` — execution failed on every backend tier (the circuit
   breakers degrade c -> numpy -> python in place first, so this is
   the chain-exhausted case, not the first fault).
+
+One code is *client-side only*: ``timeout`` (:class:`SplTimeout`) is
+raised by a client whose per-request timer expired before a response
+arrived.  The server never sends it — a timed-out request may still
+be executing — which is exactly why retrying it is only safe for
+idempotent transforms.
 """
 
 from __future__ import annotations
@@ -70,11 +76,22 @@ class Unavailable(ServeError):
     code = "unavailable"
 
 
+class SplTimeout(ServeError):
+    """No response within the client's per-request timeout.
+
+    Client-side only: the server may still be executing the request
+    (or may be wedged), so the outcome is *unknown* — safe to retry
+    only because every served transform is idempotent and read-only.
+    """
+
+    code = "timeout"
+
+
 #: Wire code -> exception class, for clients raising typed errors.
 ERROR_TYPES: dict[str, type[ServeError]] = {
     cls.code: cls
     for cls in (BadRequest, Overloaded, DeadlineExceeded, Unavailable,
-                ServeError)
+                SplTimeout, ServeError)
 }
 
 

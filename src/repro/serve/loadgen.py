@@ -145,6 +145,7 @@ async def run_load(host: str, port: int, *,
                    duration: float,
                    pattern: str = "poisson",
                    deadline_ms: float | None = None,
+                   request_timeout: float | None = None,
                    connections: int = 4,
                    seed: int = 0,
                    burst_factor: float = 4.0,
@@ -154,6 +155,10 @@ async def run_load(host: str, port: int, *,
 
     ``rate`` is total offered vectors/sec across the whole mix;
     requests round-robin over ``connections`` pipelined clients.
+    ``request_timeout`` bounds each in-flight request client-side:
+    responses slower than it count as ``timeout`` errors (the wire
+    code of :class:`~repro.serve.errors.SplTimeout`) instead of
+    stalling the report forever on a wedged server.
     """
     if not mix:
         raise ValueError("mix must not be empty")
@@ -193,7 +198,8 @@ async def run_load(host: str, port: int, *,
             client = clients[i % len(clients)]
             issued_at = time.monotonic()
             future = client.submit(headers[spec],
-                                   pool[i % len(pool)])
+                                   pool[i % len(pool)],
+                                   timeout=request_timeout)
             report.offered += 1
 
             def account(fut: asyncio.Future,

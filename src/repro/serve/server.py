@@ -33,6 +33,7 @@ request.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from dataclasses import asdict
@@ -158,25 +159,38 @@ class SplServer:
 
     def __init__(self, router: Router | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 warm: list[PlanKey] | None = None):
+                 warm: list[PlanKey] | None = None,
+                 reuse_port: bool = False,
+                 chaos=None):
         self.router = router or Router()
         self.host = host
         self.port = port
         self.warm_keys = list(warm or [])
+        self.reuse_port = reuse_port
+        self.chaos = chaos  # a repro.serve.chaos.ChaosInjector, or None
         self._server: asyncio.base_events.Server | None = None
         self._started_at: float | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._inflight = 0
+        self._quiescent: asyncio.Event | None = None
         self.connections_accepted = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> tuple[str, int]:
         loop = asyncio.get_running_loop()
+        self._quiescent = asyncio.Event()
+        self._quiescent.set()
         if self.warm_keys:
             await loop.run_in_executor(
                 None, self.router.warm, self.warm_keys)
+        # reuse_port is how a supervised fleet shares one address:
+        # every worker binds its own SO_REUSEPORT listener on the same
+        # (host, port) and the kernel load-balances connections.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port,
+            reuse_port=self.reuse_port or None)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self._started_at = time.monotonic()
@@ -186,6 +200,33 @@ class SplServer:
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._server.serve_forever()
+
+    async def drain(self, grace: float = 30.0) -> bool:
+        """Graceful drain: stop taking work, finish what was admitted.
+
+        1. the listener closes — no new connections;
+        2. new requests on live (pipelined) connections are rejected
+           with a typed ``unavailable`` so well-behaved clients move
+           to another worker;
+        3. every transform already in flight runs to completion and
+           its response is written (bounded by ``grace`` seconds).
+
+        Returns True when in-flight work fully quiesced within the
+        grace period.  Call :meth:`close` afterwards to tear down.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._quiescent is None:
+            return True
+        if self._inflight == 0:
+            self._quiescent.set()
+        try:
+            await asyncio.wait_for(self._quiescent.wait(), grace)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
     async def close(self) -> None:
         if self._server is not None:
@@ -207,6 +248,9 @@ class SplServer:
                   if self._started_at is not None else 0.0)
         return {
             "uptime_s": uptime,
+            "pid": os.getpid(),
+            "draining": self._draining,
+            "inflight": self._inflight,
             "connections_accepted": self.connections_accepted,
             **self.router.stats(),
         }
@@ -290,31 +334,67 @@ class SplServer:
             writer.write(encode_frame(header, payload))
             await writer.drain()
 
+    async def _send_truncated(self, writer: asyncio.StreamWriter,
+                              write_lock: asyncio.Lock, header: dict,
+                              payload: bytes = b"") -> None:
+        """Chaos only: half a frame, then a dead connection."""
+        frame = encode_frame(header, payload)
+        async with write_lock:
+            writer.write(frame[:max(4, len(frame) // 2)])
+            await writer.drain()
+            writer.close()
+
     async def _serve_transform(self, header: dict, payload: bytes,
                                writer: asyncio.StreamWriter,
                                write_lock: asyncio.Lock) -> None:
         request_id = header.get("id")
+        self._inflight += 1
+        if self._quiescent is not None:
+            self._quiescent.clear()
         try:
-            response, result_payload = await self._execute(header,
-                                                           payload)
-        except ServeError as exc:
-            response, result_payload = exc.to_header(), b""
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - typed for the wire
-            response = {"status": "error", "code": "internal",
-                        "message": f"{type(exc).__name__}: {exc}"}
-            result_payload = b""
-        response["id"] = request_id
-        try:
-            await self._send(writer, write_lock, response,
-                             result_payload)
-        except (ConnectionError, OSError):
-            pass  # client went away; the work is already accounted
+            try:
+                response, result_payload = await self._execute(header,
+                                                               payload)
+            except ServeError as exc:
+                response, result_payload = exc.to_header(), b""
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - typed for wire
+                response = {"status": "error", "code": "internal",
+                            "message": f"{type(exc).__name__}: {exc}"}
+                result_payload = b""
+            response["id"] = request_id
+            chaos = self.chaos
+            if chaos is not None and chaos.take_stall():
+                # Chaos: hold the finished response so clients must
+                # prove their per-request timeout fires.
+                await asyncio.sleep(chaos.stall_s)
+            try:
+                if chaos is not None and chaos.take_truncate():
+                    # Chaos: write a frame whose length prefix
+                    # promises more bytes than follow, then hang up
+                    # mid-frame.
+                    await self._send_truncated(writer, write_lock,
+                                               response,
+                                               result_payload)
+                else:
+                    await self._send(writer, write_lock, response,
+                                     result_payload)
+            except (ConnectionError, OSError):
+                pass  # client went away; work is already accounted
+        finally:
+            self._inflight -= 1
+            if (self._inflight == 0 and self._draining
+                    and self._quiescent is not None):
+                self._quiescent.set()
 
     async def _execute(self, header: dict,
                        payload: bytes) -> tuple[dict, bytes]:
         arrival = time.monotonic()
+        if self._draining:
+            # Admitted work keeps running; *new* work is turned away
+            # so pipelining clients re-dial onto a live worker.
+            raise Unavailable("server is draining")
         key = PlanKey.from_header(header)
         deadline_ms = header.get("deadline_ms")
         deadline = None
@@ -335,6 +415,13 @@ class SplServer:
             except SplError as exc:
                 raise BadRequest(f"unplannable route "
                                  f"{key.describe()}: {exc}") from exc
+
+        chaos = self.chaos
+        if chaos is not None and chaos.take_trip():
+            # Chaos: force the plan's circuit breaker to walk one tier
+            # down, mid-load.  The request itself still executes (on
+            # the degraded backend) and must stay bit-correct.
+            chaos.force_trip(service.plan.executable)
 
         service.admission.try_admit(time.monotonic(), deadline)
         future: asyncio.Future = loop.create_future()

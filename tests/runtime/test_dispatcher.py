@@ -347,3 +347,64 @@ class TestFaultIsolation:
             stats = d.stats
         assert stats.isolation_splits == 0
         assert stats.failed_requests == 1
+
+
+class _GateTarget:
+    """Wraps an executable; holds every batch until released."""
+
+    def __init__(self, executable):
+        self._inner = executable
+        self.n = executable.n
+        self.release = threading.Event()
+
+    def apply_many(self, X, threads=None):
+        assert self.release.wait(60), "gate never released"
+        return self._inner.apply_many(X)
+
+
+class TestDrainHooks:
+    """wait_idle / unresolved_count — the server drain's foundation."""
+
+    def test_idle_dispatcher_is_immediately_idle(self):
+        with BatchDispatcher(_executable(), max_batch=4,
+                             max_delay=0.01) as d:
+            assert d.unresolved_count == 0
+            assert d.wait_idle(timeout=0.1) is True
+
+    def test_wait_idle_blocks_until_inflight_resolves(self):
+        executable = _executable()
+        gate = _GateTarget(executable)
+        X = _vectors(8, 3, seed=5)
+        with BatchDispatcher(gate, max_batch=4, max_delay=0.01) as d:
+            requests = [d.submit(x) for x in X]
+            assert d.unresolved_count == 3
+            assert d.wait_idle(timeout=0.15) is False  # gate held
+            gate.release.set()
+            assert d.wait_idle(timeout=30.0) is True
+            assert d.unresolved_count == 0
+            for x, request in zip(X, requests):
+                assert request.error is None
+                np.testing.assert_array_equal(request.result,
+                                              executable.apply(x))
+
+    def test_failed_requests_also_resolve_idleness(self):
+        class Exploding:
+            def __init__(self, executable):
+                self.n = executable.n
+
+            def apply_many(self, X, threads=None):
+                raise RuntimeError("boom")
+
+        with BatchDispatcher(Exploding(_executable()), max_batch=4,
+                             max_delay=0.01) as d:
+            request = d.submit(_vectors(8, 1, seed=6)[0])
+            assert d.wait_idle(timeout=30.0) is True
+            assert isinstance(request.error, RuntimeError)
+
+    def test_cancelled_requests_resolve_idleness(self):
+        gate = _GateTarget(_executable())
+        with BatchDispatcher(gate, max_batch=1, max_delay=5.0) as d:
+            d.submit(_vectors(8, 1, seed=7)[0])
+            gate.release.set()
+            d.close(drain=False)
+            assert d.wait_idle(timeout=30.0) is True

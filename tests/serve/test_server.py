@@ -338,6 +338,101 @@ class TestOverloadAndIsolation:
                     + sum(report.errors.values())) == report.offered
 
 
+class TestDrain:
+    """Graceful drain: stop accepting, answer everything admitted."""
+
+    def test_admitted_requests_complete_and_new_ones_are_refused(self):
+        router = numpy_router(max_batch=64, max_delay=0.05)
+        with ServerHarness(router, warm=[FFT16]) as harness:
+            service = router.try_service(FFT16)
+            gate = _GatedTarget(service.dispatcher.target)
+            service.dispatcher.target = gate
+
+            async def drive():
+                client = await AsyncSplClient.connect(harness.host,
+                                                      harness.port)
+                xs = [_complex_vec(16, seed=s) for s in range(4)]
+                try:
+                    futures = [asyncio.ensure_future(
+                        client.transform("fft", x)) for x in xs]
+                    await client.drain()
+                    # Admit everything before the drain begins.
+                    while harness.server._inflight < len(xs):
+                        await asyncio.sleep(0.005)
+                    drain_task = asyncio.ensure_future(
+                        harness.server.drain(grace=30.0))
+                    await asyncio.sleep(0.05)
+                    # Connections already established get the typed
+                    # rejection for *new* work...
+                    with pytest.raises(ServeError) as excinfo:
+                        await client.transform("fft", xs[0])
+                    assert excinfo.value.code == "unavailable"
+                    # ...while fresh connections are refused outright
+                    # (the listener is closed).
+                    with pytest.raises((ConnectionError, OSError)):
+                        await asyncio.wait_for(
+                            AsyncSplClient.connect(harness.host,
+                                                   harness.port), 5)
+                    assert not drain_task.done()
+                    gate.release.set()
+                    drained = await drain_task
+                    results = await asyncio.gather(*futures)
+                    return drained, xs, results
+                finally:
+                    await client.close()
+
+            drained, xs, results = asyncio.run(
+                asyncio.wait_for(_run_on(harness, drive), 60))
+            assert drained is True
+            # Zero admitted requests lost: every one answered, right.
+            for x, y in zip(xs, results):
+                np.testing.assert_allclose(y, np.fft.fft(x),
+                                           atol=1e-9)
+
+    def test_drain_times_out_when_requests_never_finish(self):
+        router = numpy_router(max_batch=64, max_delay=0.05)
+        with ServerHarness(router, warm=[FFT16]) as harness:
+            service = router.try_service(FFT16)
+            gate = _GatedTarget(service.dispatcher.target)
+            service.dispatcher.target = gate
+
+            async def drive():
+                client = await AsyncSplClient.connect(harness.host,
+                                                      harness.port)
+                try:
+                    future = asyncio.ensure_future(
+                        client.transform("fft", _complex_vec(16)))
+                    await client.drain()
+                    while harness.server._inflight < 1:
+                        await asyncio.sleep(0.005)
+                    drained = await harness.server.drain(grace=0.2)
+                    gate.release.set()  # let the harness shut down
+                    await future
+                    return drained
+                finally:
+                    await client.close()
+
+            drained = asyncio.run(
+                asyncio.wait_for(_run_on(harness, drive), 60))
+            assert drained is False
+
+    def test_stats_expose_pid_and_drain_state(self):
+        with ServerHarness(numpy_router(), warm=[FFT16]) as harness, \
+                harness.client() as client:
+            stats = client.stats()
+            assert stats["pid"] > 0
+            assert stats["draining"] is False
+            assert stats["inflight"] == 0
+
+
+async def _run_on(harness: ServerHarness, coro_fn):
+    """Run ``coro_fn()`` on the harness server's own event loop."""
+    loop = asyncio.get_running_loop()
+    future = asyncio.run_coroutine_threadsafe(coro_fn(),
+                                              harness._loop)
+    return await loop.run_in_executor(None, future.result, 55)
+
+
 class TestWisdomHotBoot:
     def test_warmed_plan_replays_the_search_winner(self, tmp_path):
         from repro.search.dp import search_small_sizes

@@ -1,0 +1,216 @@
+"""The supervised fleet: restart policy units + live-fleet behavior.
+
+Policy logic (backoff shape, restart-budget window) is tested pure.
+Fleet behavior — crash recovery, graceful SIGTERM drain, SIGHUP
+rolling restart — is tested against the *real CLI* in a subprocess
+(fork from a threaded pytest process is unsafe, and the CLI path is
+exactly what production runs).  Fleet tests skip on hosts without
+fork/SO_REUSEPORT, mirroring the jit-smoke convention.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import RetryPolicy, SplClient
+from repro.serve.chaos import FleetProcess, fleet_supported
+from repro.serve.supervisor import (
+    BackoffPolicy,
+    RestartBudget,
+    ServeConfig,
+)
+
+from tests.serve.test_server import _complex_vec
+
+needs_fleet = pytest.mark.skipif(
+    not fleet_supported(),
+    reason="supervised fleets need fork, SIGCHLD and SO_REUSEPORT")
+
+
+class TestBackoffPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = BackoffPolicy(base_s=0.5, multiplier=2.0, max_s=4.0,
+                               jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.5)
+        assert policy.delay(2) == pytest.approx(1.0)
+        assert policy.delay(3) == pytest.approx(2.0)
+        assert policy.delay(4) == pytest.approx(4.0)
+        assert policy.delay(9) == pytest.approx(4.0)
+
+    def test_jitter_bounds(self):
+        policy = BackoffPolicy(base_s=1.0, multiplier=1.0, max_s=1.0,
+                               jitter=0.25)
+        rng = random.Random(11)
+        for _ in range(100):
+            delay = policy.delay(1, rng)
+            assert 1.0 <= delay <= 1.25
+
+    def test_zero_failures_treated_as_first(self):
+        policy = BackoffPolicy(base_s=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.5)
+
+
+class TestRestartBudget:
+    def test_spends_until_window_full(self):
+        budget = RestartBudget(budget=3, window_s=100.0)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(1.0)
+        assert budget.try_spend(2.0)
+        assert not budget.try_spend(3.0)
+        assert budget.spent == 3
+        assert budget.refused == 1
+        assert budget.tripped(3.0)
+
+    def test_window_slides_and_frees_capacity(self):
+        budget = RestartBudget(budget=2, window_s=10.0)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(1.0)
+        assert not budget.try_spend(5.0)
+        # t=0 event leaves the window at t=10.
+        assert budget.retry_after(5.0) == pytest.approx(5.0)
+        assert budget.try_spend(10.0)
+        assert budget.tripped(10.5)  # events at 1.0 and 10.0
+        assert not budget.tripped(11.0)  # the 1.0 event slid out
+
+    def test_retry_after_is_zero_with_capacity(self):
+        budget = RestartBudget(budget=2, window_s=10.0)
+        assert budget.retry_after(0.0) == 0.0
+        budget.try_spend(0.0)
+        assert budget.retry_after(0.0) == 0.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            RestartBudget(budget=0)
+
+
+class TestServeConfig:
+    def test_defaults_are_single_process_friendly(self):
+        config = ServeConfig()
+        assert config.port == 0
+        assert config.drain_grace_s > 0
+
+
+def _oracle_roundtrips(host: str, port: int, count: int = 5) -> None:
+    # The retry policy is part of the contract under test: a request
+    # that lands on a draining/dying worker is answered with a typed
+    # retryable error, and the retry re-dials onto a healthy one.
+    x = _complex_vec(16, seed=2)
+    expected = np.fft.fft(x)
+    policy = RetryPolicy(attempts=6, base_backoff_s=0.05,
+                         max_backoff_s=0.5)
+    with SplClient(host, port, timeout=10.0, request_timeout=10.0,
+                   retry=policy) as client:
+        for _ in range(count):
+            np.testing.assert_allclose(
+                client.transform("fft", x), expected, atol=1e-9)
+
+
+@needs_fleet
+class TestFleet:
+    def test_fleet_boots_n_workers_on_one_port(self):
+        with FleetProcess(workers=2, warm=("fft:16",)) as fleet:
+            pids = fleet.worker_pids()
+            assert len(pids) == 2
+            _oracle_roundtrips(fleet.host, fleet.port)
+
+    def test_killed_worker_is_replaced_and_serving_resumes(self):
+        with FleetProcess(workers=2, warm=("fft:16",)) as fleet:
+            before = fleet.worker_pids()
+            assert len(before) == 2
+            victim = sorted(before)[0]
+            import os
+
+            os.kill(victim, signal.SIGKILL)
+            # The survivor keeps answering through the gap.
+            _oracle_roundtrips(fleet.host, fleet.port)
+            # The supervisor restarts the slot: a new pid appears.
+            deadline = time.monotonic() + 30
+            replaced = set()
+            while time.monotonic() < deadline:
+                replaced = fleet.worker_pids()
+                if len(replaced) == 2 and victim not in replaced:
+                    break
+                time.sleep(0.1)
+            assert len(replaced) == 2
+            assert victim not in replaced
+            _oracle_roundtrips(fleet.host, fleet.port)
+
+    def test_sigterm_drains_and_exits_zero(self):
+        with FleetProcess(workers=2, warm=("fft:16",)) as fleet:
+            assert len(fleet.worker_pids()) == 2
+            _oracle_roundtrips(fleet.host, fleet.port, count=2)
+            fleet.signal(signal.SIGTERM)
+            code = fleet.proc.wait(timeout=60)
+            assert code == 0, fleet.stderr_text()
+            text = fleet.stderr_text()
+            assert "fleet stopped" in text
+
+    def test_sighup_rolls_every_worker_without_losing_service(self):
+        with FleetProcess(workers=2, warm=("fft:16",)) as fleet:
+            before = fleet.worker_pids()
+            assert len(before) == 2
+            fleet.signal(signal.SIGHUP)
+            # Throughout the roll the fleet answers correctly.
+            deadline = time.monotonic() + 60
+            after = set()
+            while time.monotonic() < deadline:
+                _oracle_roundtrips(fleet.host, fleet.port, count=1)
+                after = fleet.worker_pids()
+                if len(after) == 2 and not (after & before):
+                    break
+                time.sleep(0.1)
+            assert len(after) == 2
+            assert not (after & before), (before, after)
+            _oracle_roundtrips(fleet.host, fleet.port)
+
+    def test_restart_budget_refusal_degrades_then_recovers(self):
+        # A tiny budget/window so a couple of kills trip the breaker.
+        with FleetProcess(
+                workers=2, warm=("fft:16",),
+                extra_args=("--restart-budget", "1",
+                            "--restart-window-s", "4")) as fleet:
+            import os
+
+            pids = fleet.worker_pids()
+            assert len(pids) == 2
+            # Kill both workers: only one restart fits the budget.
+            for pid in sorted(pids):
+                os.kill(pid, signal.SIGKILL)
+                time.sleep(0.2)
+            deadline = time.monotonic() + 40
+            saw_refusal = False
+            while time.monotonic() < deadline:
+                if "restart budget exhausted" in fleet.stderr_text():
+                    saw_refusal = True
+                    break
+                time.sleep(0.1)
+            assert saw_refusal, fleet.stderr_text()
+            # Once the window slides, the fleet heals back to 2.
+            deadline = time.monotonic() + 60
+            healed = set()
+            while time.monotonic() < deadline:
+                healed = fleet.worker_pids()
+                if len(healed) == 2:
+                    break
+                time.sleep(0.2)
+            assert len(healed) == 2, fleet.stderr_text()
+            _oracle_roundtrips(fleet.host, fleet.port)
+
+
+@needs_fleet
+class TestSingleProcessSignals:
+    def test_single_worker_mode_drains_on_sigterm(self):
+        """--workers 1 runs no supervisor, but SIGTERM still triggers
+        the same graceful drain-and-exit-0 path (satellite: signal
+        handlers in single-process mode)."""
+        with FleetProcess(workers=1, warm=("fft:16",)) as fleet:
+            _oracle_roundtrips(fleet.host, fleet.port, count=2)
+            fleet.signal(signal.SIGTERM)
+            code = fleet.proc.wait(timeout=60)
+            assert code == 0, fleet.stderr_text()
+            assert "drained and stopped" in fleet.stderr_text()
