@@ -5,7 +5,9 @@ Subcommands delegate to the per-package mains:
 * ``spl compile ...`` — the SPL compiler driver
   (identical to the standalone ``spl-compile`` command);
 * ``spl serve ...`` — the asyncio transform service
-  (identical to ``python -m repro.serve``).
+  (identical to ``python -m repro.serve``);
+* ``spl pack ...`` — build/verify/inspect deployable wisdom packs
+  (identical to ``python -m repro.wisdom.pack_cli``).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ usage: spl <command> [options]
 commands:
   compile   compile SPL formulas (see: spl compile --help)
   serve     serve transforms over a socket (see: spl serve --help)
+  pack      build/verify/inspect wisdom packs (see: spl pack --help)
 """
 
 
@@ -34,6 +37,9 @@ def main(argv: list[str] | None = None) -> int:
     if command == "serve":
         from repro.serve.__main__ import main as serve_main
         return serve_main(rest)
+    if command == "pack":
+        from repro.wisdom.pack_cli import main as pack_main
+        return pack_main(rest)
     print(f"spl: unknown command {command!r}\n\n{_USAGE}",
           end="", file=sys.stderr)
     return 2

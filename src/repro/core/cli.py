@@ -182,6 +182,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "isolated worker processes (faster, but a crashing or "
              "hanging candidate takes the search down with it)",
     )
+    arg_parser.add_argument(
+        "--search-workers", type=int, metavar="N", default=None,
+        help="fan --search-fft measurements over N leased forked "
+             "workers (crash/hang-tolerant distributed search; implies "
+             "per-candidate isolation, so --no-sandbox does not apply)",
+    )
+    arg_parser.add_argument(
+        "--search-journal", metavar="FILE", default=None,
+        help="append completed distributed-search measurements to this "
+             "checksummed journal; an interrupted run resumes from it "
+             "(only with --search-workers)",
+    )
     return arg_parser
 
 
@@ -227,17 +239,43 @@ def _run_search(args: argparse.Namespace) -> int:
     if not args.no_sandbox and sandbox_supported():
         sandbox = SandboxPolicy(timeout=args.measure_timeout)
         quarantine = Quarantine()
+    use_dist = bool(args.search_workers)
+    if use_dist:
+        from repro.search.queue import queue_supported
+
+        if not queue_supported():
+            print("spl-compile: --search-workers needs POSIX fork; "
+                  "falling back to the serial search", file=sys.stderr)
+            use_dist = False
     try:
-        results = search_small_sizes(
-            sizes,
-            max_candidates=args.max_candidates,
-            min_time=args.min_time,
-            wisdom=wisdom,
-            jobs=args.jobs,
-            sandbox=sandbox,
-            quarantine=quarantine,
-            unroll_thresholds=thresholds,
-        )
+        if use_dist:
+            from repro.search.dist import distributed_search_small_sizes
+            from repro.search.queue import QueuePolicy
+
+            results = distributed_search_small_sizes(
+                sizes,
+                max_candidates=args.max_candidates,
+                min_time=args.min_time,
+                wisdom=wisdom,
+                policy=QueuePolicy(
+                    workers=args.search_workers,
+                    lease_timeout_s=args.measure_timeout,
+                ),
+                journal_path=args.search_journal,
+                quarantine=quarantine or Quarantine(),
+                unroll_thresholds=thresholds,
+            )
+        else:
+            results = search_small_sizes(
+                sizes,
+                max_candidates=args.max_candidates,
+                min_time=args.min_time,
+                wisdom=wisdom,
+                jobs=args.jobs,
+                sandbox=sandbox,
+                quarantine=quarantine,
+                unroll_thresholds=thresholds,
+            )
     except SplError as exc:
         print(f"spl-compile: {exc}", file=sys.stderr)
         return 1

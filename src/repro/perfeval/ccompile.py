@@ -212,6 +212,28 @@ def default_build_dir() -> Path:
     return path
 
 
+def shared_object_cache_key(source: str, *, cflags: tuple[str, ...] = (),
+                            openmp: bool = False,
+                            key_extra: tuple[str, ...] = ()) -> str:
+    """The cache digest :func:`compile_shared_object` would use.
+
+    Exposed so wisdom packs can pre-seed the shared-object cache: an
+    artifact published under this digest (as ``spl_<digest>.so`` in
+    the build dir) is served as a cache hit by a later
+    ``compile_shared_object`` call with the same inputs — without ever
+    invoking the host toolchain.  The digest folds in the effective
+    flag set, so it is only portable between hosts that agree on
+    ``SPL_CFLAGS`` and the OpenMP probe outcome.
+    """
+    flags = _DEFAULT_CFLAGS + extra_cflags() + tuple(cflags)
+    if openmp:
+        flags += _OPENMP_CFLAGS
+    return hashlib.sha256(
+        ("\x00".join(flags) + "\x02" + "\x00".join(key_extra)
+         + "\x01" + source).encode()
+    ).hexdigest()[:24]
+
+
 def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
                           build_dir: Path | None = None,
                           openmp: bool = False,
@@ -231,21 +253,23 @@ def compile_shared_object(source: str, *, cflags: tuple[str, ...] = (),
     Most such knobs already change the source and are covered
     implicitly; ``key_extra`` makes the coverage explicit and survives
     representations that happen to collide.
+
+    The cache is consulted *before* the toolchain is located: a host
+    without any C compiler still serves cache hits, which is what lets
+    a replica boot hot from a wisdom pack's bundled artifacts.
     """
-    compiler = _find_compiler()
-    if compiler is None:
-        raise CCompileError("no C compiler (cc/gcc/clang) on PATH")
     build_dir = build_dir or default_build_dir()
-    flags = _DEFAULT_CFLAGS + extra_cflags() + tuple(cflags)
-    if openmp:
-        flags += _OPENMP_CFLAGS
-    digest = hashlib.sha256(
-        ("\x00".join(flags) + "\x02" + "\x00".join(key_extra)
-         + "\x01" + source).encode()
-    ).hexdigest()[:24]
+    digest = shared_object_cache_key(source, cflags=cflags,
+                                     openmp=openmp, key_extra=key_extra)
     so_path = build_dir / f"spl_{digest}.so"
     if so_path.exists():
         return so_path
+    compiler = _find_compiler()
+    if compiler is None:
+        raise CCompileError("no C compiler (cc/gcc/clang) on PATH")
+    flags = _DEFAULT_CFLAGS + extra_cflags() + tuple(cflags)
+    if openmp:
+        flags += _OPENMP_CFLAGS
     c_path = build_dir / f"spl_{digest}.c"
     c_path.write_text(source)
     # Compile to a private temp name, then atomically publish: a

@@ -577,36 +577,53 @@ def _upgrade_in_background(executable: ExecutableRoutine,
     return thread
 
 
-def _build_c(routine: CompiledRoutine,
-             cflags: tuple[str, ...]) -> ExecutableRoutine:
+def c_build_spec(routine: CompiledRoutine,
+                 cflags: tuple[str, ...] = (), *,
+                 openmp: bool | None = None,
+                 simd: bool | None = None,
+                 ) -> tuple[str, tuple[str, ...], bool, tuple[str, ...]]:
+    """The exact ``compile_shared_object`` inputs for one C routine.
+
+    Returns ``(source, cflags, openmp, key_extra)``.  ``openmp`` /
+    ``simd`` default to the host probes (what :func:`build_executable`
+    does); passing ``False`` for both yields the *portable* variant —
+    the build a host with no toolchain at all would ask for, since its
+    probes report False — which is what wisdom packs bundle so their
+    artifacts cache-hit on a gcc-less replica.
+    """
     program = routine.program
     source = (
         routine.source if routine.language in ("c", "cjit")
         else emit_c(program)
     )
-    batch_fn = None
-    batch_omp_fn = None
-    openmp = False
+    use_openmp = False
     codelet = False
     if not program.strided:
-        openmp = ccompile.have_openmp()
-        # Straight-line (fully unrolled) routines get the codelet
-        # driver: an aligned+SIMD-annotated batch fast path, entered
-        # only when the workspaces really are 64-byte aligned (the
-        # runner's are; see _aligned_zeros).
+        use_openmp = ccompile.have_openmp() if openmp is None else openmp
         codelet = program.is_straight_line()
         source += ccompile.batch_driver_source(
             routine.name,
             in_len=program.in_size * program.element_width,
             out_len=program.out_size * program.element_width,
-            openmp=openmp,
+            openmp=use_openmp,
             codelet=codelet,
         )
         if codelet:
-            cflags = cflags + ccompile.simd_cflags()
+            use_simd = (simd is None) or simd
+            if use_simd:
+                cflags = cflags + ccompile.simd_cflags()
+    key_extra = (f"driver={'codelet' if codelet else 'loop'}",)
+    return source, tuple(cflags), use_openmp, key_extra
+
+
+def _build_c(routine: CompiledRoutine,
+             cflags: tuple[str, ...]) -> ExecutableRoutine:
+    program = routine.program
+    source, cflags, openmp, key_extra = c_build_spec(routine, cflags)
+    batch_fn = None
+    batch_omp_fn = None
     so_path = ccompile.compile_shared_object(
-        source, cflags=cflags, openmp=openmp,
-        key_extra=(f"driver={'codelet' if codelet else 'loop'}",),
+        source, cflags=cflags, openmp=openmp, key_extra=key_extra,
     )
     fn = ccompile.load_function(so_path, routine.name,
                                 strided=program.strided)
@@ -702,12 +719,19 @@ def build_executable(routine: CompiledRoutine,
             upgrade = (ccompile.have_c_compiler()
                        and _jit_upgrade_enabled())
         elif backend == "c":
-            if not ccompile.have_c_compiler():
-                continue
+            # No upfront have_c_compiler() gate: the shared-object
+            # cache is consulted before the toolchain, so a host
+            # booting from a wisdom pack's bundled artifacts serves
+            # the C tier with no compiler at all.
             try:
                 executable = _build_c(routine, cflags)
             except SplSemanticError as exc:
                 last_error = exc  # e.g. complex-native program
+                continue
+            except ccompile.CCompileError as exc:
+                if ccompile.have_c_compiler():
+                    raise  # a real compile failure, not a missing cc
+                last_error = exc
                 continue
         elif backend == "numpy":
             executable = _build_numpy(routine)

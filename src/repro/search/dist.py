@@ -1,0 +1,272 @@
+"""Distributed small-size search: the DP search over a fault-tolerant
+work queue.
+
+Semantically this is :func:`repro.search.dp.search_small_sizes` — same
+candidate enumeration (Equation 10 factorizations), same wisdom replay
+with re-validation, same ``-B`` threshold sweep, same first-minimum
+winner selection — but every (candidate, threshold) measurement runs
+as a *leased task* on a pool of forked workers managed by
+:class:`repro.search.queue.TaskQueueCoordinator`.  The worker process
+IS the sandbox: a candidate that segfaults or wedges takes down only
+its worker, the lease brings the task back, and a candidate that kills
+workers repeatedly is poisoned into the shared quarantine exactly like
+the serial sandbox path.
+
+Determinism: tasks are keyed by a stable hash of (transform, size,
+compiler options, threshold, candidate index, SPL text), measurements
+are re-ordered into enumeration order before selection, and the winner
+is the first minimum — so given identical timings the distributed
+search crowns *identical winners* to the serial search regardless of
+worker count, scheduling, injected crashes, or how many times the
+coordinator itself was restarted mid-run (the journal replays finished
+keys; only the remainder is re-measured).
+
+Sizes are still processed serially in increasing order — the DP leaf
+substitution makes size ``n`` depend on every solved ``m < n`` — but
+within a size the whole candidate×threshold grid fans out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.core.compiler import SplCompiler
+from repro.core.errors import SplError
+from repro.core.nodes import Formula, fourier
+from repro.core.parser import parse_formula_text
+from repro.generator.fft_rules import enumerate_ct_formulas
+from repro.perfeval.sandbox import Quarantine, plan_key
+from repro.search.dp import (
+    SMALL_TRANSFORM,
+    SearchResult,
+    compiler_with_threshold,
+    default_small_compiler,
+)
+from repro.search.measure import validate_fft_formula
+from repro.search.queue import (
+    QueueOutcome,
+    QueuePolicy,
+    SearchChaos,
+    TaskJournal,
+    TaskQueueCoordinator,
+)
+from repro.wisdom.keys import options_fingerprint
+from repro.wisdom.store import WisdomStore
+
+
+def _default_task_runner(compiler: SplCompiler,
+                         variants: dict[int, SplCompiler],
+                         min_time: float,
+                         repeats: int) -> Callable[[dict], dict]:
+    """Compile-and-time inside a worker; failures are data, not raises.
+
+    The closure crosses into workers by fork, so the compiler (with its
+    templates/defines/memo) is shared copy-on-write.  A compile or
+    validation failure returns ``{"ok": False, ...}`` — a *terminal*
+    result the coordinator journals rather than retries; only crashes
+    and hangs (which never return at all) consume lease retries.
+    """
+
+    def run_task(payload: dict) -> dict:
+        import numpy as np
+
+        from repro.perfeval.runner import build_executable
+        from repro.perfeval.timing import pseudo_mflops, time_callable
+
+        threshold = payload.get("threshold")
+        variant = compiler if threshold is None else variants[threshold]
+        try:
+            formula = parse_formula_text(payload["spl"], variant.defines)
+            routine = variant.compile_formula(
+                formula, payload["name"], language="c")
+        except Exception as exc:  # noqa: BLE001 - terminal, journaled
+            return {"ok": False, "kind": "compile",
+                    "detail": f"{type(exc).__name__}: {exc}"[:500]}
+        try:
+            executable = build_executable(routine)
+            # Probe once before timing: a NaN/Inf-emitting candidate
+            # must be a structured failure, not a recorded "winner".
+            probe = executable.apply(
+                np.zeros(routine.program.in_size, dtype=complex))
+            if not np.all(np.isfinite(np.asarray(probe, dtype=complex))):
+                return {"ok": False, "kind": "nan",
+                        "detail": "non-finite output on zero input"}
+            seconds = time_callable(executable.timer_closure(),
+                                    min_time=min_time, repeats=repeats)
+        except Exception as exc:  # noqa: BLE001
+            return {"ok": False, "kind": "error",
+                    "detail": f"{type(exc).__name__}: {exc}"[:500]}
+        if not math.isfinite(seconds) or seconds <= 0:
+            return {"ok": False, "kind": "nan",
+                    "detail": f"unusable timing {seconds!r}"}
+        return {"ok": True, "seconds": seconds,
+                "mflops": pseudo_mflops(routine.program.in_size, seconds)}
+
+    return run_task
+
+
+def distributed_search_small_sizes(
+        sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64), *,
+        compiler: SplCompiler | None = None,
+        rules: tuple[str, ...] = ("multi",),
+        max_candidates: int | None = None,
+        min_time: float = 0.005,
+        repeats: int = 2,
+        wisdom: WisdomStore | None = None,
+        policy: QueuePolicy | None = None,
+        journal_path: str | None = None,
+        quarantine: Quarantine | None = None,
+        unroll_thresholds: tuple[int, ...] | None = None,
+        task_runner: Callable[[dict], Any] | None = None,
+        chaos: SearchChaos | None = None,
+        verbose: bool = False) -> dict[int, SearchResult]:
+    """The paper's small-size DP search, fanned over forked workers.
+
+    Drop-in alternative to
+    :func:`repro.search.dp.search_small_sizes`: same arguments where
+    they overlap, same :class:`SearchResult` per size, same wisdom
+    entries recorded (merge-on-save applies as usual).  ``policy``
+    sizes the worker pool and the lease/retry/poison knobs;
+    ``journal_path`` makes the run resumable — a coordinator killed
+    mid-search restarts from the journal and re-measures only the
+    missing keys.  ``task_runner`` substitutes the in-worker
+    measurement function (tests inject deterministic timings);
+    ``chaos`` injects worker kills (default: ``SPL_SEARCH_CHAOS``).
+    """
+    compiler = compiler or default_small_compiler()
+    policy = policy or QueuePolicy()
+    sweep = tuple(sorted(set(unroll_thresholds))) \
+        if unroll_thresholds else None
+    variants = {
+        threshold: compiler_with_threshold(compiler, threshold)
+        for threshold in (sweep or ())
+    }
+    if task_runner is None:
+        task_runner = _default_task_runner(compiler, variants,
+                                           min_time, repeats)
+    journal = TaskJournal(journal_path) if journal_path else None
+    options_print = options_fingerprint(compiler.options)
+    best: dict[int, SearchResult] = {}
+
+    def leaf(m: int) -> Formula:
+        result = best.get(m)
+        return result.formula if result is not None else fourier(m)
+
+    for n in sorted(sizes):
+        entry = None
+        if wisdom is not None:
+            replayed: dict[str, Formula] = {}
+
+            def check(candidate_entry, n=n, replayed=replayed) -> bool:
+                recorded_sweep = candidate_entry.meta.get(
+                    "threshold_sweep") or []
+                if list(sweep or ()) != list(recorded_sweep):
+                    return False
+                formula = parse_formula_text(candidate_entry.formula,
+                                             compiler.defines)
+                if not validate_fft_formula(compiler, formula, n):
+                    return False
+                replayed["formula"] = formula
+                return True
+
+            entry = wisdom.validated_lookup(SMALL_TRANSFORM, n,
+                                            compiler.options, validate=check)
+        if entry is not None:
+            best[n] = SearchResult(
+                n=n,
+                formula=replayed["formula"],
+                seconds=entry.seconds,
+                mflops=entry.mflops,
+                candidates_tried=0,
+                from_wisdom=True,
+                unroll_threshold=entry.meta.get("unroll_threshold"),
+            )
+            if verbose:
+                print(best[n].describe())
+            continue
+        candidates = list(enumerate_ct_formulas(
+            n, leaf=leaf, rules=rules, limit=max_candidates
+        ))
+        if not candidates:
+            candidates = [leaf(n)]
+        # One task per (threshold, candidate) in the exact order the
+        # serial search measures them; the key is stable across runs
+        # (the enumeration is deterministic), which is what lets a
+        # restarted coordinator resume from the journal.
+        ordered_keys: list[str] = []
+        tasks: dict[str, dict] = {}
+        meta_by_key: dict[str, tuple[int | None, int]] = {}
+        for threshold in ([None] if sweep is None else list(sweep)):
+            prefix = (f"spl_fft{n}_c" if threshold is None
+                      else f"spl_fft{n}_b{threshold}_c")
+            for index, formula in enumerate(candidates):
+                spl = formula.to_spl()
+                key = plan_key("dist", SMALL_TRANSFORM, str(n),
+                               options_print, str(threshold),
+                               str(index), spl)
+                tasks[key] = {"n": n, "index": index,
+                              "threshold": threshold,
+                              "name": f"{prefix}{index}", "spl": spl}
+                ordered_keys.append(key)
+                meta_by_key[key] = (threshold, index)
+        coordinator = TaskQueueCoordinator(
+            task_runner, policy=policy, journal=journal,
+            quarantine=quarantine, chaos=chaos)
+        outcome: QueueOutcome = coordinator.run(tasks)
+        # Re-assemble in enumeration order and pick the first minimum —
+        # byte-for-byte the serial search's pick_winner semantics.
+        usable: list[tuple[str, dict]] = []
+        failed = 0
+        for key in ordered_keys:
+            result = outcome.results.get(key)
+            if result is not None and result.get("ok"):
+                usable.append((key, result))
+            else:
+                failed += 1
+        tried = len(ordered_keys)
+        if not usable:
+            details = "; ".join(
+                f"{failure.kind}: {failure.detail}"
+                for failure in outcome.failures.values())
+            message = (
+                f"distributed search produced no measurable candidate for "
+                f"F_{n} (rules={rules!r}, max_candidates={max_candidates!r}"
+            )
+            if details:
+                message += f"; failures: {details[:400]}"
+            raise SplError(message + ")")
+        winner_key = usable[0][0]
+        winner_seconds = usable[0][1]["seconds"]
+        for key, result in usable[1:]:
+            if result["seconds"] < winner_seconds:
+                winner_key, winner_seconds = key, result["seconds"]
+        winner_threshold, winner_index = meta_by_key[winner_key]
+        winner_result = outcome.results[winner_key]
+        best[n] = SearchResult(
+            n=n,
+            formula=candidates[winner_index],
+            seconds=winner_result["seconds"],
+            mflops=winner_result["mflops"],
+            candidates_tried=tried,
+            candidates_failed=failed,
+            unroll_threshold=winner_threshold,
+        )
+        if wisdom is not None:
+            meta = {
+                "rules": list(rules),
+                "candidates_tried": tried,
+            }
+            if sweep is not None:
+                meta["unroll_threshold"] = winner_threshold
+                meta["threshold_sweep"] = list(sweep)
+            wisdom.record(
+                SMALL_TRANSFORM, n, compiler.options,
+                formula=best[n].formula.to_spl(),
+                seconds=best[n].seconds,
+                mflops=best[n].mflops,
+                **meta,
+            )
+        if verbose:
+            print(best[n].describe())
+    return best

@@ -1,0 +1,662 @@
+"""Crash-tolerant distributed work queue for plan-key measurement.
+
+The search is the expensive offline half of the system (§4: every
+candidate formula is compiled and *executed* to be timed), and PR 4
+already isolates one measurement in a forked sandbox.  This module
+scales that out: a coordinator fans measurement tasks over a pool of
+forked workers and survives every failure mode a hostile candidate or
+an unlucky host can produce:
+
+* **Leases** — a task handed to a worker is *leased*, not gone.  A
+  worker that dies (segfault, OOM kill, chaos SIGKILL), wedges past
+  the lease timeout, or stops heartbeating is SIGKILLed and its task
+  is reclaimed and re-queued under exponential backoff.
+* **Poison cap** — a task that repeatedly kills workers is not retried
+  forever: after ``max_attempts`` total attempts it is quarantined as
+  a structured :class:`~repro.perfeval.sandbox.CandidateFailure`
+  (exactly like PR 4's in-process quarantine), and the queue moves on.
+* **Journal** — every completed result is appended to a checksummed,
+  append-only JSONL journal *before* it is surfaced, so a coordinator
+  crash (or Ctrl-C) loses nothing: a restarted run replays the
+  journal, counts the replays, and resumes from the remaining keys.
+  Corrupt or truncated journal lines (a crash mid-append, bit rot) are
+  skipped and counted, never fatal.
+* **Exactly-once results** — a lease reclaimed from a worker that had
+  in fact finished (the race is unavoidable) can produce a second
+  completion; the coordinator keeps the first and counts the
+  duplicate, so downstream consumers never see a key twice.
+
+The worker body is deliberately dumb: receive a task, run
+``task_fn(payload)``, send the result, heartbeat from a side thread
+while running.  Anything smart — retries, quarantine, persistence —
+lives in the coordinator, where a bug cannot be killed by a segfault.
+
+Chaos: :class:`SearchChaos` (env ``SPL_SEARCH_CHAOS``, e.g.
+``kill=0.3,seed=7``) makes workers SIGKILL themselves immediately
+before executing a doomed task's first attempt — deterministic per
+(key, seed), so an injected kill is always retried into a success and
+an end-to-end run still converges.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.perfeval.sandbox import (
+    CandidateFailure,
+    Quarantine,
+    default_quarantine,
+)
+
+#: Environment variable carrying the search chaos spec (mirrors the
+#: serving fleet's ``SPL_CHAOS`` convention).
+SEARCH_CHAOS_ENV = "SPL_SEARCH_CHAOS"
+
+_STOP = ("stop",)
+
+
+def queue_supported() -> bool:
+    """Forked-worker fan-out needs a POSIX fork; mirrors the sandbox."""
+    if os.name != "posix" or not hasattr(os, "fork"):
+        return False
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except ImportError:  # pragma: no cover
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Chaos injection.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchChaos:
+    """Deterministic worker-kill injection for the search queue.
+
+    ``kill_rate`` of task keys are doomed: a worker about to execute
+    such a key SIGKILLs itself instead — but only for the first
+    ``kill_attempts`` attempts of that key, so the lease/retry
+    machinery always converges.  The doomed set is a pure function of
+    (key, seed): every worker, every restart, every test run agrees on
+    which keys die, which is what makes "distributed equals serial"
+    assertable under injected faults.
+    """
+
+    kill_rate: float = 0.0
+    kill_attempts: int = 1
+    seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.kill_rate > 0
+
+    def should_kill(self, key: str, attempt: int) -> bool:
+        if not self.enabled or attempt > self.kill_attempts:
+            return False
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode()).digest()
+        draw = int.from_bytes(digest[:4], "big") / 2 ** 32
+        return draw < self.kill_rate
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "SearchChaos":
+        """Parse ``kill=RATE[,attempts=N][,seed=N]`` (typos raise)."""
+        kill_rate = 0.0
+        kill_attempts = 1
+        seed = 0
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad search-chaos element {part!r} (want key=value)")
+            try:
+                if key == "kill":
+                    kill_rate = float(value)
+                elif key == "attempts":
+                    kill_attempts = int(value)
+                elif key == "seed":
+                    seed = int(value)
+                else:
+                    raise ValueError(f"unknown search-chaos key {key!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad search-chaos element {part!r}: {exc}") from None
+        if not 0 <= kill_rate <= 1:
+            raise ValueError(
+                f"search-chaos kill rate must be in [0, 1], got {kill_rate}")
+        return cls(kill_rate=kill_rate, kill_attempts=kill_attempts,
+                   seed=seed)
+
+    def to_spec(self) -> str:
+        return (f"kill={self.kill_rate},attempts={self.kill_attempts},"
+                f"seed={self.seed}")
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "SearchChaos | None":
+        spec = environ.get(SEARCH_CHAOS_ENV, "").strip()
+        if not spec:
+            return None
+        return cls.from_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# The journal.
+# ---------------------------------------------------------------------------
+
+
+def _record_checksum(key: str, result: Any) -> str:
+    canonical = json.dumps({"key": key, "result": result},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`TaskJournal.replay` recovered from disk."""
+
+    results: dict[str, Any] = field(default_factory=dict)
+    corrupt_lines: int = 0  # bad JSON / failed checksum (truncation)
+    duplicate_keys: int = 0  # later lines for an already-seen key
+
+
+class TaskJournal:
+    """Append-only, per-line-checksummed completion log.
+
+    One JSON object per line: ``{"key", "result", "sha"}`` where
+    ``sha`` covers the canonical rendering of key+result.  Appends are
+    flushed line-at-a-time, so a coordinator killed mid-run loses at
+    most the line being written — and that line fails its checksum (or
+    does not parse) on replay and is skipped, never trusted.  The file
+    is only ever appended to; dedup on replay keeps the *first* record
+    for a key, so a journal assembled across crashes and restarts
+    still yields exactly one result per key.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.appends = 0
+        self.append_errors = 0
+
+    def replay(self) -> JournalReplay:
+        """Recover completed results; never raises for a damaged file."""
+        replay = JournalReplay()
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return replay
+        except (OSError, UnicodeDecodeError):
+            replay.corrupt_lines += 1
+            return replay
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                result = record["result"]
+                sha = record["sha"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                replay.corrupt_lines += 1
+                continue
+            if not isinstance(key, str) or sha != _record_checksum(
+                    key, result):
+                replay.corrupt_lines += 1
+                continue
+            if key in replay.results:
+                replay.duplicate_keys += 1
+                continue
+            replay.results[key] = result
+        return replay
+
+    def append(self, key: str, result: Any) -> bool:
+        """Durably record one completion (False on an unwritable path).
+
+        Failure to journal must never lose the in-memory result or
+        abort the run — it just means a crash after this point would
+        re-measure the key.
+        """
+        record = {"key": key, "result": result,
+                  "sha": _record_checksum(key, result)}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+            self.appends += 1
+            return True
+        except (OSError, TypeError, ValueError):
+            self.append_errors += 1
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Policy + outcome types.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Knobs governing one coordinator run.
+
+    ``lease_timeout_s`` bounds one attempt's wall clock (a wedged task
+    is killed past it); ``heartbeat_timeout_s`` catches a frozen
+    worker *process* much sooner (its heartbeat thread goes silent
+    even though the lease has time left).  ``max_attempts`` is the
+    poison cap: total attempts per key, after which the key is
+    quarantined instead of retried.
+    """
+
+    workers: int = 2
+    lease_timeout_s: float = 30.0
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 5.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff_s(self, attempts: int) -> float:
+        """Delay before re-queueing after the ``attempts``-th failure."""
+        k = max(1, attempts)
+        return min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_multiplier ** (k - 1))
+
+
+@dataclass
+class QueueOutcome:
+    """Everything one :meth:`TaskQueueCoordinator.run` produced."""
+
+    results: dict[str, Any] = field(default_factory=dict)
+    failures: dict[str, CandidateFailure] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+
+# ---------------------------------------------------------------------------
+# The worker body.
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, task_fn: Callable[[dict], Any],
+                 heartbeat_interval: float,
+                 chaos: SearchChaos | None) -> None:
+    """Receive tasks, run them, heartbeat while running, report.
+
+    Runs in a forked child.  ``conn`` sends are serialized by a lock
+    (the heartbeat thread and the task loop share the pipe).  A task
+    whose ``task_fn`` raises reports a ``fail`` message — the
+    coordinator decides whether to retry; a task that crashes the
+    process reports nothing, which the coordinator observes as EOF.
+    """
+    for signum in (signal.SIGTERM, signal.SIGINT, signal.SIGHUP):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> bool:
+        with send_lock:
+            try:
+                conn.send(message)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                return False
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # coordinator is gone: die quietly
+        if message[0] == "stop":
+            return
+        _, key, payload, attempt = message
+        if chaos is not None and chaos.should_kill(key, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+        done = threading.Event()
+
+        def beat(task_key: str = key) -> None:
+            while not done.wait(heartbeat_interval):
+                if not send(("beat", task_key)):
+                    return
+
+        beater = threading.Thread(target=beat, daemon=True)
+        beater.start()
+        try:
+            result = task_fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - reported, not raised
+            done.set()
+            sent = send(("fail", key, type(exc).__name__, str(exc)[:500]))
+        else:
+            done.set()
+            sent = send(("done", key, result))
+        finally:
+            done.set()
+            beater.join(timeout=1.0)
+        if not sent:
+            return
+
+
+# ---------------------------------------------------------------------------
+# The coordinator.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Coordinator-side state for one forked worker."""
+
+    proc: Any
+    conn: Any
+    key: str | None = None  # leased task, None when idle
+    leased_at: float = 0.0
+    last_beat: float = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.key is None
+
+
+class TaskQueueCoordinator:
+    """Fan tasks over forked workers; lease, journal, retry, quarantine.
+
+    ``task_fn(payload) -> result`` runs inside the worker process and
+    must return something JSON-serializable (the journal stores it
+    verbatim).  A raising ``task_fn`` counts as a failed attempt and
+    is retried under backoff like a crash; code that wants a failure
+    to be a *terminal data point* (e.g. "this candidate does not
+    compile") should catch its own exceptions and return a structured
+    result instead.
+    """
+
+    def __init__(self, task_fn: Callable[[dict], Any], *,
+                 policy: QueuePolicy | None = None,
+                 journal: TaskJournal | None = None,
+                 quarantine: Quarantine | None = None,
+                 chaos: SearchChaos | None = None):
+        if not queue_supported():
+            raise RuntimeError(
+                "distributed search needs POSIX fork "
+                "(use the serial search here)")
+        self.task_fn = task_fn
+        self.policy = policy or QueuePolicy()
+        self.journal = journal
+        self.quarantine = (quarantine if quarantine is not None
+                           else default_quarantine())
+        self.chaos = chaos if chaos is not None else SearchChaos.from_env()
+        self.stats: dict[str, int] = collections.defaultdict(int)
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.task_fn,
+                  self.policy.heartbeat_interval_s, self.chaos),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.stats["workers_spawned"] += 1
+        now = time.monotonic()
+        return _Worker(proc=proc, conn=parent_conn, last_beat=now)
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        try:
+            if worker.proc.pid is not None:
+                os.kill(worker.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            pass
+        worker.proc.join(5.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _stop_worker(self, worker: _Worker) -> None:
+        try:
+            worker.conn.send(_STOP)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        worker.proc.join(1.0)
+        if worker.proc.is_alive():
+            self._kill_worker(worker)
+        else:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- the run -------------------------------------------------------
+
+    def run(self, tasks: dict[str, dict]) -> QueueOutcome:
+        """Execute every task exactly once; blocks until all settle.
+
+        ``tasks`` maps stable string keys to JSON-serializable
+        payloads.  Keys already completed in the journal are replayed
+        without running anything; keys already quarantined return
+        their remembered failure.  The outcome holds one entry per
+        key — in ``results`` or in ``failures`` — with zero losses and
+        zero duplicates by construction.
+        """
+        outcome = QueueOutcome()
+        policy = self.policy
+        pending: collections.deque[str] = collections.deque()
+        attempts: dict[str, int] = {key: 0 for key in tasks}
+        # Last observed failure cause per key, so the eventual
+        # CandidateFailure names the real reason, not a generic one.
+        last_cause: dict[str, tuple[str, str]] = {}
+        ready_at: dict[str, float] = {}
+
+        if self.journal is not None:
+            replay = self.journal.replay()
+            self.stats["journal_corrupt_lines"] += replay.corrupt_lines
+            self.stats["journal_duplicates"] += replay.duplicate_keys
+            for key in tasks:
+                if key in replay.results:
+                    outcome.results[key] = replay.results[key]
+                    self.stats["journal_replayed"] += 1
+        for key in tasks:
+            if key in outcome.results:
+                continue
+            known = self.quarantine.check(key)
+            if known is not None:
+                outcome.failures[key] = known
+                self.stats["quarantine_skips"] += 1
+                continue
+            pending.append(key)
+        self.stats["tasks_total"] += len(tasks)
+
+        if not pending:
+            outcome.stats = dict(self.stats)
+            return outcome
+
+        workers = [self._spawn_worker()
+                   for _ in range(min(policy.workers, len(pending)))]
+
+        def settle_poison(key: str) -> None:
+            kind, detail = last_cause.get(key, ("crash", "worker lost"))
+            failure = CandidateFailure(
+                kind=kind, plan_key=key, detail=detail,
+                attempts=attempts[key])
+            self.quarantine.add(failure)
+            outcome.failures[key] = failure
+            self.stats["poisoned"] += 1
+
+        def retry_or_poison(key: str) -> None:
+            if attempts[key] >= policy.max_attempts:
+                settle_poison(key)
+            else:
+                ready_at[key] = (time.monotonic()
+                                 + policy.backoff_s(attempts[key]))
+                pending.append(key)
+                self.stats["retries"] += 1
+
+        def reclaim(worker: _Worker, *, reason: str) -> None:
+            key, worker.key = worker.key, None
+            if key is None or key in outcome.results:
+                return
+            self.stats[f"reclaims_{reason}"] += 1
+            last_cause.setdefault(
+                key, ("hang" if reason in ("wedged", "silent") else "crash",
+                      f"worker lost ({reason})"))
+            retry_or_poison(key)
+
+        def replace(worker: _Worker) -> None:
+            workers[workers.index(worker)] = self._spawn_worker()
+
+        def drain(worker: _Worker) -> None:
+            """Consume every queued message from one worker pipe."""
+            while True:
+                try:
+                    if not worker.conn.poll(0):
+                        return
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Worker died: crash, chaos SIGKILL, rlimit, OOM.
+                    self.stats["worker_deaths"] += 1
+                    self._kill_worker(worker)
+                    reclaim(worker, reason="dead")
+                    replace(worker)
+                    return
+                kind = message[0]
+                if kind == "beat":
+                    worker.last_beat = time.monotonic()
+                elif kind == "done":
+                    _, key, result = message
+                    if worker.key == key:
+                        worker.key = None
+                    if key in outcome.results:
+                        # A reclaimed lease finished anyway: keep the
+                        # first result, count the duplicate.
+                        self.stats["duplicates_ignored"] += 1
+                        continue
+                    if key not in attempts:
+                        continue  # stale message for an unknown key
+                    outcome.results[key] = result
+                    outcome.failures.pop(key, None)
+                    if self.journal is not None:
+                        self.journal.append(key, result)
+                    self.stats["completed"] += 1
+                elif kind == "fail":
+                    _, key, exc_type, detail = message
+                    if worker.key == key:
+                        worker.key = None
+                    if key in outcome.results or key not in attempts:
+                        self.stats["duplicates_ignored"] += 1
+                        continue
+                    self.stats["task_errors"] += 1
+                    last_cause[key] = ("error", f"{exc_type}: {detail}")
+                    retry_or_poison(key)
+
+        def outstanding() -> int:
+            running = sum(1 for w in workers if not w.idle)
+            return len(pending) + running
+
+        import multiprocessing.connection as mpc
+
+        try:
+            while outstanding() > 0:
+                now = time.monotonic()
+                # Assign ready tasks to idle workers.
+                for worker in workers:
+                    if not worker.idle or not pending:
+                        continue
+                    key = None
+                    for _ in range(len(pending)):
+                        candidate = pending.popleft()
+                        if now >= ready_at.get(candidate, 0.0):
+                            key = candidate
+                            break
+                        pending.append(candidate)
+                    if key is None:
+                        break  # everything pending is backing off
+                    attempts[key] += 1
+                    worker.key = key
+                    worker.leased_at = now
+                    worker.last_beat = now
+                    try:
+                        worker.conn.send(
+                            ("task", key, tasks[key], attempts[key]))
+                    except (OSError, ValueError, BrokenPipeError):
+                        # Worker died between assignments.
+                        self.stats["worker_deaths"] += 1
+                        self._kill_worker(worker)
+                        reclaim(worker, reason="dead")
+                        replace(worker)
+                # Wait for messages or the next deadline.
+                timeout = self._poll_timeout(workers, pending, ready_at)
+                conns = [w.conn for w in workers]
+                try:
+                    ready = mpc.wait(conns, timeout)
+                except OSError:  # pragma: no cover - torn-down conn
+                    ready = []
+                for conn in ready:
+                    match = [w for w in workers if w.conn is conn]
+                    if match:
+                        drain(match[0])
+                # Lease and heartbeat enforcement.
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.idle:
+                        continue
+                    over_lease = (now - worker.leased_at
+                                  > policy.lease_timeout_s)
+                    silent = (now - worker.last_beat
+                              > policy.heartbeat_timeout_s)
+                    if over_lease or silent:
+                        self.stats["workers_killed"] += 1
+                        self._kill_worker(worker)
+                        reclaim(worker,
+                                reason="wedged" if over_lease else "silent")
+                        replace(worker)
+        finally:
+            for worker in workers:
+                self._stop_worker(worker)
+        outcome.stats = dict(self.stats)
+        return outcome
+
+    def _poll_timeout(self, workers: list[_Worker],
+                      pending: collections.deque,
+                      ready_at: dict[str, float]) -> float:
+        now = time.monotonic()
+        horizon = now + 0.5
+        for worker in workers:
+            if not worker.idle:
+                horizon = min(
+                    horizon,
+                    worker.leased_at + self.policy.lease_timeout_s,
+                    worker.last_beat + self.policy.heartbeat_timeout_s,
+                )
+        for key in pending:
+            if key in ready_at:
+                horizon = min(horizon, ready_at[key])
+        return max(0.01, horizon - now)

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "connections, e.g. fft:64 wht:256")
     parser.add_argument("--wisdom", default=None, metavar="PATH",
                         help="wisdom store to boot plans from")
+    parser.add_argument("--pack", default=None, metavar="PATH",
+                        help="read-only wisdom pack (spl pack build) "
+                             "to boot plans from; preferred over "
+                             "--wisdom, degrades gracefully when the "
+                             "pack is corrupt or foreign")
     parser.add_argument("--prefer", default=None,
                         choices=["cjit", "c", "numpy", "python"],
                         help="backend chain head (default: cjit when "
@@ -105,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--port-file", default=None, metavar="PATH",
                        help="write 'host:port' here once listening "
                             "(useful with --port 0)")
+    fleet.add_argument("--status-file", default=None, metavar="PATH",
+                       help="atomically rewrite this file with the "
+                            "supervisor's status() JSON on every "
+                            "fleet state change")
     return parser
 
 
@@ -118,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         port=args.port,
         warm=tuple(args.warm),
         wisdom_path=args.wisdom,
+        pack_path=args.pack,
         prefer=args.prefer,
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1e3,
@@ -141,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
             budget=RestartBudget(budget=args.restart_budget,
                                  window_s=args.restart_window_s),
             port_file=args.port_file,
+            status_file=args.status_file,
         )
         return supervisor.run()
     except KeyboardInterrupt:

@@ -133,6 +133,7 @@ class PlanRegistry:
 
     def __init__(self, *, prefer: str | None = None,
                  wisdom: WisdomStore | None = None,
+                 wisdom_source: str | None = None,
                  cflags: tuple[str, ...] = (),
                  threads: int = 1):
         if prefer is None:
@@ -144,6 +145,11 @@ class PlanRegistry:
                 prefer = "c" if have_c_compiler() else "numpy"
         self.prefer = prefer
         self.wisdom = wisdom
+        # Provenance label for stats(): "pack" (integrity-verified
+        # deployment pack), "store" (mutable wisdom file), "none".
+        if wisdom_source is None:
+            wisdom_source = "store" if wisdom is not None else "none"
+        self.wisdom_source = wisdom_source
         self.cflags = tuple(cflags)
         self.threads = threads
         self._plans: dict[PlanKey, Plan] = {}
@@ -305,4 +311,5 @@ class PlanRegistry:
                 "wisdom_boots": self._wisdom_boots,
                 "prefer": self.prefer,
                 "wisdom_attached": self.wisdom is not None,
+                "wisdom_source": self.wisdom_source,
             }

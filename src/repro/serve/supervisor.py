@@ -84,6 +84,7 @@ class ServeConfig:
     port: int = 0
     warm: tuple[PlanKey, ...] = ()
     wisdom_path: str | None = None
+    pack_path: str | None = None
     prefer: str | None = None
     max_batch: int = 64
     max_delay: float = 0.002
@@ -92,14 +93,48 @@ class ServeConfig:
     drain_grace_s: float = 30.0
 
 
+def _boot_wisdom(config: ServeConfig):
+    """(wisdom store or None, source label) for one server boot.
+
+    A ``--pack`` pack is preferred over ``--wisdom``: packs are the
+    deployment artifact (read-only, integrity-checked, optionally
+    carrying compiled ``.so`` files).  Pack problems *never* crash the
+    boot — every diagnostic goes to stderr and the server degrades to
+    the plain wisdom store, or to no wisdom at all (estimate /
+    search-on-demand), exactly as if the pack had not been shipped.
+    """
+    from repro.wisdom.store import WisdomStore
+
+    if config.pack_path:
+        from repro.wisdom.pack import load_pack
+
+        result = load_pack(config.pack_path)
+        for diagnostic in result.diagnostics:
+            print(f"spl serve: pack {config.pack_path}: "
+                  f"{diagnostic.describe()}", file=sys.stderr,
+                  flush=True)
+        if result.store is not None and len(result.store):
+            print(f"spl serve: booting from pack {config.pack_path} "
+                  f"({result.entries_loaded} entries, "
+                  f"{result.artifacts_installed} artifacts installed)",
+                  file=sys.stderr, flush=True)
+            return result.store, "pack"
+        print(f"spl serve: pack {config.pack_path} unusable; "
+              f"degrading to "
+              f"{'--wisdom store' if config.wisdom_path else 'no wisdom'}",
+              file=sys.stderr, flush=True)
+    if config.wisdom_path:
+        return WisdomStore(config.wisdom_path), "store"
+    return None, "none"
+
+
 def build_server(config: ServeConfig, *, reuse_port: bool = False):
     """A fresh :class:`SplServer` from one :class:`ServeConfig`."""
     from repro.serve.server import Router, SplServer
-    from repro.wisdom.store import WisdomStore
 
-    wisdom = (WisdomStore(config.wisdom_path)
-              if config.wisdom_path else None)
-    registry = PlanRegistry(prefer=config.prefer, wisdom=wisdom)
+    wisdom, wisdom_source = _boot_wisdom(config)
+    registry = PlanRegistry(prefer=config.prefer, wisdom=wisdom,
+                            wisdom_source=wisdom_source)
     router = Router(
         registry,
         max_batch=config.max_batch,
@@ -268,6 +303,11 @@ class RestartBudget:
             return 0.0
         return max(0.0, self._events[0] + self.window_s - now)
 
+    def remaining(self, now: float) -> int:
+        """Restarts still available in the current window."""
+        self._evict(now)
+        return max(0, self.budget - len(self._events))
+
 
 # ---------------------------------------------------------------------------
 # The supervisor.
@@ -312,6 +352,7 @@ class Supervisor:
                  backoff: BackoffPolicy | None = None,
                  budget: RestartBudget | None = None,
                  port_file: str | None = None,
+                 status_file: str | None = None,
                  rng: random.Random | None = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -327,6 +368,8 @@ class Supervisor:
         self.backoff = backoff or BackoffPolicy()
         self.budget = budget or RestartBudget()
         self.port_file = port_file
+        self.status_file = status_file
+        self._last_status_json: str | None = None
         self._rng = rng or random.Random()
         self.slots = [WorkerSlot(index=i) for i in range(workers)]
         self._fd_slots: dict[int, WorkerSlot] = {}
@@ -627,7 +670,51 @@ class Supervisor:
             "budget_tripped": self.budget.tripped(now),
             "budget_spent": self.budget.spent,
             "budget_refused": self.budget.refused,
+            "budget_remaining": self.budget.remaining(now),
+            "stopping": self._stopping or self._stop_requested,
+            "rolling": self._roll_slot is not None
+                       or bool(self._roll_queue),
+            "slots": [
+                {
+                    "index": s.index,
+                    "pid": s.pid,
+                    "state": s.state,
+                    "restarts": s.restarts,
+                    "consecutive_failures": s.consecutive_failures,
+                }
+                for s in self.slots
+            ],
         }
+
+    def _maybe_publish_status(self) -> None:
+        """Atomically write :meth:`status` as JSON on every change.
+
+        Orchestrators tail this file instead of parsing the stderr
+        log.  The write is temp-file + rename (readers never see a
+        partial document) and is skipped when nothing changed, so the
+        steady-state fleet does not rewrite the file once per poll.
+        Write failures are logged once per change, never fatal: losing
+        observability must not take down serving.
+        """
+        if self.status_file is None:
+            return
+        import json
+
+        text = json.dumps(self.status(), sort_keys=True)
+        if text == self._last_status_json:
+            return
+        self._last_status_json = text
+        tmp = f"{self.status_file}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, self.status_file)
+        except OSError as exc:
+            self._log(f"status file write failed: {exc}")
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def run(self) -> int:
         host, port = self._reserve_address()
@@ -647,6 +734,7 @@ class Supervisor:
             # Initial boot is not a restart: it never spends budget.
             for slot in self.slots:
                 self._spawn(slot)
+            self._maybe_publish_status()
             while True:
                 timeout = self._poll_timeout()
                 for key, _ in self._selector.select(timeout):
@@ -671,6 +759,7 @@ class Supervisor:
                 self._check_wedged(now)
                 self._advance_rolling(now)
                 self._process_restarts(now)
+                self._maybe_publish_status()
             return self._shutdown()
         finally:
             for signum, handler in previous.items():
@@ -708,6 +797,7 @@ class Supervisor:
                 os.kill(slot.pid, signal.SIGTERM)
             except ProcessLookupError:
                 pass
+        self._maybe_publish_status()
         deadline = time.monotonic() + self.config.drain_grace_s + 5.0
         while (any(s.pid is not None for s in self.slots)
                and time.monotonic() < deadline):
@@ -724,5 +814,7 @@ class Supervisor:
                     pass
                 slot.pid = None
                 self._release_fd(slot)
+                slot.state = STOPPED
         self._log("fleet stopped")
+        self._maybe_publish_status()
         return 0

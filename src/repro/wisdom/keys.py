@@ -101,6 +101,28 @@ def platform_description() -> str:
                              have_openmp_simd(), jit_supported())
 
 
+def hardware_fingerprint() -> str:
+    """A short hash of the host *hardware* alone (CPU, caches, OS).
+
+    Unlike :func:`platform_fingerprint` this deliberately excludes the
+    toolchain inventory (host compiler, OpenMP/SIMD/JIT availability,
+    ``SPL_CFLAGS``): wisdom *packs* ship portable artifacts precisely
+    so a replica without the producer's toolchain can boot hot, so a
+    pack is acceptable anywhere the hardware matches even when the
+    compilation mode differs.  Mutable stores keep using the strict
+    fingerprint — their timings feed back into search decisions.
+    """
+    return _digest(hardware_description())
+
+
+def hardware_description() -> str:
+    """The human-readable string behind :func:`hardware_fingerprint`."""
+    from repro.perfeval.platform import host_platform
+
+    row = host_platform()
+    return "|".join((row.cpu, row.l1_cache, row.l2_cache, row.os_name))
+
+
 @lru_cache(maxsize=None)
 def _host_description(cflags: tuple[str, ...], openmp: bool,
                       openmp_simd: bool = False,

@@ -1,0 +1,477 @@
+"""Deployable wisdom packs: FFTW's wisdom model at fleet scale.
+
+A *pack* is a single JSON manifest that ships everything a replica
+needs to serve its first request hot: the wisdom entries (search
+winners), a platform fingerprint saying where they are valid, and —
+optionally — the compiled shared objects themselves, keyed by the
+exact :func:`repro.perfeval.ccompile.shared_object_cache_key` digest a
+booting :class:`~repro.serve.plans.PlanRegistry` will ask for.  A
+gcc-less replica that installs those artifacts into its build dir
+cache-hits on first compile and never invokes a toolchain or a
+search.
+
+Integrity is layered so damage degrades instead of spreading:
+
+* every entry carries its own SHA-256, and the whole pack carries one
+  over the canonical payload — a flipped byte invalidates exactly the
+  entries it touched, and the rest of the pack is *salvaged*;
+* a foreign-platform or unknown-version pack is rejected whole with a
+  typed :class:`PackDiagnostic` — the consumer falls back to
+  search/estimate-on-demand.  "Foreign" is judged on two levels: an
+  exact platform-fingerprint match is ideal, but a pack whose
+  *hardware* fingerprint (CPU, caches, OS) matches is accepted even
+  when the toolchain inventory differs — a replica with no C compiler
+  is precisely the consumer packs exist for;
+* :func:`load_pack` **never raises**: every failure mode returns
+  diagnostics and counters, because a bad pack on disk must never
+  turn into a crashed boot.
+
+Artifacts are bundled in their *portable* variant (no OpenMP, no SIMD
+flags — the build a host whose toolchain probes all report False would
+request), so they are exactly the digests a toolchain-less consumer
+computes.  Hosts with a full toolchain ignore them and compile their
+own optimal variant; nothing is lost either way.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.wisdom.keys import (
+    hardware_fingerprint,
+    platform_description,
+    platform_fingerprint,
+)
+from repro.wisdom.store import WISDOM_VERSION, WisdomEntry, WisdomStore
+
+PACK_FORMAT = "spl-wisdom-pack"
+PACK_VERSION = 1
+
+#: Diagnostic kinds, roughly ordered from "the file is not a pack" to
+#: "one piece of an otherwise good pack is damaged".
+DIAGNOSTIC_KINDS = ("io", "json", "format", "version", "platform",
+                    "pack-checksum", "entry", "artifact")
+
+
+def _canonical(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _payload_checksum(payload: dict) -> str:
+    """The whole-pack checksum: everything except the checksum field."""
+    trimmed = {key: value for key, value in payload.items()
+               if key != "checksum"}
+    return _sha256(_canonical(trimmed))
+
+
+@dataclass(frozen=True)
+class PackDiagnostic:
+    """One typed integrity/compatibility finding; never an exception."""
+
+    kind: str  # one of DIAGNOSTIC_KINDS
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class PackLoadResult:
+    """What :func:`load_pack` recovered, plus why anything was lost.
+
+    ``store`` is an in-memory read-only :class:`WisdomStore` holding
+    the verified entries — or None when the pack was unusable as a
+    whole (unreadable, foreign platform, unknown version): the caller
+    should then serve with whatever wisdom it already had, or none.
+    """
+
+    store: WisdomStore | None = None
+    diagnostics: list[PackDiagnostic] = field(default_factory=list)
+    entries_loaded: int = 0
+    entries_skipped: int = 0
+    artifacts_installed: int = 0
+    artifacts_skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.store is not None and not self.diagnostics
+
+    def describe(self) -> str:
+        if self.store is None:
+            reason = self.diagnostics[0].describe() \
+                if self.diagnostics else "empty"
+            return f"pack unusable: {reason}"
+        bits = [f"{self.entries_loaded} entries"]
+        if self.entries_skipped:
+            bits.append(f"{self.entries_skipped} skipped")
+        if self.artifacts_installed or self.artifacts_skipped:
+            bits.append(f"{self.artifacts_installed} artifacts installed")
+        if self.artifacts_skipped:
+            bits.append(f"{self.artifacts_skipped} artifacts skipped")
+        return "pack loaded: " + ", ".join(bits)
+
+
+# ---------------------------------------------------------------------------
+# Building.
+# ---------------------------------------------------------------------------
+
+
+def _registry_build_inputs(entry: WisdomEntry):
+    """(source, cflags, openmp, key_extra) a booting registry will ask
+    the shared-object cache for — portable variant — or None.
+
+    Mirrors :meth:`repro.serve.plans.PlanRegistry.get` exactly: same
+    compiler options (``codetype="real"`` with the registry default or
+    the entry's winning ``-B`` threshold), same routine name, same
+    datatype/language — any drift makes the bundled artifact a cache
+    miss (harmless, but cold).
+    """
+    from repro.core.compiler import CompilerOptions, SplCompiler
+    from repro.core.parser import parse_formula_text
+    from repro.perfeval.runner import c_build_spec
+    from repro.search.dp import SMALL_TRANSFORM
+
+    if entry.transform != SMALL_TRANSFORM:
+        return None
+    threshold = entry.meta.get("unroll_threshold")
+    compiler = SplCompiler(CompilerOptions(
+        codetype="real",
+        unroll_threshold=16 if threshold is None else threshold,
+    ))
+    formula = parse_formula_text(entry.formula, compiler.defines)
+    routine = compiler.compile_formula(
+        formula, f"serve_fft{entry.n}", datatype="complex", language="c")
+    return c_build_spec(routine, (), openmp=False, simd=False)
+
+
+def build_pack(store: WisdomStore, out_path: str | os.PathLike, *,
+               include_artifacts: bool = True,
+               platform: str | None = None) -> dict[str, Any]:
+    """Export ``store`` as a pack file; returns a build summary.
+
+    Artifacts are compiled on the spot (portable variant) for every
+    FFT search winner; a host without a C compiler — or an entry whose
+    formula no longer compiles — skips that artifact (counted) and
+    still ships the wisdom itself.
+    """
+    from repro.perfeval import ccompile
+
+    entries: dict[str, Any] = {}
+    for key, entry in sorted(store.entries.items()):
+        raw = entry.to_json()
+        entries[key] = {"entry": raw, "sha256": _sha256(_canonical(raw))}
+
+    artifacts: dict[str, Any] = {}
+    artifacts_skipped = 0
+    if include_artifacts:
+        for key, entry in sorted(store.entries.items()):
+            try:
+                spec = _registry_build_inputs(entry)
+                if spec is None:
+                    continue
+                source, cflags, openmp, key_extra = spec
+                digest = ccompile.shared_object_cache_key(
+                    source, cflags=cflags, openmp=openmp,
+                    key_extra=key_extra)
+                if digest in artifacts:
+                    continue
+                so_path = ccompile.compile_shared_object(
+                    source, cflags=cflags, openmp=openmp,
+                    key_extra=key_extra)
+                data = so_path.read_bytes()
+            except Exception as exc:  # noqa: BLE001 - artifact optional
+                artifacts_skipped += 1
+                continue
+            artifacts[digest] = {
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "data": base64.b64encode(data).decode("ascii"),
+                "meta": {"transform": entry.transform, "n": entry.n,
+                         "unroll_threshold":
+                             entry.meta.get("unroll_threshold")},
+            }
+
+    payload = {
+        "format": PACK_FORMAT,
+        "version": PACK_VERSION,
+        "wisdom_version": WISDOM_VERSION,
+        "platform": platform or store.platform,
+        # The hardware-only fingerprint is the *portable* validity
+        # domain: a consumer whose toolchain differs (most importantly:
+        # has none) still accepts the pack when the hardware matches.
+        # An explicit ``platform`` override marks the pack foreign on
+        # both levels — that is what the override is for.
+        "hardware": platform or hardware_fingerprint(),
+        "platform_info": platform_description(),
+        "entries": entries,
+        "artifacts": artifacts,
+    }
+    payload["checksum"] = _payload_checksum(payload)
+    out_path = Path(out_path)
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    tmp = out_path.with_name(f"{out_path.name}.{os.getpid()}.tmp")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(out_path)
+    return {
+        "path": str(out_path),
+        "entries": len(entries),
+        "artifacts": len(artifacts),
+        "artifacts_skipped": artifacts_skipped,
+        "bytes": len(text.encode()),
+        "platform": payload["platform"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reading / verification / loading.
+# ---------------------------------------------------------------------------
+
+
+def _read_manifest(path: str | os.PathLike,
+                   ) -> tuple[dict | None, PackDiagnostic | None]:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None, PackDiagnostic("io", f"pack not found: {path}")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, PackDiagnostic("io", f"cannot read pack: {exc}")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return None, PackDiagnostic("json", f"pack is not JSON: {exc}")
+    if not isinstance(data, dict) or data.get("format") != PACK_FORMAT:
+        return None, PackDiagnostic(
+            "format", "not a wisdom pack (missing format marker)")
+    if data.get("version") != PACK_VERSION:
+        return None, PackDiagnostic(
+            "version",
+            f"pack version {data.get('version')!r} is not the "
+            f"supported {PACK_VERSION} (rebuild the pack)")
+    return data, None
+
+
+def _platform_mismatch(data: dict, platform: str | None,
+                       ) -> PackDiagnostic | None:
+    """The typed rejection when the pack fits this host nowhere.
+
+    Acceptance is layered: an exact platform-fingerprint match is
+    ideal; failing that, a matching *hardware* fingerprint (same CPU,
+    caches, OS — but, say, no C compiler on this replica) still
+    accepts the pack, because its artifacts are built in the portable
+    variant exactly for that consumer.  Only a pack alien on both
+    levels is rejected.
+    """
+    local = platform or platform_fingerprint()
+    if data.get("platform") == local:
+        return None
+    local_hw = platform or hardware_fingerprint()
+    # Pre-hardware-field packs fall back to the strict fingerprint.
+    pack_hw = data.get("hardware", data.get("platform"))
+    if pack_hw == local_hw:
+        return None
+    return PackDiagnostic(
+        "platform",
+        f"pack built for platform {data.get('platform')!r} "
+        f"(hardware {pack_hw!r}), this host is {local!r} "
+        f"(hardware {local_hw!r})")
+
+
+def verify_pack(path: str | os.PathLike, *, platform: str | None = None,
+                ) -> tuple[bool, list[PackDiagnostic], dict[str, Any]]:
+    """Full integrity check: ``(ok, diagnostics, info)``; never raises.
+
+    ``ok`` means byte-perfect *and* valid on this platform.  ``info``
+    summarizes what the pack claims (counts, platform) even when
+    verification fails, so operators can see what they are holding.
+    """
+    diagnostics: list[PackDiagnostic] = []
+    data, fatal = _read_manifest(path)
+    if data is None:
+        return False, [fatal], {}
+    info = {
+        "path": str(path),
+        "platform": data.get("platform"),
+        "platform_info": data.get("platform_info"),
+        "wisdom_version": data.get("wisdom_version"),
+        "entries": len(data.get("entries") or {}),
+        "artifacts": len(data.get("artifacts") or {}),
+    }
+    mismatch = _platform_mismatch(data, platform)
+    if mismatch is not None:
+        diagnostics.append(mismatch)
+    if data.get("checksum") != _payload_checksum(data):
+        diagnostics.append(PackDiagnostic(
+            "pack-checksum", "whole-pack checksum mismatch "
+            "(truncated or tampered file)"))
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        diagnostics.append(PackDiagnostic("entry",
+                                          "entries table missing"))
+        entries = {}
+    for key, wrapped in entries.items():
+        try:
+            raw, sha = wrapped["entry"], wrapped["sha256"]
+        except (KeyError, TypeError):
+            diagnostics.append(PackDiagnostic(
+                "entry", f"malformed entry record {key!r}"))
+            continue
+        if _sha256(_canonical(raw)) != sha:
+            diagnostics.append(PackDiagnostic(
+                "entry", f"entry checksum mismatch: {key}"))
+            continue
+        try:
+            WisdomEntry.from_json(raw)
+        except (KeyError, TypeError, ValueError):
+            diagnostics.append(PackDiagnostic(
+                "entry", f"unparseable entry: {key}"))
+    artifacts = data.get("artifacts")
+    if artifacts is None:
+        artifacts = {}
+    if not isinstance(artifacts, dict):
+        diagnostics.append(PackDiagnostic("artifact",
+                                          "artifacts table malformed"))
+        artifacts = {}
+    for digest, record in artifacts.items():
+        try:
+            blob = base64.b64decode(record["data"], validate=True)
+            ok = hashlib.sha256(blob).hexdigest() == record["sha256"]
+        except (KeyError, TypeError, ValueError):
+            ok = False
+        if not ok:
+            diagnostics.append(PackDiagnostic(
+                "artifact", f"artifact checksum mismatch: {digest}"))
+    return not diagnostics, diagnostics, info
+
+
+def inspect_pack(path: str | os.PathLike) -> dict[str, Any]:
+    """The pack's manifest summary (no integrity verdicts beyond
+    parseability); unusable files come back as ``{"error": ...}``."""
+    data, fatal = _read_manifest(path)
+    if data is None:
+        return {"error": fatal.describe()}
+    entries = data.get("entries") or {}
+    per_transform: dict[str, list[int]] = {}
+    for wrapped in entries.values():
+        raw = (wrapped or {}).get("entry") or {}
+        transform = str(raw.get("transform"))
+        per_transform.setdefault(transform, []).append(raw.get("n"))
+    for sizes in per_transform.values():
+        sizes.sort(key=lambda v: (not isinstance(v, int), v))
+    artifacts = data.get("artifacts") or {}
+    return {
+        "path": str(path),
+        "format": data.get("format"),
+        "version": data.get("version"),
+        "wisdom_version": data.get("wisdom_version"),
+        "platform": data.get("platform"),
+        "hardware": data.get("hardware"),
+        "platform_info": data.get("platform_info"),
+        "entries": len(entries),
+        "transforms": per_transform,
+        "artifacts": len(artifacts),
+        "artifact_bytes": sum(
+            len((record or {}).get("data") or "") * 3 // 4
+            for record in artifacts.values()),
+        "local_platform": platform_fingerprint(),
+        "local_hardware": hardware_fingerprint(),
+    }
+
+
+def _install_artifact(build_dir: Path, digest: str, blob: bytes) -> bool:
+    """Atomically publish one ``.so`` into the shared-object cache."""
+    so_path = build_dir / f"spl_{digest}.so"
+    if so_path.exists():
+        return False  # already cached (possibly locally compiled)
+    tmp = build_dir / f"spl_{digest}.{os.getpid()}.pack.tmp"
+    tmp.write_bytes(blob)
+    tmp.replace(so_path)
+    try:
+        so_path.chmod(0o755)
+    except OSError:  # pragma: no cover
+        pass
+    return True
+
+
+def load_pack(path: str | os.PathLike, *, platform: str | None = None,
+              install_artifacts: bool = True,
+              build_dir: str | os.PathLike | None = None,
+              ) -> PackLoadResult:
+    """Consume a pack for serving; graceful under every failure mode.
+
+    Returns a :class:`PackLoadResult` whose ``store`` holds the
+    entries that survived verification — or None when the pack is
+    unusable as a whole (unreadable/foreign/unknown-version), in which
+    case the caller degrades to search-on-demand.  A failed whole-pack
+    checksum does *not* reject the pack outright: entries whose own
+    checksums still verify are salvaged (the damage is counted and
+    diagnosed), so one flipped byte costs one entry, not the fleet's
+    warm boot.  Never raises.
+    """
+    result = PackLoadResult()
+    data, fatal = _read_manifest(path)
+    if data is None:
+        result.diagnostics.append(fatal)
+        return result
+    mismatch = _platform_mismatch(data, platform)
+    if mismatch is not None:
+        result.diagnostics.append(PackDiagnostic(
+            mismatch.kind,
+            f"{mismatch.detail}; serving will search on demand"))
+        return result
+    if data.get("checksum") != _payload_checksum(data):
+        result.diagnostics.append(PackDiagnostic(
+            "pack-checksum",
+            "whole-pack checksum mismatch; salvaging entries whose own "
+            "checksums verify"))
+    store = WisdomStore(None, platform=platform or platform_fingerprint(),
+                        autosave=False)
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        entries = {}
+        result.diagnostics.append(PackDiagnostic(
+            "entry", "entries table missing"))
+    for key, wrapped in entries.items():
+        try:
+            raw, sha = wrapped["entry"], wrapped["sha256"]
+            if _sha256(_canonical(raw)) != sha:
+                raise ValueError("checksum mismatch")
+            entry = WisdomEntry.from_json(raw)
+        except Exception as exc:  # noqa: BLE001 - skip, count, go on
+            result.entries_skipped += 1
+            result.diagnostics.append(PackDiagnostic(
+                "entry", f"skipped {key!r}: {exc}"))
+            continue
+        store.entries[str(key)] = entry
+        result.entries_loaded += 1
+    result.store = store
+
+    if install_artifacts:
+        from repro.perfeval import ccompile
+
+        target = Path(build_dir) if build_dir is not None \
+            else ccompile.default_build_dir()
+        artifacts = data.get("artifacts")
+        if not isinstance(artifacts, dict):
+            artifacts = {}
+        for digest, record in artifacts.items():
+            try:
+                blob = base64.b64decode(record["data"], validate=True)
+                if hashlib.sha256(blob).hexdigest() != record["sha256"]:
+                    raise ValueError("checksum mismatch")
+                if _install_artifact(target, str(digest), blob):
+                    result.artifacts_installed += 1
+            except Exception as exc:  # noqa: BLE001
+                result.artifacts_skipped += 1
+                result.diagnostics.append(PackDiagnostic(
+                    "artifact", f"skipped artifact {digest!r}: {exc}"))
+    return result

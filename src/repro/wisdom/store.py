@@ -55,8 +55,10 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 WISDOM_FORMAT = "spl-wisdom"
-#: Version 2 added the content checksum; version-1 files load as a
-#: (counted) version mismatch and are discarded, not quarantined.
+#: Version 2 added the content checksum.  Version-1 files (no
+#: checksum) are *migrated*: their entries load, the migration is
+#: counted, and the next save rewrites the file as v2.  Versions we
+#: have never shipped are discarded as a (counted) mismatch.
 WISDOM_VERSION = 2
 
 
@@ -160,6 +162,7 @@ class WisdomStore:
         self.save_errors = 0
         self.bytes_written = 0
         self.load_errors = 0
+        self.migrations = 0
         self.version_mismatches = 0
         self.platform_mismatches = 0
         self.invalidated = 0
@@ -193,29 +196,43 @@ class WisdomStore:
         if not isinstance(data, dict) or data.get("format") != WISDOM_FORMAT:
             # Some other program's JSON: not ours to quarantine.
             return None, "format"
-        if data.get("version") != WISDOM_VERSION:
+        version = data.get("version")
+        if version not in (1, WISDOM_VERSION):
             return None, "version"
         if data.get("platform") != self.platform:
             return None, "platform"
         raw = data.get("entries")
         if not isinstance(raw, dict):
             return None, "entries"
-        checksum = data.get("checksum")
-        if checksum != _entries_checksum(raw):
-            return None, "checksum"
+        if version == WISDOM_VERSION:
+            checksum = data.get("checksum")
+            if checksum != _entries_checksum(raw):
+                return None, "checksum"
         loaded: dict[str, WisdomEntry] = {}
         try:
             for key, value in raw.items():
                 loaded[key] = WisdomEntry.from_json(value)
         except (KeyError, TypeError, ValueError):
             return None, "entries"
-        return loaded, "ok"
+        # Version-1 files predate the content checksum; their entries
+        # are usable as-is and the caller upgrades the file on save.
+        return loaded, ("migrated" if version == 1 else "ok")
 
     def _quarantine_file(self) -> None:
-        """Move the damaged file aside as ``<name>.corrupt``."""
+        """Move the damaged file aside as ``<name>.corrupt[.N]``.
+
+        Successive corruptions must each survive for forensics: the
+        first corpse takes ``.corrupt``, later ones ``.corrupt.1``,
+        ``.corrupt.2``, ... instead of clobbering the previous one.
+        """
         if self.path is None:
             return
         corpse = self.path.with_name(self.path.name + ".corrupt")
+        suffix = 0
+        while corpse.exists():
+            suffix += 1
+            corpse = self.path.with_name(
+                f"{self.path.name}.corrupt.{suffix}")
         try:
             os.replace(self.path, corpse)
             self.quarantined += 1
@@ -231,10 +248,18 @@ class WisdomStore:
         of raising.  Corrupted files (bad JSON, failed checksum,
         malformed entries) are additionally renamed to ``.corrupt`` so
         the next save starts fresh and the evidence is preserved.
+        A version-1 file (pre-checksum) loads with its entries intact
+        and — when autosave is on — is immediately rewritten as v2.
         """
         entries, reason = self._read_payload()
         if entries is not None:
             self.entries = entries
+            if reason == "migrated":
+                self.migrations += 1
+                if self.autosave:
+                    # merge=False: the disk copy is the v1 file we just
+                    # loaded in full; re-merging it is pointless.
+                    self.save(merge=False)
             return True
         self.entries = {}
         if reason == "missing":
@@ -406,6 +431,7 @@ class WisdomStore:
             "save_errors": self.save_errors,
             "bytes_written": self.bytes_written,
             "load_errors": self.load_errors,
+            "migrations": self.migrations,
             "version_mismatches": self.version_mismatches,
             "platform_mismatches": self.platform_mismatches,
             "invalidated": self.invalidated,

@@ -1,0 +1,206 @@
+"""Distributed search == serial search, including under injected chaos.
+
+The contract under test is determinism: given identical per-candidate
+timings, :func:`distributed_search_small_sizes` must crown byte-for-
+byte the winners :func:`search_small_sizes` crowns — regardless of
+worker count, injected worker kills, a truncated journal, or poisoned
+candidates.  Timings are stubbed with a deterministic hash of
+(candidate SPL, threshold) so both paths see the same "measurements"
+without compiling anything; the forked workers, leases, journal and
+quarantine underneath are all real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import signal
+from types import SimpleNamespace
+
+import pytest
+
+from repro.perfeval.sandbox import Quarantine
+from repro.search.dist import distributed_search_small_sizes
+from repro.search.dp import search_small_sizes
+from repro.search.queue import (
+    QueuePolicy,
+    SearchChaos,
+    TaskJournal,
+    queue_supported,
+)
+from repro.wisdom.store import WisdomStore
+
+needs_fork = pytest.mark.skipif(
+    not queue_supported(),
+    reason="the distributed search needs POSIX fork")
+
+SIZES = (2, 4, 8, 16)
+
+FAST = QueuePolicy(workers=3, lease_timeout_s=10.0,
+                   heartbeat_interval_s=0.02, heartbeat_timeout_s=5.0,
+                   max_attempts=3, backoff_base_s=0.01,
+                   backoff_max_s=0.05)
+
+
+def fake_seconds(spl: str, threshold) -> float:
+    """Deterministic pseudo-timing shared by both search paths."""
+    digest = hashlib.sha256(f"{threshold}:{spl}".encode()).digest()
+    return 1.0 + int.from_bytes(digest[:4], "big") / 2 ** 32
+
+
+def stub_task_runner(payload: dict) -> dict:
+    return {"ok": True,
+            "seconds": fake_seconds(payload["spl"], payload["threshold"]),
+            "mflops": 1.0}
+
+
+def fake_measure_formulas(compiler, formulas, name_prefix="", **kwargs):
+    """Serial-side stub; the threshold is recoverable from the measure
+    name prefix (``spl_fft{n}_b{threshold}_c`` when sweeping)."""
+    match = re.search(r"_b(\d+)_c$", name_prefix)
+    threshold = int(match.group(1)) if match else None
+    return [SimpleNamespace(formula=formula,
+                            seconds=fake_seconds(formula.to_spl(),
+                                                 threshold),
+                            mflops=1.0, ok=True, failure=None)
+            for formula in formulas]
+
+
+def serial_reference(monkeypatch, *, sizes=SIZES, **kwargs):
+    monkeypatch.setattr("repro.search.dp.measure_formulas",
+                        fake_measure_formulas)
+    return search_small_sizes(sizes, **kwargs)
+
+
+def assert_same_winners(serial, dist):
+    assert set(serial) == set(dist)
+    for n in serial:
+        assert serial[n].formula.to_spl() == dist[n].formula.to_spl(), n
+        assert serial[n].seconds == pytest.approx(dist[n].seconds), n
+        assert serial[n].unroll_threshold == dist[n].unroll_threshold, n
+
+
+@needs_fork
+class TestDistributedEqualsSerial:
+    def test_identical_winners_no_sweep(self, monkeypatch):
+        serial = serial_reference(monkeypatch)
+        dist = distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            task_runner=stub_task_runner, chaos=SearchChaos())
+        assert_same_winners(serial, dist)
+        for n in dist:
+            assert dist[n].candidates_tried == serial[n].candidates_tried
+
+    def test_identical_winners_with_threshold_sweep(self, monkeypatch):
+        sweep = (8, 16)
+        serial = serial_reference(monkeypatch, unroll_thresholds=sweep)
+        dist = distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            unroll_thresholds=sweep, task_runner=stub_task_runner,
+            chaos=SearchChaos())
+        assert_same_winners(serial, dist)
+
+    def test_chaos_kills_lose_and_duplicate_nothing(self, monkeypatch,
+                                                    tmp_path):
+        # ~40% of task keys SIGKILL their worker on the first attempt.
+        # The leases must retry every one of them: same winners as the
+        # serial search, and the journal holds exactly one record per
+        # task key (zero lost, zero duplicated).
+        serial = serial_reference(monkeypatch)
+        journal_path = tmp_path / "journal.jsonl"
+        chaos = SearchChaos(kill_rate=0.4, kill_attempts=1, seed=5)
+        dist = distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            journal_path=str(journal_path),
+            task_runner=stub_task_runner, chaos=chaos)
+        assert_same_winners(serial, dist)
+        replay = TaskJournal(journal_path).replay()
+        expected_tasks = sum(serial[n].candidates_tried for n in serial)
+        assert len(replay.results) == expected_tasks
+        assert replay.duplicate_keys == 0
+        assert replay.corrupt_lines == 0
+        # The chaos actually fired: at least one doomed key existed.
+        doomed = [key for key in replay.results
+                  if chaos.should_kill(key, 1)]
+        assert doomed, "chaos seed produced no kills; test is vacuous"
+
+    def test_truncated_journal_still_converges(self, monkeypatch,
+                                               tmp_path):
+        serial = serial_reference(monkeypatch)
+        journal_path = tmp_path / "journal.jsonl"
+        distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            journal_path=str(journal_path),
+            task_runner=stub_task_runner, chaos=SearchChaos())
+        # A coordinator crash mid-append: chop the journal mid-record.
+        text = journal_path.read_text()
+        journal_path.write_text(text[: int(len(text) * 0.6)])
+        dist = distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            journal_path=str(journal_path),
+            task_runner=stub_task_runner, chaos=SearchChaos())
+        assert_same_winners(serial, dist)
+
+    def test_complete_journal_replays_without_running_tasks(self,
+                                                            tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            journal_path=str(journal_path),
+            task_runner=stub_task_runner, chaos=SearchChaos())
+        witness = tmp_path / "ran"
+
+        def tattling_runner(payload):
+            with open(witness, "a") as handle:
+                handle.write(payload["spl"] + "\n")
+            return stub_task_runner(payload)
+
+        distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            journal_path=str(journal_path),
+            task_runner=tattling_runner, chaos=SearchChaos())
+        assert not witness.exists()  # everything came from the journal
+
+    def test_wisdom_replay_skips_solved_sizes(self, tmp_path):
+        wisdom = WisdomStore(tmp_path / "wisdom.json")
+        first = distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            wisdom=wisdom, task_runner=stub_task_runner,
+            chaos=SearchChaos())
+        again = distributed_search_small_sizes(
+            SIZES, policy=FAST, quarantine=Quarantine(),
+            wisdom=wisdom, task_runner=stub_task_runner,
+            chaos=SearchChaos())
+        for n in again:
+            assert again[n].from_wisdom, n
+            assert again[n].formula.to_spl() == first[n].formula.to_spl()
+
+
+def _poison_index_one(payload: dict) -> dict:
+    if payload["index"] == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return stub_task_runner(payload)
+
+
+@needs_fork
+class TestPoisonedCandidates:
+    def test_repeat_killer_quarantined_search_still_wins(self):
+        quarantine = Quarantine()
+        policy = QueuePolicy(workers=2, lease_timeout_s=10.0,
+                             heartbeat_interval_s=0.02,
+                             heartbeat_timeout_s=5.0, max_attempts=2,
+                             backoff_base_s=0.01, backoff_max_s=0.05)
+        dist = distributed_search_small_sizes(
+            (8, 16), policy=policy, quarantine=quarantine,
+            task_runner=_poison_index_one, chaos=SearchChaos())
+        # The search survived the killer candidates...
+        assert set(dist) == {8, 16}
+        for n in (8, 16):
+            assert dist[n].candidates_failed >= 1, n
+        # ...and they are structured quarantine entries, not retries
+        # forever: every poisoned key burned exactly max_attempts.
+        stats = quarantine.stats()
+        assert stats["kinds"].get("crash", 0) >= 1
+        for failure in quarantine.entries.values():
+            assert failure.attempts == policy.max_attempts

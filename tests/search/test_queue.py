@@ -1,0 +1,296 @@
+"""The fault-tolerant search queue: leases, journal, chaos, poison.
+
+Unit tests pin the pure pieces (chaos determinism, backoff shape,
+journal replay over damaged files); coordinator tests run real forked
+workers and inject every failure mode the queue promises to absorb —
+worker SIGKILL mid-task, task functions that raise, tasks that wedge
+past their lease — and assert the exactly-once contract: every key
+lands in ``results`` or ``failures``, never both, never twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.perfeval.sandbox import Quarantine
+from repro.search.queue import (
+    JournalReplay,
+    QueuePolicy,
+    SearchChaos,
+    TaskJournal,
+    TaskQueueCoordinator,
+    queue_supported,
+)
+
+needs_fork = pytest.mark.skipif(
+    not queue_supported(),
+    reason="the distributed queue needs POSIX fork")
+
+#: Fast knobs so a whole coordinator test settles in well under a
+#: second even when every task is retried.
+FAST = QueuePolicy(workers=2, lease_timeout_s=10.0,
+                   heartbeat_interval_s=0.02, heartbeat_timeout_s=5.0,
+                   max_attempts=3, backoff_base_s=0.01,
+                   backoff_max_s=0.05)
+
+
+class TestSearchChaos:
+    def test_spec_round_trip(self):
+        chaos = SearchChaos.from_spec("kill=0.3,attempts=2,seed=7")
+        assert chaos.kill_rate == 0.3
+        assert chaos.kill_attempts == 2
+        assert chaos.seed == 7
+        assert SearchChaos.from_spec(chaos.to_spec()) == chaos
+
+    def test_bad_specs_raise(self):
+        for spec in ("kill", "kill=lots", "boom=1", "kill=1.5"):
+            with pytest.raises(ValueError):
+                SearchChaos.from_spec(spec)
+
+    def test_doomed_set_is_deterministic(self):
+        chaos = SearchChaos(kill_rate=0.5, seed=3)
+        keys = [f"key-{i}" for i in range(200)]
+        first = {k for k in keys if chaos.should_kill(k, 1)}
+        second = {k for k in keys if chaos.should_kill(k, 1)}
+        assert first == second
+        assert 0 < len(first) < len(keys)  # a rate, not all-or-nothing
+
+    def test_kills_stop_after_attempt_cap(self):
+        chaos = SearchChaos(kill_rate=1.0, kill_attempts=2, seed=0)
+        assert chaos.should_kill("k", 1)
+        assert chaos.should_kill("k", 2)
+        assert not chaos.should_kill("k", 3)
+
+    def test_from_env(self):
+        assert SearchChaos.from_env({}) is None
+        chaos = SearchChaos.from_env(
+            {"SPL_SEARCH_CHAOS": "kill=1.0,seed=2"})
+        assert chaos is not None and chaos.kill_rate == 1.0
+
+
+class TestQueuePolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = QueuePolicy(backoff_base_s=0.1, backoff_multiplier=2.0,
+                             backoff_max_s=0.35)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.35)
+        assert policy.backoff_s(9) == pytest.approx(0.35)
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            QueuePolicy(workers=0)
+        with pytest.raises(ValueError):
+            QueuePolicy(max_attempts=0)
+
+
+class TestTaskJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = TaskJournal(tmp_path / "journal.jsonl")
+        assert journal.append("a", {"ok": True, "seconds": 1.0})
+        assert journal.append("b", {"ok": False, "kind": "nan"})
+        replay = journal.replay()
+        assert replay.results == {"a": {"ok": True, "seconds": 1.0},
+                                  "b": {"ok": False, "kind": "nan"}}
+        assert replay.corrupt_lines == 0
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = TaskJournal(tmp_path / "nope.jsonl").replay()
+        assert replay == JournalReplay()
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = TaskJournal(path)
+        journal.append("a", 1)
+        journal.append("b", 2)
+        text = path.read_text()
+        # Cut the second record mid-line: a crash during append.
+        path.write_text(text[: len(text) - 10])
+        replay = TaskJournal(path).replay()
+        assert replay.results == {"a": 1}
+        assert replay.corrupt_lines == 1
+
+    def test_tampered_line_fails_its_checksum(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = TaskJournal(path)
+        journal.append("a", {"seconds": 5.0})
+        record = json.loads(path.read_text())
+        record["result"]["seconds"] = 0.001  # the tampering
+        path.write_text(json.dumps(record) + "\n")
+        replay = TaskJournal(path).replay()
+        assert replay.results == {}
+        assert replay.corrupt_lines == 1
+
+    def test_duplicate_keys_keep_the_first(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = TaskJournal(path)
+        journal.append("a", 1)
+        journal.append("a", 2)
+        replay = TaskJournal(path).replay()
+        assert replay.results == {"a": 1}
+        assert replay.duplicate_keys == 1
+
+    def test_unwritable_path_counts_never_raises(self, tmp_path):
+        journal = TaskJournal(tmp_path)  # a directory
+        assert not journal.append("a", 1)
+        assert journal.append_errors == 1
+
+
+# ---------------------------------------------------------------------------
+# Coordinator behavior with real forked workers.
+# ---------------------------------------------------------------------------
+
+
+def _double(payload):
+    return {"value": payload["x"] * 2}
+
+
+def _crash_on_marked(payload):
+    if payload.get("crash"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": payload["x"]}
+
+
+def _fail_until(payload):
+    """Raise until the cross-process counter file has enough lines."""
+    counter = payload["counter"]
+    with open(counter, "a") as handle:
+        handle.write("x\n")
+    with open(counter) as handle:
+        attempts = len(handle.readlines())
+    if attempts < payload["succeed_on"]:
+        raise RuntimeError(f"flaky (attempt {attempts})")
+    return {"value": "recovered"}
+
+
+def _always_raise(payload):
+    raise ValueError("permanently broken")
+
+
+def _wedge_on_marked(payload):
+    if payload.get("wedge"):
+        time.sleep(3600)
+    return {"value": payload["x"]}
+
+
+@needs_fork
+class TestCoordinator:
+    def test_all_tasks_complete_exactly_once(self):
+        coordinator = TaskQueueCoordinator(
+            _double, policy=FAST, quarantine=Quarantine())
+        tasks = {f"k{i}": {"x": i} for i in range(12)}
+        outcome = coordinator.run(tasks)
+        assert outcome.results == {
+            f"k{i}": {"value": 2 * i} for i in range(12)}
+        assert outcome.failures == {}
+        assert outcome.stats["completed"] == 12
+        assert outcome.stats.get("poisoned", 0) == 0
+
+    def test_chaos_kill_is_retried_to_success(self):
+        # Every key's first attempt SIGKILLs its worker; the lease
+        # reclaims it and attempt 2 succeeds — zero lost results.
+        chaos = SearchChaos(kill_rate=1.0, kill_attempts=1, seed=1)
+        coordinator = TaskQueueCoordinator(
+            _double, policy=FAST, quarantine=Quarantine(), chaos=chaos)
+        tasks = {f"k{i}": {"x": i} for i in range(6)}
+        outcome = coordinator.run(tasks)
+        assert set(outcome.results) == set(tasks)
+        assert outcome.failures == {}
+        assert outcome.stats["worker_deaths"] >= 6
+        assert outcome.stats["reclaims_dead"] >= 6
+        assert outcome.stats["retries"] >= 6
+
+    def test_repeat_killer_is_poisoned_and_quarantined(self):
+        quarantine = Quarantine()
+        coordinator = TaskQueueCoordinator(
+            _crash_on_marked, policy=FAST, quarantine=quarantine)
+        tasks = {"good": {"x": 1}, "poison": {"x": 2, "crash": True}}
+        outcome = coordinator.run(tasks)
+        assert outcome.results == {"good": {"value": 1}}
+        failure = outcome.failures["poison"]
+        assert failure.kind == "crash"
+        assert failure.attempts == FAST.max_attempts
+        assert "poison" in quarantine
+        # A second run skips the poisoned key without forking for it.
+        again = TaskQueueCoordinator(
+            _crash_on_marked, policy=FAST, quarantine=quarantine)
+        outcome2 = again.run(tasks)
+        assert "poison" in outcome2.failures
+        assert outcome2.stats["quarantine_skips"] == 1
+
+    def test_task_error_is_retried_then_succeeds(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        coordinator = TaskQueueCoordinator(
+            _fail_until, policy=FAST, quarantine=Quarantine())
+        outcome = coordinator.run(
+            {"flaky": {"counter": counter, "succeed_on": 2}})
+        assert outcome.results == {"flaky": {"value": "recovered"}}
+        assert outcome.stats["task_errors"] == 1
+        assert outcome.stats["retries"] == 1
+
+    def test_permanent_task_error_is_poisoned_with_cause(self):
+        coordinator = TaskQueueCoordinator(
+            _always_raise, policy=FAST, quarantine=Quarantine())
+        outcome = coordinator.run({"broken": {}})
+        failure = outcome.failures["broken"]
+        assert failure.kind == "error"
+        assert "permanently broken" in failure.detail
+        assert outcome.stats["task_errors"] == FAST.max_attempts
+
+    def test_wedged_task_is_killed_at_lease_expiry(self):
+        policy = QueuePolicy(workers=2, lease_timeout_s=0.3,
+                             heartbeat_interval_s=0.02,
+                             heartbeat_timeout_s=5.0, max_attempts=1,
+                             backoff_base_s=0.01)
+        coordinator = TaskQueueCoordinator(
+            _wedge_on_marked, policy=policy, quarantine=Quarantine())
+        start = time.monotonic()
+        outcome = coordinator.run(
+            {"ok": {"x": 1}, "stuck": {"wedge": True}})
+        elapsed = time.monotonic() - start
+        assert outcome.results == {"ok": {"value": 1}}
+        assert outcome.failures["stuck"].kind == "hang"
+        assert outcome.stats["reclaims_wedged"] == 1
+        assert elapsed < 30  # the 3600s sleep never ran to completion
+
+    def test_journal_makes_reruns_free(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        tasks = {f"k{i}": {"x": i} for i in range(5)}
+        first = TaskQueueCoordinator(
+            _double, policy=FAST, journal=TaskJournal(journal_path),
+            quarantine=Quarantine())
+        outcome1 = first.run(tasks)
+        assert outcome1.stats["completed"] == 5
+        # A "restarted coordinator": same journal, fresh everything.
+        second = TaskQueueCoordinator(
+            _double, policy=FAST, journal=TaskJournal(journal_path),
+            quarantine=Quarantine())
+        outcome2 = second.run(tasks)
+        assert outcome2.results == outcome1.results
+        assert outcome2.stats["journal_replayed"] == 5
+        assert outcome2.stats.get("completed", 0) == 0
+        assert outcome2.stats.get("workers_spawned", 0) == 0
+
+    def test_truncated_journal_resumes_partial(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        tasks = {f"k{i}": {"x": i} for i in range(4)}
+        TaskQueueCoordinator(
+            _double, policy=FAST, journal=TaskJournal(journal_path),
+            quarantine=Quarantine()).run(tasks)
+        # A crash mid-append: the last record is cut in half.
+        text = journal_path.read_text()
+        journal_path.write_text(text[: len(text) - 15])
+        resumed = TaskQueueCoordinator(
+            _double, policy=FAST, journal=TaskJournal(journal_path),
+            quarantine=Quarantine())
+        outcome = resumed.run(tasks)
+        assert outcome.results == {
+            f"k{i}": {"value": 2 * i} for i in range(4)}
+        assert outcome.stats["journal_replayed"] == 3
+        assert outcome.stats["journal_corrupt_lines"] == 1
+        assert outcome.stats["completed"] == 1  # only the lost key ran

@@ -1,0 +1,192 @@
+"""Boot-time pack consumption and the supervisor status file.
+
+The serving-side halves of the wisdom-pack contract: ``spl serve
+--pack`` must *never* crash at boot because of a bad pack — corrupt,
+foreign, garbage, missing — it prints typed diagnostics and degrades
+(to ``--wisdom``, then to no wisdom at all); and ``--status-file``
+publishes the supervisor's fleet state as atomically-replaced JSON an
+orchestrator can poll without parsing logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.serve.chaos import FleetProcess, fleet_supported
+from repro.serve.plans import PlanRegistry
+from repro.serve.supervisor import (
+    RestartBudget,
+    ServeConfig,
+    Supervisor,
+    _boot_wisdom,
+    build_server,
+    fork_supported,
+)
+from repro.wisdom.pack import build_pack
+from repro.wisdom.store import WisdomStore
+
+needs_fork = pytest.mark.skipif(
+    not fork_supported(),
+    reason="the supervisor needs fork, SIGCHLD and SO_REUSEPORT")
+
+needs_fleet = pytest.mark.skipif(
+    not fleet_supported(),
+    reason="supervised fleets need fork, SIGCHLD and SO_REUSEPORT")
+
+
+def _seeded(tmp_path):
+    store = WisdomStore(tmp_path / "wisdom.json")
+    store.record("fft-small", 8, formula="(F 8)", seconds=1.0,
+                 mflops=2.0)
+    pack_path = tmp_path / "wisdom.pack"
+    build_pack(store, pack_path, include_artifacts=False)
+    return store, pack_path
+
+
+class TestBootWisdom:
+    def test_no_sources_serves_without_wisdom(self):
+        wisdom, source = _boot_wisdom(ServeConfig())
+        assert wisdom is None and source == "none"
+
+    def test_wisdom_path_loads_the_store(self, tmp_path):
+        store, _ = _seeded(tmp_path)
+        wisdom, source = _boot_wisdom(
+            ServeConfig(wisdom_path=str(store.path)))
+        assert source == "store"
+        assert wisdom.lookup("fft-small", 8) is not None
+
+    def test_pack_preferred_over_store(self, tmp_path):
+        store, pack_path = _seeded(tmp_path)
+        wisdom, source = _boot_wisdom(ServeConfig(
+            wisdom_path=str(store.path), pack_path=str(pack_path)))
+        assert source == "pack"
+        assert len(wisdom) == 1
+        assert wisdom.path is None  # the read-only in-memory pack store
+
+    def test_corrupt_pack_degrades_to_store(self, tmp_path, capsys):
+        store, pack_path = _seeded(tmp_path)
+        pack_path.write_text("garbage {{{")
+        wisdom, source = _boot_wisdom(ServeConfig(
+            wisdom_path=str(store.path), pack_path=str(pack_path)))
+        assert source == "store"
+        assert wisdom.lookup("fft-small", 8) is not None
+        err = capsys.readouterr().err
+        assert "[json]" in err
+        assert "degrading" in err
+
+    def test_foreign_pack_degrades_to_no_wisdom(self, tmp_path, capsys):
+        store, pack_path = _seeded(tmp_path)
+        build_pack(store, pack_path, include_artifacts=False,
+                   platform="alien-host")
+        wisdom, source = _boot_wisdom(
+            ServeConfig(pack_path=str(pack_path)))
+        assert wisdom is None and source == "none"
+        assert "[platform]" in capsys.readouterr().err
+
+    def test_missing_pack_never_crashes(self, tmp_path, capsys):
+        wisdom, source = _boot_wisdom(ServeConfig(
+            pack_path=str(tmp_path / "never-shipped.pack")))
+        assert wisdom is None and source == "none"
+        assert "[io]" in capsys.readouterr().err
+
+    def test_build_server_survives_every_bad_pack(self, tmp_path):
+        # The whole point: a damaged deployment artifact must not turn
+        # into a crashed boot.  build_server (no listener started) must
+        # return a working server for each failure mode.
+        cases = {
+            "missing.pack": None,
+            "garbage.pack": "not json",
+            "truncated.pack": None,
+        }
+        store, pack_path = _seeded(tmp_path)
+        cases["truncated.pack"] = pack_path.read_text()[:40]
+        for name, text in cases.items():
+            path = tmp_path / name
+            if text is not None:
+                path.write_text(text)
+            server = build_server(ServeConfig(
+                pack_path=str(path), prefer="numpy"))
+            stats = server.router.registry.stats()
+            assert stats["wisdom_source"] == "none", name
+            assert not stats["wisdom_attached"], name
+
+    def test_registry_stats_carry_wisdom_source(self):
+        assert PlanRegistry(prefer="numpy").stats()[
+            "wisdom_source"] == "none"
+        registry = PlanRegistry(
+            prefer="numpy", wisdom=WisdomStore(None, autosave=False))
+        assert registry.stats()["wisdom_source"] == "store"
+        registry = PlanRegistry(
+            prefer="numpy", wisdom=WisdomStore(None, autosave=False),
+            wisdom_source="pack")
+        assert registry.stats()["wisdom_source"] == "pack"
+
+
+@needs_fork
+class TestStatusFilePublishing:
+    def _supervisor(self, tmp_path, **kwargs):
+        return Supervisor(ServeConfig(), workers=2,
+                          status_file=str(tmp_path / "status.json"),
+                          **kwargs)
+
+    def test_status_includes_budget_and_slots(self, tmp_path):
+        sup = self._supervisor(
+            tmp_path, budget=RestartBudget(budget=4, window_s=30.0))
+        status = sup.status()
+        assert status["workers"] == 2
+        assert status["budget_remaining"] == 4
+        assert not status["stopping"]
+        assert [s["index"] for s in status["slots"]] == [0, 1]
+        assert all(s["state"] == "down" for s in status["slots"])
+
+    def test_publish_is_atomic_json_and_change_driven(self, tmp_path):
+        sup = self._supervisor(tmp_path)
+        sup._maybe_publish_status()
+        path = tmp_path / "status.json"
+        first = json.loads(path.read_text())
+        assert first["workers"] == 2
+        stamp = os.path.getmtime(path)
+        time.sleep(0.02)
+        sup._maybe_publish_status()  # nothing changed: no rewrite
+        assert os.path.getmtime(path) == stamp
+        sup.crashes += 1
+        sup._maybe_publish_status()
+        assert json.loads(path.read_text())["crashes"] == 1
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_unwritable_status_file_never_raises(self, tmp_path):
+        sup = Supervisor(ServeConfig(), workers=1,
+                         status_file=str(tmp_path))  # a directory
+        sup._maybe_publish_status()  # logged, not fatal
+
+
+@needs_fleet
+class TestStatusFileLive:
+    def test_fleet_publishes_ready_then_stopped(self, tmp_path):
+        status_path = tmp_path / "status.json"
+        with FleetProcess(workers=2, warm=(),
+                          extra_args=("--status-file",
+                                      str(status_path))) as fleet:
+            deadline = time.monotonic() + 30
+            doc = {}
+            while time.monotonic() < deadline:
+                if status_path.exists():
+                    doc = json.loads(status_path.read_text())
+                    if doc.get("ready") == 2:
+                        break
+                time.sleep(0.05)
+            assert doc.get("ready") == 2, doc
+            assert doc["workers"] == 2
+            assert {s["state"] for s in doc["slots"]} == {"ready"}
+            fleet.signal(signal.SIGTERM)
+            assert fleet.proc.wait(timeout=60) == 0
+        final = json.loads(status_path.read_text())
+        assert final["stopping"]
+        assert final["alive"] == 0
+        assert {s["state"] for s in final["slots"]} == {"stopped"}

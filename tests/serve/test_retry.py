@@ -134,6 +134,41 @@ class TestRetryBudget:
             t.join()
         assert sum(granted) == 100  # never over-grants
 
+    def test_concurrent_deposits_and_withdrawals_conserve_tokens(self):
+        # Threads racing record_attempt against allow_retry: the
+        # bucket must never go negative, never exceed capacity, and
+        # the final level must account for every deposit and every
+        # granted withdrawal exactly — no lost updates either way.
+        workers, rounds, ratio = 8, 200, 0.25
+        # Capacity chosen so the cap never binds: accounting is exact.
+        budget = RetryBudget(ratio=ratio,
+                             max_tokens=workers * rounds * ratio + 10,
+                             min_reserve=4.0)
+        start = threading.Barrier(workers)
+        observed = []
+
+        def churn():
+            start.wait()
+            for i in range(rounds):
+                budget.record_attempt()
+                if i % 2:
+                    budget.allow_retry()
+                observed.append(budget.tokens)
+
+        threads = [threading.Thread(target=churn)
+                   for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(0.0 <= level <= budget.max_tokens
+                   for level in observed)
+        retry_calls = workers * (rounds // 2)
+        assert budget.spent + budget.denied == retry_calls
+        expected = 4.0 + workers * rounds * ratio - budget.spent
+        assert budget.tokens == pytest.approx(expected)
+        assert budget.tokens >= 0.0
+
 
 class TestCallWithRetry:
     def test_retries_until_success(self):

@@ -59,6 +59,22 @@ class TestTruncationRecovery:
         assert len(store) == 0
         assert store.load_errors == 1
 
+    def test_successive_corruptions_both_survive(self, tmp_path):
+        # Regression: the quarantine rename used a fixed .corrupt name,
+        # so a second corruption silently clobbered the first corpse.
+        path = tmp_path / "wisdom.json"
+        path.write_text("{first corruption")
+        store = WisdomStore(path)
+        assert store.quarantined == 1
+        path.write_text("{second corruption")
+        store.load()
+        assert store.quarantined == 2
+        first = tmp_path / "wisdom.json.corrupt"
+        second = tmp_path / "wisdom.json.corrupt.1"
+        assert first.exists() and second.exists()
+        assert first.read_text() == "{first corruption"
+        assert second.read_text() == "{second corruption"
+
 
 class TestChecksum:
     def test_tampered_entries_fail_checksum(self, tmp_path):
@@ -96,17 +112,39 @@ class TestBenignMismatches:
         assert store.quarantined == 0
         assert path.exists()
 
-    def test_version_mismatch_discards_without_quarantine(self, tmp_path):
+    def test_unknown_version_discards_without_quarantine(self, tmp_path):
         path = tmp_path / "wisdom.json"
         _, text = seeded_store(path)
         data = json.loads(text)
-        data["version"] = WISDOM_VERSION - 1
+        data["version"] = WISDOM_VERSION + 97  # never shipped
         path.write_text(json.dumps(data))
         store = WisdomStore(path)
         assert len(store) == 0
         assert store.version_mismatches == 1
         assert store.quarantined == 0
         assert path.exists()
+
+    def test_v1_file_migrates_entries_and_upgrades(self, tmp_path):
+        # A version-1 store (pre-checksum) is not discarded: its
+        # entries load, the migration is counted, and the file is
+        # rewritten as v2 — round-tripping through a fresh store.
+        path = tmp_path / "wisdom.json"
+        _, text = seeded_store(path)
+        data = json.loads(text)
+        data["version"] = 1
+        del data["checksum"]
+        path.write_text(json.dumps(data))
+        store = WisdomStore(path)
+        assert store.lookup("fft-small", 8) is not None
+        assert store.migrations == 1
+        assert store.version_mismatches == 0
+        assert store.quarantined == 0
+        upgraded = json.loads(path.read_text())
+        assert upgraded["version"] == WISDOM_VERSION
+        assert "checksum" in upgraded
+        fresh = WisdomStore(path)
+        assert fresh.lookup("fft-small", 8) is not None
+        assert fresh.migrations == 0
 
 
 class TestAtomicity:
